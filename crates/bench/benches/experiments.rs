@@ -1,0 +1,39 @@
+//! Criterion wrappers around the paper's experiments, one benchmark per
+//! table/figure, at a reduced scale so `cargo bench` exercises every
+//! experiment path end-to-end. Use the `dise-bench` binaries for
+//! full-scale, formatted reproductions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dise_bench::Experiment;
+use dise_cpu::CpuConfig;
+
+const BENCH_ITERS: u32 = 40;
+
+fn ctx() -> Experiment {
+    Experiment::new(BENCH_ITERS, CpuConfig::default())
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(|| dise_bench::table1(&mut ctx())));
+    g.bench_function("table2", |b| b.iter(|| dise_bench::table2(&mut ctx())));
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3_unconditional", |b| b.iter(|| dise_bench::fig3(&mut ctx())));
+    g.bench_function("fig4_conditional", |b| b.iter(|| dise_bench::fig4(&mut ctx())));
+    g.bench_function("fig5_rewriting", |b| b.iter(|| dise_bench::fig5(&mut ctx())));
+    g.bench_function("fig6_num_watchpoints", |b| b.iter(|| dise_bench::fig6(&mut ctx())));
+    g.bench_function("fig7_alternate_impls", |b| b.iter(|| dise_bench::fig7(&mut ctx())));
+    g.bench_function("fig8_multithreading", |b| b.iter(|| dise_bench::fig8(&mut ctx())));
+    g.bench_function("fig9_protection", |b| b.iter(|| dise_bench::fig9(&mut ctx())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks of the simulator's hot paths: DISE
+//! expansion, cache access, branch prediction, functional execution and
+//! the full timing pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use dise_asm::{parse_asm, Layout};
+use dise_cpu::{CpuConfig, Executor, Machine, Predictor};
+use dise_engine::{Engine, Pattern, Production, TemplateInst};
+use dise_isa::{decode, encode, Instr, OpClass, Reg, Width};
+use dise_mem::{Cache, CacheConfig, MemConfig, MemSystem};
+
+fn bench_isa_codec(c: &mut Criterion) {
+    let insts: Vec<Instr> = (0..64u8)
+        .map(|i| Instr::Load {
+            width: Width::Q,
+            rd: Reg::gpr(i % 32),
+            base: Reg::SP,
+            disp: i as i16 * 8,
+        })
+        .collect();
+    let words: Vec<u32> = insts.iter().map(encode).collect();
+    let mut g = c.benchmark_group("isa");
+    g.throughput(Throughput::Elements(insts.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| insts.iter().map(encode).fold(0u64, |a, w| a ^ w as u64))
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            words
+                .iter()
+                .map(|w| decode(black_box(*w)).unwrap())
+                .filter(Instr::is_load)
+                .count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine_expansion(c: &mut Criterion) {
+    let mut engine = Engine::with_paper_config();
+    engine
+        .install(Production::new(
+            "stores",
+            Pattern::opclass(OpClass::Store),
+            vec![TemplateInst::Trigger, TemplateInst::Fixed(Instr::Nop)],
+        ))
+        .unwrap();
+    let store = Instr::Store { width: Width::Q, rs: Reg::gpr(1), base: Reg::gpr(2), disp: 8 };
+    let alu = Instr::mov(Reg::gpr(1), Reg::gpr(2));
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("expand_match", |b| {
+        b.iter(|| engine.expand(black_box(0x1000), black_box(&store)))
+    });
+    g.bench_function("expand_miss", |b| {
+        b.iter(|| engine.expand(black_box(0x1000), black_box(&alu)))
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem");
+    g.bench_function("l1_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::L1);
+        cache.access(0x1000);
+        b.iter(|| cache.access(black_box(0x1000)))
+    });
+    g.bench_function("hierarchy_stream", |b| {
+        let mut sys = MemSystem::new(MemConfig::default());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64) & 0xf_ffff;
+            sys.data_access(black_box(addr), false)
+        })
+    });
+    g.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut p = Predictor::new(Default::default());
+    let mut i = 0u64;
+    c.bench_function("predictor/predict_update", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            p.predict_and_update(black_box(0x1000 + (i % 64) * 4), i.is_multiple_of(3))
+        })
+    });
+}
+
+fn countdown(n: u32) -> dise_asm::Program {
+    parse_asm(&format!(
+        "start: lda r1, {n}(zero)
+         loop:  subq r1, 1, r1
+                stq r1, 0(r2)
+                bgt r1, loop
+                halt"
+    ))
+    .unwrap()
+    .assemble(Layout::default())
+    .unwrap()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let prog = countdown(2000);
+    let mut g = c.benchmark_group("cpu");
+    g.throughput(Throughput::Elements(2000 * 3));
+    g.bench_function("functional", |b| {
+        b.iter(|| {
+            let mut e = Executor::from_program(&prog, CpuConfig::default());
+            let mut n = 0u64;
+            while !e.is_halted() {
+                e.step();
+                n += 1;
+            }
+            n
+        })
+    });
+    g.bench_function("timed", |b| {
+        b.iter(|| {
+            let mut m = Machine::from_program(&prog);
+            m.run().cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_isa_codec, bench_engine_expansion, bench_cache, bench_predictor,
+              bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Runs every table and figure of the paper's evaluation and writes the
+//! results — side by side with the paper's reference numbers and
+//! expected shapes — to `EXPERIMENTS.md` (or stdout with `--stdout`).
+
+use std::fmt::Write as _;
+
+use dise_bench::{paper, section, Experiment};
+
+fn main() {
+    let stdout_only = std::env::args().any(|a| a == "--stdout");
+    let mut ctx = Experiment::default();
+    let mut doc = String::new();
+
+    writeln!(doc, "# EXPERIMENTS — paper vs. measured\n").unwrap();
+    writeln!(
+        doc,
+        "Reproduction of every table and figure of *Low-Overhead Interactive \
+         Debugging via Dynamic Instrumentation with DISE* (HPCA 2005) on the \
+         `dise-repro` simulator. Workload scale: {} kernel iterations \
+         (`DISE_ITERS` to override). Absolute numbers differ from the paper \
+         (SPEC functions ran billions of instructions on the authors' \
+         SimpleScalar configuration); the comparisons below are about \
+         *shape*: who wins, by what order of magnitude, and where the \
+         crossovers fall.\n",
+        ctx.iters
+    )
+    .unwrap();
+
+    writeln!(doc, "Regenerate any single experiment with `cargo run --release -p dise-bench --bin <table1|table2|fig3..fig9>`.\n").unwrap();
+
+    // Tables with paper references.
+    let t1 = dise_bench::table1(&mut ctx);
+    doc.push_str(&section("Table 1 — benchmark summary (measured)", &code(&t1)));
+    let mut t1p = String::from(
+        "benchmark  function                 instructions      IPC   store density\n",
+    );
+    for (b, f, i, ipc, sd) in paper::TABLE1 {
+        writeln!(t1p, "{b:<10} {f:<24} {i:>12} {ipc:>8.2} {sd:>10.1}%").unwrap();
+    }
+    doc.push_str(&section("Table 1 — paper", &code(&t1p)));
+
+    let t2 = dise_bench::table2(&mut ctx);
+    doc.push_str(&section(
+        "Table 2 — watchpoint write frequency per 100K stores (measured)",
+        &code(&t2),
+    ));
+    let mut t2p =
+        String::from("benchmark       HOT    WARM1    WARM2     COLD INDIRECT    RANGE\n");
+    for (b, v) in paper::TABLE2 {
+        write!(t2p, "{b:<10}").unwrap();
+        for x in v {
+            write!(t2p, " {x:>8.1}").unwrap();
+        }
+        t2p.push('\n');
+    }
+    doc.push_str(&section("Table 2 — paper", &code(&t2p)));
+
+    // Figures.
+    type Fig = fn(&mut Experiment) -> String;
+    let figs: [(&str, Fig); 7] = [
+        ("Figure 3 — unconditional watchpoints", dise_bench::fig3),
+        ("Figure 4 — conditional watchpoints", dise_bench::fig4),
+        ("Figure 5 — DISE vs binary rewriting (COLD)", dise_bench::fig5),
+        ("Figure 6 — number of watchpoints", dise_bench::fig6),
+        ("Figure 7 — alternate DISE implementations", dise_bench::fig7),
+        ("Figure 8 — multithreaded DISE calls", dise_bench::fig8),
+        ("Figure 9 — protecting debugger structures", dise_bench::fig9),
+    ];
+    for (i, (title, f)) in figs.iter().enumerate() {
+        eprintln!("running {title} ...");
+        let body = f(&mut ctx);
+        doc.push_str(&section(&format!("{title} (measured)"), &code(&body)));
+        let (_, note) = paper::FIGURE_NOTES[i];
+        writeln!(doc, "**Paper's shape:** {note}\n").unwrap();
+    }
+
+    writeln!(
+        doc,
+        "## Known calibration gaps\n\n\
+         * Kernel HOT write frequencies sit in the 11K–31K per 100K band; the \
+           paper's spread is wider (455 for gcc up to 24.8K for bzip2). The \
+           HOT ordering and the silent-store property (bzip2 mostly \
+           non-silent, all others ≥50% silent) are preserved, which is what \
+           drives the hardware-register and DISE comparisons.\n\
+         * Store densities land at 5–14% vs. the paper's 10–20%; IPCs sit in \
+           the paper's band with mcf clearly memory-bound at the bottom.\n\
+         * Fig. 5: our gcc kernel's loop footprint still fits the 32 KB L1I \
+           even after rewriting, so its rewriting penalty is milder than the \
+           paper's 2.83x; crafty and vortex show the instruction-cache \
+           effect instead.\n\
+         * Fig. 7: the Evaluate-Expression organisation shows less load-port \
+           pain than the paper reports because the calibrated kernels are \
+           lighter on load bandwidth than SPEC functions.\n"
+    )
+    .unwrap();
+
+    if stdout_only {
+        print!("{doc}");
+    } else {
+        std::fs::write("EXPERIMENTS.md", &doc).expect("write EXPERIMENTS.md");
+        println!("wrote EXPERIMENTS.md ({} bytes)", doc.len());
+    }
+}
+
+fn code(s: &str) -> String {
+    format!("```text\n{s}```")
+}

@@ -1,0 +1,440 @@
+//! The experiment implementations, one per table/figure.
+
+use std::collections::HashMap;
+
+use dise_cpu::{CpuConfig, Executor, Machine, RunStats};
+use dise_debug::{
+    run_baseline, BackendKind, DebugError, DiseStrategy, Session, SessionReport,
+};
+use dise_workloads::{all, WatchKind, Workload};
+
+/// Shared experiment context: workload scale, machine configuration,
+/// and a baseline cache (the undebugged run of each kernel).
+pub struct Experiment {
+    /// Kernel iteration count.
+    pub iters: u32,
+    /// Machine configuration.
+    pub cpu: CpuConfig,
+    workloads: Vec<Workload>,
+    baselines: HashMap<&'static str, RunStats>,
+}
+
+impl Default for Experiment {
+    fn default() -> Experiment {
+        let iters = std::env::var("DISE_ITERS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(400);
+        Experiment::new(iters, CpuConfig::default())
+    }
+}
+
+impl Experiment {
+    /// Build a context at the given scale.
+    pub fn new(iters: u32, cpu: CpuConfig) -> Experiment {
+        Experiment { iters, cpu, workloads: all(iters), baselines: HashMap::new() }
+    }
+
+    /// The six kernels.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// Baseline (undebugged) statistics for a kernel, cached.
+    pub fn baseline(&mut self, w: &Workload) -> RunStats {
+        let cpu = self.cpu;
+        *self
+            .baselines
+            .entry(w.name())
+            .or_insert_with(|| run_baseline(w.app(), cpu).expect("kernel assembles"))
+    }
+
+    /// Run one debugging session; `Err` carries the paper's
+    /// "no experiment" bars.
+    pub fn session(
+        &self,
+        w: &Workload,
+        wps: Vec<dise_debug::Watchpoint>,
+        backend: BackendKind,
+    ) -> Result<SessionReport, DebugError> {
+        Ok(Session::with_config(w.app(), wps, backend, self.cpu)?.run())
+    }
+
+    /// Overhead (normalised execution time) of one session, or `None`
+    /// when the backend cannot implement the watchpoint.
+    pub fn overhead(
+        &mut self,
+        w: &Workload,
+        wps: Vec<dise_debug::Watchpoint>,
+        backend: BackendKind,
+    ) -> Option<f64> {
+        let base = self.baseline(w);
+        match self.session(w, wps, backend) {
+            Ok(report) => {
+                assert_eq!(report.error, None, "{}: session must run clean", w.name());
+                Some(report.overhead_vs(&base))
+            }
+            Err(DebugError::Unsupported { .. }) => None,
+            Err(e) => panic!("{}: {e}", w.name()),
+        }
+    }
+}
+
+fn fmt_over(o: Option<f64>) -> String {
+    match o {
+        None => "      --".to_string(),
+        Some(v) if v >= 1000.0 => format!("{v:>8.0}"),
+        Some(v) => format!("{v:>8.2}"),
+    }
+}
+
+/// The four implementations compared in Figs. 3 and 4.
+fn standard_backends() -> [(&'static str, BackendKind); 4] {
+    [
+        ("Single-Stepping", BackendKind::SingleStep),
+        ("Virtual-Memory", BackendKind::VirtualMemory),
+        ("Hardware", BackendKind::hw4()),
+        ("DISE", BackendKind::dise_default()),
+    ]
+}
+
+/// **Table 1** — benchmark summary: dynamic instructions, IPC, store
+/// density, per kernel.
+pub fn table1(ctx: &mut Experiment) -> String {
+    let mut out = String::from(
+        "benchmark  function                 instructions      IPC   store density\n",
+    );
+    for w in ctx.workloads().to_vec() {
+        let prog = w.app().program().expect("kernel assembles");
+        // Functional pass for the store count; timed pass for IPC.
+        let mut exec = Executor::from_program(&prog, ctx.cpu);
+        let mut stores = 0u64;
+        while !exec.is_halted() {
+            if exec.step().mem.is_some_and(|m| m.is_store) {
+                stores += 1;
+            }
+        }
+        let base = ctx.baseline(&w);
+        out.push_str(&format!(
+            "{:<10} {:<24} {:>12} {:>8.2} {:>10.1}%\n",
+            w.name(),
+            w.function(),
+            base.instructions,
+            base.ipc(),
+            100.0 * stores as f64 / base.instructions as f64,
+        ));
+    }
+    out
+}
+
+/// **Table 2** — watchpoint write frequency per 100K stores (stores
+/// overlapping each watched expression's current storage).
+pub fn table2(ctx: &mut Experiment) -> String {
+    let mut out = String::from(
+        "benchmark       HOT    WARM1    WARM2     COLD INDIRECT    RANGE\n",
+    );
+    for w in ctx.workloads().to_vec() {
+        let prog = w.app().program().expect("kernel assembles");
+        let exprs: Vec<_> = WatchKind::ALL.iter().map(|k| w.watch_expr(*k)).collect();
+        let mut hits = [0u64; 6];
+        let mut stores = 0u64;
+        let mut exec = Executor::from_program(&prog, ctx.cpu);
+        while !exec.is_halted() {
+            let e = exec.step();
+            if let Some(m) = e.mem {
+                if m.is_store {
+                    stores += 1;
+                    for (i, expr) in exprs.iter().enumerate() {
+                        let overlap = expr.watched_intervals(exec.mem()).iter().any(
+                            |&(base, len)| {
+                                m.addr < base + len && base < m.addr + m.width
+                            },
+                        );
+                        if overlap {
+                            hits[i] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out.push_str(&format!("{:<10}", w.name()));
+        for h in hits {
+            out.push_str(&format!(" {:>8.1}", 100_000.0 * h as f64 / stores.max(1) as f64));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// **Figure 3** — execution time (normalised to undebugged) of four
+/// unconditional-watchpoint implementations, 6 kernels × 6 watchpoints.
+pub fn fig3(ctx: &mut Experiment) -> String {
+    watchpoint_grid(ctx, false)
+}
+
+/// **Figure 4** — the same grid with conditional watchpoints whose
+/// predicate never holds.
+pub fn fig4(ctx: &mut Experiment) -> String {
+    watchpoint_grid(ctx, true)
+}
+
+fn watchpoint_grid(ctx: &mut Experiment, conditional: bool) -> String {
+    let mut out = format!(
+        "{:<10} {:<9}{:>9}{:>9}{:>9}{:>9}\n",
+        "benchmark", "watch", "SingleStep", " VirtMem", " HwRegs", "  DISE"
+    );
+    for w in ctx.workloads().to_vec() {
+        for kind in WatchKind::ALL {
+            let wp = if conditional {
+                w.conditional_watchpoint(kind)
+            } else {
+                w.watchpoint(kind)
+            };
+            out.push_str(&format!("{:<10} {:<9}", w.name(), kind.label()));
+            for (_, backend) in standard_backends() {
+                let o = ctx.overhead(&w, vec![wp], backend);
+                out.push_str(&fmt_over(o));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// **Figure 5** — DISE vs. static binary rewriting on a COLD
+/// watchpoint, plus the static code growth that causes the difference.
+pub fn fig5(ctx: &mut Experiment) -> String {
+    let mut out = format!(
+        "{:<10}{:>10}{:>12}{:>14}\n",
+        "benchmark", "DISE", "Rewriting", "text growth"
+    );
+    for w in ctx.workloads().to_vec() {
+        let wp = w.watchpoint(WatchKind::Cold);
+        let base = ctx.baseline(&w);
+        let dise = ctx
+            .session(&w, vec![wp], BackendKind::dise_default())
+            .expect("dise supports COLD");
+        let bw = ctx
+            .session(&w, vec![wp], BackendKind::BinaryRewrite)
+            .expect("rewrite supports a single scalar");
+        out.push_str(&format!(
+            "{:<10}{:>10.2}{:>12.2}{:>13.2}x\n",
+            w.name(),
+            dise.overhead_vs(&base),
+            bw.overhead_vs(&base),
+            bw.text_bytes as f64 / dise.text_bytes.max(1) as f64,
+        ));
+    }
+    out
+}
+
+/// **Figure 6** — impact of the number of watchpoints: the
+/// hardware-register/virtual-memory hybrid against the three DISE
+/// multi-matching organisations, on crafty, gcc and vortex.
+pub fn fig6(ctx: &mut Experiment) -> String {
+    let counts = [1usize, 2, 3, 4, 5, 8, 16];
+    let mut out = format!(
+        "{:<10}{:>4}{:>10}{:>10}{:>10}{:>10}\n",
+        "benchmark", "n", "Hw/VM", "Serial", "ByteBloom", "BitBloom"
+    );
+    for name in ["crafty", "gcc", "vortex"] {
+        let w = ctx
+            .workloads()
+            .iter()
+            .find(|w| w.name() == name)
+            .expect("sweep kernel exists")
+            .clone();
+        for n in counts {
+            let wps = w.sweep_watchpoints(n);
+            out.push_str(&format!("{:<10}{:>4}", w.name(), n));
+            let hw = ctx.overhead(&w, wps.clone(), BackendKind::hw4());
+            out.push_str(&fmt_over(hw));
+            for strategy in [
+                DiseStrategy::default(),
+                DiseStrategy::bloom(false),
+                DiseStrategy::bloom(true),
+            ] {
+                let o = ctx.overhead(&w, wps.clone(), BackendKind::Dise(strategy));
+                out.push_str(&fmt_over(o));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// **Figure 7** — the DISE design space: three replacement-sequence
+/// organisations with and without conditional trap/call support, on
+/// bzip2, mcf and twolf (HOT/WARM1/WARM2/COLD).
+pub fn fig7(ctx: &mut Experiment) -> String {
+    let kinds = [WatchKind::Hot, WatchKind::Warm1, WatchKind::Warm2, WatchKind::Cold];
+    let organisations = [
+        ("MA/EE +cond", DiseStrategy::match_address_call(true)),
+        ("EE/-- +cond", DiseStrategy::evaluate_inline(true)),
+        ("MAV/-- +cond", DiseStrategy::match_address_value(true)),
+        ("MA/EE -cond", DiseStrategy::match_address_call(false)),
+        ("EE/-- -cond", DiseStrategy::evaluate_inline(false)),
+        ("MAV/-- -cond", DiseStrategy::match_address_value(false)),
+    ];
+    let mut out = format!("{:<10}{:<7}", "benchmark", "watch");
+    for (label, _) in &organisations {
+        out.push_str(&format!("{label:>14}"));
+    }
+    out.push('\n');
+    for name in ["bzip2", "mcf", "twolf"] {
+        let w = ctx
+            .workloads()
+            .iter()
+            .find(|w| w.name() == name)
+            .expect("fig7 kernel exists")
+            .clone();
+        for kind in kinds {
+            out.push_str(&format!("{:<10}{:<7}", w.name(), kind.label()));
+            for (_, strategy) in &organisations {
+                let o = ctx.overhead(&w, vec![w.watchpoint(kind)], BackendKind::Dise(*strategy));
+                out.push_str(&format!("      {}", fmt_over(o)));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// **Figure 8** — multithreaded DISE function calls: the paper's
+/// default organisation with and without the second thread context.
+pub fn fig8(ctx: &mut Experiment) -> String {
+    let kinds = [WatchKind::Hot, WatchKind::Warm1, WatchKind::Warm2, WatchKind::Cold];
+    let mut out = format!(
+        "{:<10}{:<7}{:>12}{:>12}\n",
+        "benchmark", "watch", "no-MT", "with-MT"
+    );
+    for w in ctx.workloads().to_vec() {
+        for kind in kinds {
+            let wp = w.watchpoint(kind);
+            let plain = ctx.overhead(&w, vec![wp], BackendKind::dise_default());
+            let mt = ctx.overhead(
+                &w,
+                vec![wp],
+                BackendKind::Dise(DiseStrategy {
+                    multithreaded_calls: true,
+                    ..DiseStrategy::default()
+                }),
+            );
+            out.push_str(&format!(
+                "{:<10}{:<7}  {}  {}\n",
+                w.name(),
+                kind.label(),
+                fmt_over(plain),
+                fmt_over(mt)
+            ));
+        }
+    }
+    out
+}
+
+/// **Figure 9** — the cost of protecting the debugger's embedded data
+/// (the Fig. 2f store-range check) on a COLD watchpoint.
+pub fn fig9(ctx: &mut Experiment) -> String {
+    let mut out = format!(
+        "{:<10}{:>14}{:>12}\n",
+        "benchmark", "unprotected", "protected"
+    );
+    for w in ctx.workloads().to_vec() {
+        let wp = w.watchpoint(WatchKind::Cold);
+        let plain = ctx.overhead(&w, vec![wp], BackendKind::dise_default());
+        let prot = ctx.overhead(
+            &w,
+            vec![wp],
+            BackendKind::Dise(DiseStrategy {
+                protect_debugger: true,
+                ..DiseStrategy::default()
+            }),
+        );
+        out.push_str(&format!(
+            "{:<10}  {}  {}\n",
+            w.name(),
+            fmt_over(plain),
+            fmt_over(prot)
+        ));
+    }
+    out
+}
+
+/// Sanity harness used by the quickstart example and the integration
+/// tests: one undebugged run of each kernel.
+pub fn baseline_table(ctx: &mut Experiment) -> String {
+    let mut out = String::from("benchmark   cycles  instructions   IPC\n");
+    for w in ctx.workloads().to_vec() {
+        let prog = w.app().program().expect("kernel assembles");
+        let mut m = Machine::with_config(&prog, ctx.cpu);
+        let s = m.run();
+        out.push_str(&format!(
+            "{:<10}{:>9}{:>13}{:>7.2}\n",
+            w.name(),
+            s.cycles,
+            s.instructions,
+            s.ipc()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Experiment {
+        Experiment::new(60, CpuConfig::default())
+    }
+
+    #[test]
+    fn table1_has_six_rows() {
+        let t = table1(&mut tiny());
+        assert_eq!(t.lines().count(), 7);
+        assert!(t.contains("bzip2"));
+        assert!(t.contains("generateMTFValues"));
+    }
+
+    #[test]
+    fn table2_hot_dominates_cold() {
+        let t = table2(&mut tiny());
+        for line in t.lines().skip(1) {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let hot: f64 = fields[1].parse().unwrap();
+            let cold: f64 = fields[4].parse().unwrap();
+            assert!(hot > cold, "{line}");
+        }
+    }
+
+    #[test]
+    fn fig5_rewriting_bloats_text() {
+        let ctx = &mut tiny();
+        let t = fig5(ctx);
+        for line in t.lines().skip(1) {
+            let growth: f64 = line
+                .split_whitespace()
+                .last()
+                .unwrap()
+                .trim_end_matches('x')
+                .parse()
+                .unwrap();
+            assert!(growth > 1.3, "{line}");
+        }
+    }
+
+    #[test]
+    fn fig3_row_for_one_cell_behaves() {
+        let mut ctx = tiny();
+        let w = ctx.workloads()[0].clone(); // bzip2
+        let hot = w.watchpoint(WatchKind::Hot);
+        let ss = ctx.overhead(&w, vec![hot], BackendKind::SingleStep).unwrap();
+        let dise = ctx.overhead(&w, vec![hot], BackendKind::dise_default()).unwrap();
+        assert!(ss > 100.0, "single-stepping catastrophically slow: {ss}");
+        assert!(dise < 5.0, "DISE stays modest: {dise}");
+        // INDIRECT has no VM/HW experiment.
+        let ind = w.watchpoint(WatchKind::Indirect);
+        assert!(ctx.overhead(&w, vec![ind], BackendKind::VirtualMemory).is_none());
+        assert!(ctx.overhead(&w, vec![ind], BackendKind::hw4()).is_none());
+        assert!(ctx.overhead(&w, vec![ind], BackendKind::dise_default()).is_some());
+    }
+}

@@ -1,0 +1,25 @@
+//! # dise-bench — the evaluation harness
+//!
+//! One function per table/figure of the paper's §5, each returning the
+//! formatted rows the paper reports. Binary wrappers (`table1`, `fig3`,
+//! …, `all_experiments`) print them; `all_experiments` also rewrites
+//! `EXPERIMENTS.md` with measured-vs-paper notes.
+//!
+//! Scale: the paper simulates full SPEC functions (up to 1.8 G
+//! instructions); we run the calibrated kernels for
+//! [`Experiment::default`]'s iteration count (override with the
+//! `DISE_ITERS` environment variable). Every reported quantity is a
+//! ratio, so the *shape* — who wins, by what order of magnitude, where
+//! the crossovers fall — is what these harnesses reproduce.
+
+mod experiments;
+pub mod paper;
+
+pub use experiments::{
+    baseline_table, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, Experiment,
+};
+
+/// Render one figure/table section with a heading.
+pub fn section(title: &str, body: &str) -> String {
+    format!("## {title}\n\n{body}\n")
+}

@@ -1,0 +1,77 @@
+//! Reference numbers transcribed from the paper, for side-by-side
+//! comparison in `EXPERIMENTS.md`.
+
+/// Table 1 rows: `(benchmark, function, instructions, ipc, store density %)`.
+pub const TABLE1: [(&str, &str, u64, f64, f64); 6] = [
+    ("bzip2", "generateMTFValues", 1_828_109_152, 2.45, 19.8),
+    ("crafty", "InitializeAttackBoards", 18_546_482, 2.39, 10.8),
+    ("gcc", "regclass", 18_016_384, 1.90, 9.68),
+    ("mcf", "write_circs", 1_847_332, 0.33, 16.2),
+    ("twolf", "uloop", 2_336_334, 1.87, 13.7),
+    ("vortex", "BMT_TraverseSets", 205_690_692, 2.25, 17.6),
+];
+
+/// Table 2 rows: writes per 100K stores for
+/// `(benchmark, HOT, WARM1, WARM2, COLD, INDIRECT, RANGE)`.
+/// `~0` entries are recorded as 0.01.
+pub const TABLE2: [(&str, [f64; 6]); 6] = [
+    ("bzip2", [24_805.7, 193.4, 0.01, 0.0, 24_805.7, 193.4]),
+    ("crafty", [6_531.4, 3_308.4, 6.7, 0.4, 6_531.4, 72.8]),
+    ("gcc", [454.8, 223.7, 0.2, 0.1, 454.8, 8_197.9]),
+    ("mcf", [11_229.8, 1_168.4, 215.4, 0.0, 11_229.8, 0.0]),
+    ("twolf", [1_467.4, 227.5, 101.4, 80.8, 1_467.4, 250.6]),
+    ("vortex", [7_290.3, 27.6, 27.6, 0.01, 7_290.3, 0.4]),
+];
+
+/// Qualitative expectations per figure, quoted from the paper — the
+/// "shape" every reproduction run is checked against.
+pub const FIGURE_NOTES: [(&str, &str); 7] = [
+    (
+        "Figure 3 (unconditional watchpoints)",
+        "DISE overhead rarely exceeds 25%; single-stepping is 6,000–40,000x; \
+         virtual memory is erratic (near zero for isolated COLD data, \
+         single-stepping-level when watched data shares pages with hot data); \
+         hardware registers lose only to silent stores; no VM/HW bars for \
+         INDIRECT, no HW bar for RANGE.",
+    ),
+    (
+        "Figure 4 (conditional watchpoints)",
+        "Only DISE evaluates predicates in-application: its bars are unchanged \
+         while VM/HW inherit a 100K-cycle round trip per write, so DISE wins \
+         everywhere except the coldest watchpoints (crossover ≈ 1 write per \
+         100K stores).",
+    ),
+    (
+        "Figure 5 (binary rewriting)",
+        "Comparable for small-footprint kernels; rewriting degrades \
+         instruction-cache behaviour for large-footprint code (gcc-class), \
+         up to ~2.8x in the paper.",
+    ),
+    (
+        "Figure 6 (number of watchpoints)",
+        "With ≤4 watchpoints the hardware registers slightly beat DISE \
+         (except under silent stores, vortex@4); at ≥5 the VM fallback \
+         explodes by 3+ orders of magnitude while all DISE variants stay \
+         flat; serial matching is best for 1–2 watchpoints, Bloom filters \
+         win beyond; bitwise Bloom beats bytewise when false positives \
+         dominate (gcc).",
+    ),
+    (
+        "Figure 7 (ISA support ablation)",
+        "Removing ctrap/d_ccall (bottom group) forces a pipeline flush per \
+         store and multiplies overhead; with them, Match-Address-Value is \
+         cheapest where applicable, Evaluate-Expression pays load-port \
+         contention, and Match-Address+call suffers only on very hot \
+         watchpoints (HOT/bzip2 4.62x in the paper).",
+    ),
+    (
+        "Figure 8 (multithreaded DISE calls)",
+        "Only call-heavy (HOT) watchpoints benefit; bzip2's HOT overhead \
+         nearly halves; WARM/COLD bars barely move.",
+    ),
+    (
+        "Figure 9 (protecting debugger structures)",
+        "The store-range check adds a modest constant overhead on top of a \
+         COLD watchpoint.",
+    ),
+];

@@ -1,0 +1,38 @@
+//! The debugged application: a pre-layout assembly unit.
+
+use dise_asm::{Asm, AsmError, Layout, Program};
+
+/// An application handed to the debugger *before* layout, so that
+/// backends that statically transform code (binary rewriting) can
+/// re-assemble it, while the others just use the assembled image.
+#[derive(Clone, Debug)]
+pub struct Application {
+    asm: Asm,
+    layout: Layout,
+}
+
+impl Application {
+    /// Wrap an assembly unit.
+    pub fn new(asm: Asm, layout: Layout) -> Application {
+        Application { asm, layout }
+    }
+
+    /// The assembly unit (pre-layout).
+    pub fn asm(&self) -> &Asm {
+        &self.asm
+    }
+
+    /// The layout used for assembly.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Assemble the unmodified image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly errors.
+    pub fn program(&self) -> Result<Program, AsmError> {
+        self.asm.assemble(self.layout)
+    }
+}

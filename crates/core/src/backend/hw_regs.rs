@@ -1,0 +1,103 @@
+//! Hardware watchpoint registers (§2): a small number of
+//! quad-granularity address comparators; "the virtual memory system is
+//! harnessed" for watchpoints beyond the register count.
+
+use dise_asm::Program;
+use dise_cpu::{Event, Exec, Executor};
+
+use crate::backend::{classify, virtual_mem::watched_pages, BackendImpl};
+use crate::session::DebugError;
+use crate::{Application, Transition, TransitionStats, WatchExpr, WatchState, Watchpoint};
+
+#[derive(Debug)]
+pub(crate) struct HwRegs {
+    registers: usize,
+    /// Quad-aligned addresses loaded into the comparators.
+    quads: Vec<u64>,
+    /// True when some watchpoints overflowed to page protection.
+    vm_fallback: bool,
+}
+
+impl HwRegs {
+    pub fn new(registers: usize) -> HwRegs {
+        HwRegs { registers, quads: Vec::new(), vm_fallback: false }
+    }
+}
+
+impl BackendImpl for HwRegs {
+    fn build_program(
+        &mut self,
+        app: &Application,
+        _wps: &[Watchpoint],
+    ) -> Result<Program, DebugError> {
+        Ok(app.program()?)
+    }
+
+    fn configure(&mut self, exec: &mut Executor, wps: &[Watchpoint]) -> Result<(), DebugError> {
+        // Hardware registers watch scalars; indirect and non-scalar
+        // expressions have no experiment in the paper ("real debuggers
+        // resort to using virtual memory or single-stepping").
+        let mut overflow = Vec::new();
+        for w in wps {
+            match w.expr {
+                WatchExpr::Scalar { addr, width } => {
+                    let mut q = addr & !7;
+                    let mut quads = Vec::new();
+                    while q < addr + width.bytes() {
+                        quads.push(q);
+                        q += 8;
+                    }
+                    if self.quads.len() + quads.len() <= self.registers {
+                        self.quads.extend(quads);
+                    } else {
+                        overflow.push(*w);
+                    }
+                }
+                WatchExpr::Indirect { .. } => {
+                    return Err(DebugError::Unsupported {
+                        backend: "hardware-registers",
+                        reason: "indirect watchpoints are not statically addressable".to_string(),
+                    })
+                }
+                WatchExpr::Range { .. } => {
+                    return Err(DebugError::Unsupported {
+                        backend: "hardware-registers",
+                        reason: "non-scalar watchpoints exceed register granularity".to_string(),
+                    })
+                }
+            }
+        }
+        if !overflow.is_empty() {
+            self.vm_fallback = true;
+            for page in watched_pages(&overflow)? {
+                exec.mem_mut().protect_page(page, true);
+            }
+        }
+        Ok(())
+    }
+
+    fn observe(
+        &mut self,
+        e: &Exec,
+        exec: &mut Executor,
+        watch: &mut WatchState,
+        _stats: &mut TransitionStats,
+    ) -> Option<Transition> {
+        // The comparators trap any store whose quad-aligned footprint
+        // covers a watched quad.
+        if let Some(m) = e.mem {
+            if m.is_store {
+                let lo = m.addr & !7;
+                let hi = (m.addr + m.width - 1) & !7;
+                let hw_hit = self.quads.iter().any(|&q| q >= lo && q <= hi);
+                let vm_hit = matches!(e.event, Some(Event::ProtFault { .. }));
+                if hw_hit || vm_hit {
+                    let wrote = watch.store_overlaps(exec.mem(), m.addr, m.width);
+                    let (changed, pred_ok) = watch.reevaluate(exec.mem());
+                    return Some(classify(changed, pred_ok, wrote));
+                }
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,121 @@
+//! The five watchpoint implementations.
+
+mod dise;
+mod hw_regs;
+mod rewrite;
+mod single_step;
+mod virtual_mem;
+
+use dise_asm::Program;
+use dise_cpu::{CpuConfig, Exec, Executor};
+
+use crate::session::DebugError;
+use crate::{Application, DiseStrategy, Transition, TransitionStats, WatchState, Watchpoint};
+
+/// Selects and configures a watchpoint implementation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BackendKind {
+    /// Source-statement single-stepping: a debugger transition at every
+    /// statement boundary (`.stmt` markers).
+    SingleStep,
+    /// `mprotect`-based trapping on the watched pages.
+    VirtualMemory,
+    /// Hardware watchpoint registers, quad granularity; watchpoints
+    /// beyond `registers` fall back to virtual memory (the Fig. 6
+    /// hybrid).
+    HardwareRegisters {
+        /// Number of registers (4 on IA-32/IA-64 per §2).
+        registers: usize,
+    },
+    /// Static binary rewriting: the check of Fig. 2c inlined at every
+    /// store, no static optimization (Fig. 5).
+    BinaryRewrite,
+    /// DISE dynamic instrumentation with the given strategy.
+    Dise(DiseStrategy),
+}
+
+impl BackendKind {
+    /// The paper's default DISE organisation (Fig. 2d).
+    pub fn dise_default() -> BackendKind {
+        BackendKind::Dise(DiseStrategy::default())
+    }
+
+    /// Four hardware registers, as on IA-32/IA-64.
+    pub fn hw4() -> BackendKind {
+        BackendKind::HardwareRegisters { registers: 4 }
+    }
+
+    pub(crate) fn instantiate(self) -> Box<dyn BackendImpl> {
+        match self {
+            BackendKind::SingleStep => Box::new(single_step::SingleStep::default()),
+            BackendKind::VirtualMemory => Box::new(virtual_mem::VirtualMemory),
+            BackendKind::HardwareRegisters { registers } => {
+                Box::new(hw_regs::HwRegs::new(registers))
+            }
+            BackendKind::BinaryRewrite => Box::new(rewrite::Rewrite),
+            BackendKind::Dise(strategy) => Box::new(dise::DiseBackend::new(strategy)),
+        }
+    }
+}
+
+/// Classify a transition after the debugger inspects memory: `changed` /
+/// `pred_ok` come from [`WatchState::reevaluate`], `wrote_watched` from
+/// overlap analysis.
+pub(crate) fn classify(changed: bool, pred_ok: bool, wrote_watched: bool) -> Transition {
+    if changed {
+        if pred_ok {
+            Transition::User
+        } else {
+            Transition::SpuriousPredicate
+        }
+    } else if wrote_watched {
+        Transition::SpuriousValue
+    } else {
+        Transition::SpuriousAddress
+    }
+}
+
+/// Internal interface every backend implements.
+pub(crate) trait BackendImpl {
+    /// Produce the program image the session will run: assemble the
+    /// application and apply any static transformation or appendices.
+    fn build_program(
+        &mut self,
+        app: &Application,
+        wps: &[Watchpoint],
+    ) -> Result<Program, DebugError>;
+
+    /// Configure the loaded machine: install productions, load DISE/
+    /// hardware registers, protect pages.
+    fn configure(&mut self, exec: &mut Executor, wps: &[Watchpoint]) -> Result<(), DebugError>;
+
+    /// Inspect one executed instruction; return the debugger transition
+    /// it caused, if any. `watch` is the debugger's value bookkeeping;
+    /// `stats` may be updated for non-transition counters (handler
+    /// calls).
+    fn observe(
+        &mut self,
+        e: &Exec,
+        exec: &mut Executor,
+        watch: &mut WatchState,
+        stats: &mut TransitionStats,
+    ) -> Option<Transition>;
+
+    /// Adjust the CPU configuration (e.g. multithreaded DISE calls).
+    fn cpu_config(&self, base: CpuConfig) -> CpuConfig {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_matrix() {
+        assert_eq!(classify(true, true, true), Transition::User);
+        assert_eq!(classify(true, false, true), Transition::SpuriousPredicate);
+        assert_eq!(classify(false, false, true), Transition::SpuriousValue);
+        assert_eq!(classify(false, false, false), Transition::SpuriousAddress);
+    }
+}

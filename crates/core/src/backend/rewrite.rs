@@ -1,0 +1,126 @@
+//! Static binary rewriting (§5.1 "Static transformation", Fig. 5): the
+//! check of Fig. 2c inlined at every store, with no static optimization.
+//!
+//! The transformation happens at the pre-layout assembly level, which is
+//! how recompilation-based systems (Wahbe et al.) operate: branch
+//! retargeting comes for free from re-assembly, and register scavenging
+//! is modeled by three reserved registers (`r25`, `r27`, `r28`) that the
+//! calibrated workloads leave unused — a real implementation would
+//! re-allocate registers instead.
+
+use dise_asm::{Asm, Program, TextItem};
+use dise_cpu::{Event, Exec, Executor};
+use dise_isa::{AluOp, Cond, Instr, Operand, Reg, Width};
+
+use crate::backend::{classify, BackendImpl};
+use crate::session::DebugError;
+use crate::{Application, Transition, TransitionStats, WatchExpr, WatchState, Watchpoint};
+
+/// Registers scavenged from the application.
+const S1: Reg = Reg::gpr(25);
+const S2: Reg = Reg::gpr(27);
+const S3: Reg = Reg::gpr(28);
+
+#[derive(Debug, Default)]
+pub(crate) struct Rewrite;
+
+impl BackendImpl for Rewrite {
+    fn build_program(
+        &mut self,
+        app: &Application,
+        wps: &[Watchpoint],
+    ) -> Result<Program, DebugError> {
+        let (addr, width) = match wps {
+            [Watchpoint { expr: WatchExpr::Scalar { addr, width }, condition: None }] => {
+                (*addr, *width)
+            }
+            _ => {
+                return Err(DebugError::Unsupported {
+                    backend: "binary-rewrite",
+                    reason: "rewriting experiment covers a single unconditional scalar \
+                             watchpoint (Fig. 5)"
+                        .to_string(),
+                })
+            }
+        };
+
+        // The watched address is known from the *unmodified* layout; the
+        // transformation only grows text and appends data, so data
+        // addresses are unchanged.
+        let mut out = app.asm().clone();
+        let mut items = Vec::with_capacity(out.text_items().len() * 4);
+        let mut n = 0usize;
+        for item in out.text_items() {
+            match item {
+                TextItem::Inst(i @ Instr::Store { base, disp, .. }) => {
+                    assert!(
+                        ![S1, S2, S3].contains(base),
+                        "store base uses a scavenged register"
+                    );
+                    items.push(TextItem::Inst(*i));
+                    let skip = format!("__bw_skip_{n}");
+                    n += 1;
+                    let mut frag = Asm::new();
+                    // Reconstruct and align the store address.
+                    frag.inst(Instr::Lda { rd: S2, base: *base, disp: *disp });
+                    frag.inst(alu(AluOp::Bic, S2, S2, Operand::Imm(7)));
+                    frag.load_const(S3, addr & !7);
+                    frag.inst(alu(AluOp::CmpEq, S2, S2, Operand::Reg(S3)));
+                    frag.cond_br(Cond::Eq, S2, &skip);
+                    // Match: evaluate the expression.
+                    frag.load_const(S3, addr);
+                    frag.inst(Instr::Load { width, rd: S2, base: S3, disp: 0 });
+                    frag.load_addr(S3, "__bw_prev", 0);
+                    frag.inst(Instr::Load { width: Width::Q, rd: S1, base: S3, disp: 0 });
+                    frag.inst(alu(AluOp::CmpEq, S1, S1, Operand::Reg(S2)));
+                    frag.cond_br(Cond::Ne, S1, &skip); // silent store
+                    frag.inst(Instr::Store { width: Width::Q, rs: S2, base: S3, disp: 0 });
+                    frag.inst(Instr::Trap);
+                    frag.label(&skip);
+                    items.extend(frag.text_items().iter().cloned());
+                }
+                other => items.push(other.clone()),
+            }
+        }
+        out.set_text_items(items);
+
+        // The previous-value cell, initialised at configure time.
+        out.align(8).data_label("__bw_prev").quad(0);
+
+        let mut prog = out.assemble(app.layout())?;
+        // Initialise the prev cell with the watched variable's initial
+        // value from the image.
+        let mut mem = dise_mem::Memory::new();
+        prog.load(&mut mem);
+        let init = mem.read_u(addr, width.bytes());
+        let cell = prog.symbol("__bw_prev").expect("cell exists");
+        let off = (cell - prog.data_base) as usize;
+        prog.data[off..off + 8].copy_from_slice(&init.to_le_bytes());
+        Ok(prog)
+    }
+
+    fn configure(&mut self, _exec: &mut Executor, _wps: &[Watchpoint]) -> Result<(), DebugError> {
+        Ok(())
+    }
+
+    fn observe(
+        &mut self,
+        e: &Exec,
+        exec: &mut Executor,
+        watch: &mut WatchState,
+        _stats: &mut TransitionStats,
+    ) -> Option<Transition> {
+        // The inlined check traps only when the expression's value
+        // changed: every transition reaches the user.
+        if matches!(e.event, Some(Event::Trap)) {
+            let (changed, pred_ok) = watch.reevaluate(exec.mem());
+            Some(classify(changed, pred_ok, true))
+        } else {
+            None
+        }
+    }
+}
+
+fn alu(op: AluOp, rd: Reg, ra: Reg, rb: Operand) -> Instr {
+    Instr::Alu { op, rd, ra, rb }
+}

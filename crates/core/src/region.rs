@@ -1,0 +1,129 @@
+//! The debugger's embedded data region (§4.2 "Debugger-generated
+//! function": "the debugger appends a number of values to the
+//! application's static data segment").
+
+/// Summary of the appended region, as reported to the user and used by
+/// the Fig. 2f protection production.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DebugRegion {
+    /// Base address (aligned to `1 << prot_shift`).
+    pub base: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Protection granularity: the region occupies one naturally aligned
+    /// `1 << prot_shift`-byte block (11 ⇒ the paper's 2 KB segment; grows
+    /// when Bloom filters and shadows need more).
+    pub prot_shift: u32,
+}
+
+impl DebugRegion {
+    /// The value loaded into the `dseg` DISE register: the high-order
+    /// bits that identify the protected block.
+    pub fn seg_tag(&self) -> u64 {
+        self.base >> self.prot_shift
+    }
+
+    /// Does an address fall inside the protected block?
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >> self.prot_shift == self.seg_tag()
+    }
+}
+
+/// Incremental builder for the region's initial bytes; every offset is
+/// region-relative until the base is known.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RegionBuilder {
+    bytes: Vec<u8>,
+}
+
+impl RegionBuilder {
+    pub fn new() -> RegionBuilder {
+        // Offset 0: the handler's register-save area (6 quads).
+        RegionBuilder { bytes: vec![0; SAVE_BYTES as usize] }
+    }
+
+    /// Append one little-endian quad; returns its offset.
+    pub fn quad(&mut self, v: u64) -> u64 {
+        self.align(8);
+        let off = self.bytes.len() as u64;
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        off
+    }
+
+    /// Append raw bytes; returns their offset.
+    pub fn block(&mut self, b: &[u8], align: u64) -> u64 {
+        self.align(align);
+        let off = self.bytes.len() as u64;
+        self.bytes.extend_from_slice(b);
+        off
+    }
+
+    fn align(&mut self, a: u64) {
+        while !(self.bytes.len() as u64).is_multiple_of(a) {
+            self.bytes.push(0);
+        }
+    }
+
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Finish: `(bytes, region)` where the region's base must be the
+    /// address `append_data` actually chose (caller verifies alignment).
+    pub fn finish(self, base: u64) -> (Vec<u8>, DebugRegion) {
+        let size = self.bytes.len().max(1) as u64;
+        let prot_shift = (64 - (size - 1).leading_zeros()).max(11);
+        (
+            self.bytes,
+            DebugRegion { base, size, prot_shift },
+        )
+    }
+
+    /// The alignment the finished region will require.
+    pub fn required_align(&self) -> u64 {
+        let size = self.len().max(1);
+        let shift = (64 - (size - 1).leading_zeros()).max(11);
+        1u64 << shift
+    }
+}
+
+/// Bytes reserved at offset 0 for the handler's register saves.
+pub(crate) const SAVE_BYTES: u64 = 48;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_tag_and_contains() {
+        let r = DebugRegion { base: 0x0200_0000, size: 2048, prot_shift: 11 };
+        assert_eq!(r.seg_tag(), 0x0200_0000 >> 11);
+        assert!(r.contains(0x0200_0000));
+        assert!(r.contains(0x0200_07ff));
+        assert!(!r.contains(0x0200_0800));
+        assert!(!r.contains(0x01ff_ffff));
+    }
+
+    #[test]
+    fn builder_offsets_and_alignment() {
+        let mut b = RegionBuilder::new();
+        assert_eq!(b.len(), SAVE_BYTES);
+        let q = b.quad(7);
+        assert_eq!(q, SAVE_BYTES);
+        let blk = b.block(&[1; 100], 64);
+        assert_eq!(blk % 64, 0);
+        let (bytes, region) = b.finish(0x0100_0000);
+        assert_eq!(&bytes[q as usize..q as usize + 8], &7u64.to_le_bytes());
+        assert_eq!(region.prot_shift, 11, "small regions use the paper's 2KB block");
+    }
+
+    #[test]
+    fn large_region_grows_protection_block() {
+        let mut b = RegionBuilder::new();
+        b.block(&[0; 5000], 8);
+        let align = b.required_align();
+        assert_eq!(align, 8192);
+        let (_, region) = b.finish(0);
+        assert_eq!(region.prot_shift, 13);
+    }
+}

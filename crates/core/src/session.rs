@@ -1,0 +1,517 @@
+//! Debugging sessions: drive the machine under a backend, classify and
+//! charge debugger transitions.
+
+use std::fmt;
+
+use dise_asm::AsmError;
+use dise_cpu::{CpuConfig, Event, ExecError, Executor, Machine, RunStats, Timing};
+use dise_engine::EngineError;
+
+use crate::backend::BackendImpl;
+use crate::{Application, BackendKind, TransitionStats, WatchState, Watchpoint};
+
+/// Errors establishing or running a debugging session.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DebugError {
+    /// Assembly of the (possibly transformed) application failed.
+    Asm(AsmError),
+    /// DISE production installation failed.
+    Engine(EngineError),
+    /// The chosen backend cannot implement the requested watchpoints —
+    /// the paper's "no experiment" bars (e.g. INDIRECT under virtual
+    /// memory).
+    Unsupported {
+        /// Which backend.
+        backend: &'static str,
+        /// Why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DebugError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DebugError::Asm(e) => write!(f, "assembly failed: {e}"),
+            DebugError::Engine(e) => write!(f, "production installation failed: {e}"),
+            DebugError::Unsupported { backend, reason } => {
+                write!(f, "{backend} cannot implement the watchpoints: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DebugError {}
+
+impl From<AsmError> for DebugError {
+    fn from(e: AsmError) -> DebugError {
+        DebugError::Asm(e)
+    }
+}
+
+/// Results of a debugging session.
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    /// Machine-level statistics (cycles include debugger stalls).
+    pub run: RunStats,
+    /// Transition taxonomy counts.
+    pub transitions: TransitionStats,
+    /// Terminal execution error, if the application misbehaved.
+    pub error: Option<ExecError>,
+    /// Static code size of the image that ran (bytes) — grows under
+    /// binary rewriting.
+    pub text_bytes: u64,
+}
+
+impl SessionReport {
+    /// Execution time normalised to an undebugged baseline — the y-axis
+    /// of Figs. 3–9.
+    pub fn overhead_vs(&self, baseline: &RunStats) -> f64 {
+        self.run.cycles as f64 / baseline.cycles.max(1) as f64
+    }
+}
+
+/// Run the application undebugged: the baseline denominator for every
+/// experiment.
+///
+/// # Errors
+///
+/// Propagates assembly failures.
+pub fn run_baseline(app: &Application, cpu: CpuConfig) -> Result<RunStats, DebugError> {
+    let prog = app.program()?;
+    let mut m = Machine::with_config(&prog, cpu);
+    Ok(m.run())
+}
+
+/// An interactive debugging session: an application, a set of
+/// watchpoints, and a backend implementing them.
+pub struct Session {
+    exec: Executor,
+    timing: Timing,
+    backend: Box<dyn BackendImpl>,
+    watch: WatchState,
+    stats: TransitionStats,
+    transition_cost: u64,
+    text_bytes: u64,
+}
+
+impl Session {
+    /// Create a session with the paper's default machine configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the backend cannot implement the watchpoints, when
+    /// static transformation fails, or when productions exceed the DISE
+    /// engine's capacity.
+    pub fn new(
+        app: &Application,
+        watchpoints: Vec<Watchpoint>,
+        backend: BackendKind,
+    ) -> Result<Session, DebugError> {
+        Session::with_config(app, watchpoints, backend, CpuConfig::default())
+    }
+
+    /// Create a session with an explicit machine configuration.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::new`].
+    pub fn with_config(
+        app: &Application,
+        watchpoints: Vec<Watchpoint>,
+        backend: BackendKind,
+        cpu: CpuConfig,
+    ) -> Result<Session, DebugError> {
+        let mut backend = backend.instantiate();
+        let prog = backend.build_program(app, &watchpoints)?;
+        let cfg = backend.cpu_config(cpu);
+        let mut exec = Executor::from_program(&prog, cfg);
+        backend.configure(&mut exec, &watchpoints)?;
+        let watch = WatchState::new(&watchpoints, exec.mem());
+        Ok(Session {
+            exec,
+            timing: Timing::new(cfg),
+            backend,
+            watch,
+            stats: TransitionStats::default(),
+            transition_cost: cfg.debugger_transition_cost,
+            text_bytes: prog.text_bytes(),
+        })
+    }
+
+    /// Direct access to the machine (for examples that poke at state).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// Run to completion.
+    pub fn run(self) -> SessionReport {
+        self.run_limit(u64::MAX)
+    }
+
+    /// Run to completion and also hand back the final machine, so
+    /// callers can inspect architectural state (used to verify that
+    /// debugging does not perturb the application).
+    pub fn run_with_state(mut self) -> (SessionReport, Executor) {
+        let report = self.drive(u64::MAX);
+        (report, self.exec)
+    }
+
+    /// Run at most `max_instructions` dynamic instructions.
+    pub fn run_limit(mut self, max_instructions: u64) -> SessionReport {
+        self.drive(max_instructions)
+    }
+
+    fn drive(&mut self, max_instructions: u64) -> SessionReport {
+        let mut error = None;
+        let mut n = 0u64;
+        while !self.exec.is_halted() && n < max_instructions {
+            let e = self.exec.step();
+            n += 1;
+            self.timing.consume(&e);
+            if let Some(t) =
+                self.backend
+                    .observe(&e, &mut self.exec, &mut self.watch, &mut self.stats)
+            {
+                self.stats.count(t);
+                if t.is_spurious() {
+                    // A spurious transition is a full application→
+                    // debugger→application round trip perceived as
+                    // latency; user transitions are masked (zero cost).
+                    self.timing.debugger_stall(self.transition_cost);
+                }
+            }
+            if let Some(Event::Error(err)) = e.event {
+                error = Some(err);
+            }
+        }
+        SessionReport {
+            run: self.timing.finish(),
+            transitions: self.stats,
+            error,
+            text_bytes: self.text_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BackendKind, Condition, DiseStrategy, WatchExpr, Watchpoint};
+    use dise_asm::{parse_asm, Layout};
+    use dise_isa::Width;
+
+    /// A loop that stores a changing value to `watched`, a constant
+    /// (silent after the first) to `silent`, and a changing value to
+    /// `neighbor` (same page as `watched`, never watched).
+    fn app(iters: u32) -> Application {
+        let src = format!(
+            "start:  la r1, watched
+                     la r2, silent
+                     la r3, neighbor
+                     lda r4, {iters}(zero)
+             loop:   .stmt
+                     stq r4, 0(r3)      # unwatched neighbor (same page)
+                     stq r31, 0(r2)     # silent store to watched quad
+                     stq r4, 0(r1)      # changes watched value
+                     subq r4, 1, r4
+                     bgt r4, loop
+                     halt
+             .data
+             watched:  .quad 0
+             silent:   .quad 0
+             neighbor: .quad 0
+            "
+        );
+        Application::new(parse_asm(&src).unwrap(), Layout::default())
+    }
+
+    fn scalar_wp(app: &Application, sym: &str) -> Watchpoint {
+        let addr = app.program().unwrap().symbol(sym).unwrap();
+        Watchpoint::new(WatchExpr::Scalar { addr, width: Width::Q })
+    }
+
+    #[test]
+    fn baseline_runs_clean() {
+        let a = app(10);
+        let b = run_baseline(&a, CpuConfig::default()).unwrap();
+        assert!(b.cycles > 0);
+        assert!(b.instructions > 50);
+    }
+
+    #[test]
+    fn dise_reports_every_change_with_no_spurious_transitions() {
+        let a = app(10);
+        let wp = scalar_wp(&a, "watched");
+        let r = Session::new(&a, vec![wp], BackendKind::dise_default()).unwrap().run();
+        assert_eq!(r.error, None);
+        assert_eq!(r.transitions.user, 10, "one change per iteration");
+        assert_eq!(r.transitions.spurious_total(), 0);
+        assert_eq!(r.run.debugger_stalls, 0);
+    }
+
+    #[test]
+    fn dise_prunes_silent_stores_in_application() {
+        let a = app(10);
+        let wp = scalar_wp(&a, "silent");
+        let r = Session::new(&a, vec![wp], BackendKind::dise_default()).unwrap().run();
+        // The handler is called for each store to the watched quad, but
+        // the value never changes after initialisation: no transitions.
+        assert_eq!(r.transitions.user, 0);
+        assert_eq!(r.transitions.spurious_total(), 0);
+        assert!(r.transitions.handler_calls >= 10);
+    }
+
+    #[test]
+    fn virtual_memory_pays_for_page_sharing() {
+        let a = app(10);
+        let wp = scalar_wp(&a, "watched");
+        let r = Session::new(&a, vec![wp], BackendKind::VirtualMemory).unwrap().run();
+        assert_eq!(r.transitions.user, 10);
+        // The neighbor and silent-target stores share the page but do
+        // not touch the watched variable: spurious address transitions.
+        assert_eq!(r.transitions.spurious_address, 20, "same-page stores");
+        assert_eq!(r.run.debugger_stalls, 20);
+        assert!(r.run.cycles > 20 * 100_000);
+    }
+
+    #[test]
+    fn hardware_registers_pay_only_for_silent_stores() {
+        let a = app(10);
+        let wp = scalar_wp(&a, "silent");
+        let r = Session::new(&a, vec![wp], BackendKind::hw4()).unwrap().run();
+        // Quad comparators: neighbor stores don't match; stores to the
+        // watched quad never change the value → all spurious value.
+        assert_eq!(r.transitions.user, 0);
+        assert_eq!(r.transitions.spurious_address, 0);
+        assert_eq!(r.transitions.spurious_value, 10);
+    }
+
+    #[test]
+    fn single_stepping_transitions_every_statement() {
+        let a = app(10);
+        let wp = scalar_wp(&a, "watched");
+        let r = Session::new(&a, vec![wp], BackendKind::SingleStep).unwrap().run();
+        // One statement marker per iteration. The debugger sees each
+        // iteration's change at the *next* statement boundary, so the
+        // first boundary (nothing changed yet) is spurious and the last
+        // change is never observed: 9 user + 1 spurious address.
+        assert_eq!(r.transitions.total(), 10);
+        assert_eq!(r.transitions.user, 9);
+        assert_eq!(r.transitions.spurious_address, 1);
+    }
+
+    #[test]
+    fn single_stepping_spurious_when_nothing_changes() {
+        let a = app(10);
+        let wp = scalar_wp(&a, "neighbor");
+        // Watch the neighbor but make it the *silent* target: watch a
+        // variable the loop never changes.
+        let quiet = {
+            let addr = a.program().unwrap().symbol("silent").unwrap();
+            Watchpoint::new(WatchExpr::Scalar { addr, width: Width::Q })
+        };
+        let _ = wp;
+        let r = Session::new(&a, vec![quiet], BackendKind::SingleStep).unwrap().run();
+        assert_eq!(r.transitions.user, 0);
+        assert_eq!(r.transitions.spurious_address, 10);
+        assert!(r.run.cycles > 10 * 100_000);
+    }
+
+    #[test]
+    fn conditional_watchpoints_spurious_predicates() {
+        let a = app(10);
+        let addr = a.program().unwrap().symbol("watched").unwrap();
+        let wp = Watchpoint::conditional(
+            WatchExpr::Scalar { addr, width: Width::Q },
+            Condition::equals(u64::MAX), // never true
+        );
+        // Hardware registers: every change transitions, predicate always
+        // false → spurious predicate transitions.
+        let r = Session::new(&a, vec![wp], BackendKind::hw4()).unwrap().run();
+        assert_eq!(r.transitions.user, 0);
+        assert_eq!(r.transitions.spurious_predicate, 10);
+
+        // DISE evaluates the predicate in the generated function: no
+        // transitions at all.
+        let r = Session::new(&a, vec![wp], BackendKind::dise_default()).unwrap().run();
+        assert_eq!(r.transitions.total(), 0);
+        assert_eq!(r.run.debugger_stalls, 0);
+    }
+
+    #[test]
+    fn binary_rewrite_matches_dise_semantics_with_bigger_text() {
+        let a = app(10);
+        let wp = scalar_wp(&a, "watched");
+        let dise = Session::new(&a, vec![wp], BackendKind::dise_default()).unwrap().run();
+        let bw = Session::new(&a, vec![wp], BackendKind::BinaryRewrite).unwrap().run();
+        assert_eq!(bw.error, None);
+        assert_eq!(bw.transitions.user, dise.transitions.user);
+        assert_eq!(bw.transitions.spurious_total(), 0);
+        assert!(
+            bw.text_bytes > dise.text_bytes,
+            "rewriting bloats the static image: {} vs {}",
+            bw.text_bytes,
+            dise.text_bytes
+        );
+    }
+
+    #[test]
+    fn all_dise_strategies_agree_on_user_events() {
+        let a = app(10);
+        let wp = scalar_wp(&a, "watched");
+        for strategy in [
+            DiseStrategy::default(),
+            DiseStrategy::match_address_call(false),
+            DiseStrategy::evaluate_inline(true),
+            DiseStrategy::evaluate_inline(false),
+            DiseStrategy::match_address_value(true),
+            DiseStrategy::match_address_value(false),
+            DiseStrategy::bloom(false),
+            DiseStrategy::bloom(true),
+            DiseStrategy { multithreaded_calls: true, ..DiseStrategy::default() },
+            DiseStrategy { protect_debugger: true, ..DiseStrategy::default() },
+        ] {
+            let r = Session::new(&a, vec![wp], BackendKind::Dise(strategy))
+                .unwrap()
+                .run();
+            assert_eq!(r.error, None, "{strategy:?}");
+            assert_eq!(r.transitions.user, 10, "{strategy:?}");
+            assert_eq!(r.transitions.spurious_total(), 0, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn indirect_watchpoint_works_under_dise_only() {
+        let src = "start:  la r1, p
+                           ldq r2, 0(r1)      # r2 = &target
+                           lda r3, 5(zero)
+                           stq r3, 0(r2)      # writes *p
+                           la r4, other
+                           ldq r5, 0(r4)
+                           stq r5, 0(r1)      # repoint p to other
+                           lda r3, 9(zero)
+                           ldq r2, 0(r1)
+                           stq r3, 0(r2)      # writes new *p
+                           halt
+                   .data
+                   target: .quad 1
+                   other_t:.quad 2
+                   p:      .quad 0x01000000   # &target
+                   other:  .quad 0x01000008   # &other_t
+                  ";
+        let a = Application::new(parse_asm(src).unwrap(), Layout::default());
+        let p = a.program().unwrap().symbol("p").unwrap();
+        let wp = Watchpoint::new(WatchExpr::Indirect { ptr: p, width: Width::Q });
+
+        let r = Session::new(&a, vec![wp], BackendKind::dise_default()).unwrap().run();
+        assert_eq!(r.error, None);
+        // *p changes twice: 1→5 at target, then (after repointing,
+        // which re-references) 2→9 at other_t.
+        assert_eq!(r.transitions.user, 2);
+        assert_eq!(r.transitions.spurious_total(), 0);
+
+        // Virtual memory and hardware registers must decline.
+        assert!(matches!(
+            Session::new(&a, vec![wp], BackendKind::VirtualMemory),
+            Err(DebugError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            Session::new(&a, vec![wp], BackendKind::hw4()),
+            Err(DebugError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn range_watchpoint_under_dise() {
+        let src = "start:  la r1, arr
+                           lda r2, 3(zero)
+                           stq r2, 8(r1)     # arr[1] = 3
+                           stq r2, 8(r1)     # silent
+                           stq r2, 64(r1)    # outside the range
+                           halt
+                   .data
+                   arr:    .space 32
+                   beyond: .space 64
+                  ";
+        let a = Application::new(parse_asm(src).unwrap(), Layout::default());
+        let base = a.program().unwrap().symbol("arr").unwrap();
+        let wp = Watchpoint::new(WatchExpr::Range { base, len: 32 });
+        let r = Session::new(&a, vec![wp], BackendKind::dise_default()).unwrap().run();
+        assert_eq!(r.error, None);
+        assert_eq!(r.transitions.user, 1, "one real change inside the range");
+        assert_eq!(r.transitions.spurious_total(), 0);
+    }
+
+    #[test]
+    fn multiple_watchpoints_serial_and_bloom() {
+        let a = app(6);
+        let p = a.program().unwrap();
+        let wps: Vec<Watchpoint> = ["watched", "silent", "neighbor"]
+            .iter()
+            .map(|s| {
+                Watchpoint::new(WatchExpr::Scalar {
+                    addr: p.symbol(s).unwrap(),
+                    width: Width::Q,
+                })
+            })
+            .collect();
+        for kind in [
+            BackendKind::dise_default(),
+            BackendKind::Dise(DiseStrategy::bloom(false)),
+            BackendKind::Dise(DiseStrategy::bloom(true)),
+        ] {
+            let r = Session::new(&a, wps.clone(), kind).unwrap().run();
+            assert_eq!(r.error, None, "{kind:?}");
+            // watched and neighbor each change 6 times; a store may
+            // change both expressions' values but transitions are
+            // per-store: 12 changing stores.
+            assert_eq!(r.transitions.user, 12, "{kind:?}");
+            assert_eq!(r.transitions.spurious_total(), 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn protection_catches_wild_store() {
+        // The application computes an address inside the debugger's
+        // region and stores to it.
+        let src = "start:  la r1, watched
+                           lda r2, 1(zero)
+                           stq r2, 0(r1)     # legitimate watched store
+                           ldq r3, 0(r4)     # r4=0: read a zero
+                           halt
+                   .data
+                   watched: .quad 0
+                  ";
+        let a = Application::new(parse_asm(src).unwrap(), Layout::default());
+        let addr = a.program().unwrap().symbol("watched").unwrap();
+        let wp = Watchpoint::new(WatchExpr::Scalar { addr, width: Width::Q });
+        let strategy = DiseStrategy { protect_debugger: true, ..DiseStrategy::default() };
+        let r = Session::new(&a, vec![wp], BackendKind::Dise(strategy)).unwrap().run();
+        assert_eq!(r.error, None);
+        assert_eq!(r.transitions.user, 1);
+        assert_eq!(r.transitions.protection_violations, 0, "no wild stores here");
+    }
+
+    #[test]
+    fn unsupported_combinations_are_reported() {
+        let a = app(5);
+        let p = a.program().unwrap();
+        let range = Watchpoint::new(WatchExpr::Range {
+            base: p.symbol("watched").unwrap(),
+            len: 16,
+        });
+        assert!(matches!(
+            Session::new(&a, vec![range], BackendKind::hw4()),
+            Err(DebugError::Unsupported { .. })
+        ));
+        let two = vec![scalar_wp(&a, "watched"), scalar_wp(&a, "silent")];
+        assert!(matches!(
+            Session::new(
+                &a,
+                two,
+                BackendKind::Dise(DiseStrategy::evaluate_inline(true))
+            ),
+            Err(DebugError::Unsupported { .. })
+        ));
+    }
+}

@@ -1,0 +1,103 @@
+//! Debugger-transition taxonomy and accounting (§2 of the paper).
+
+/// Classification of one application→debugger transition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Transition {
+    /// Watched data was not written (or no breakpoint instruction
+    /// executed) — e.g. a same-page store under the virtual-memory
+    /// implementation, or a single-step that hit nothing.
+    SpuriousAddress,
+    /// A watched variable was written but the expression's value did not
+    /// change (typically a silent store).
+    SpuriousValue,
+    /// The value changed but the user's predicate evaluated false.
+    SpuriousPredicate,
+    /// The user is invoked: masked by user interaction, charged zero
+    /// cost by the paper's methodology.
+    User,
+    /// A store attempted to write the debugger's embedded data region
+    /// and was caught by the protection production (Fig. 2f).
+    ProtectionViolation,
+}
+
+impl Transition {
+    /// Spurious transitions are perceived as application latency and are
+    /// charged the full round-trip cost.
+    pub fn is_spurious(&self) -> bool {
+        !matches!(self, Transition::User)
+    }
+}
+
+/// Counters over a debugging session.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TransitionStats {
+    /// Spurious address transitions.
+    pub spurious_address: u64,
+    /// Spurious value transitions.
+    pub spurious_value: u64,
+    /// Spurious predicate transitions.
+    pub spurious_predicate: u64,
+    /// User transitions (masked, zero cost).
+    pub user: u64,
+    /// Protection violations caught.
+    pub protection_violations: u64,
+    /// DISE handler invocations (conditional calls taken), including
+    /// Bloom-filter false positives.
+    pub handler_calls: u64,
+    /// Handler invocations that matched no watchpoint (Bloom false
+    /// positives).
+    pub false_positive_calls: u64,
+}
+
+impl TransitionStats {
+    /// Record one transition.
+    pub fn count(&mut self, t: Transition) {
+        match t {
+            Transition::SpuriousAddress => self.spurious_address += 1,
+            Transition::SpuriousValue => self.spurious_value += 1,
+            Transition::SpuriousPredicate => self.spurious_predicate += 1,
+            Transition::User => self.user += 1,
+            Transition::ProtectionViolation => self.protection_violations += 1,
+        }
+    }
+
+    /// All spurious (costed) transitions.
+    pub fn spurious_total(&self) -> u64 {
+        self.spurious_address
+            + self.spurious_value
+            + self.spurious_predicate
+            + self.protection_violations
+    }
+
+    /// All transitions including masked ones.
+    pub fn total(&self) -> u64 {
+        self.spurious_total() + self.user
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_flags() {
+        assert!(Transition::SpuriousAddress.is_spurious());
+        assert!(Transition::SpuriousValue.is_spurious());
+        assert!(Transition::SpuriousPredicate.is_spurious());
+        assert!(Transition::ProtectionViolation.is_spurious());
+        assert!(!Transition::User.is_spurious());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = TransitionStats::default();
+        s.count(Transition::SpuriousAddress);
+        s.count(Transition::SpuriousValue);
+        s.count(Transition::SpuriousValue);
+        s.count(Transition::User);
+        assert_eq!(s.spurious_address, 1);
+        assert_eq!(s.spurious_value, 2);
+        assert_eq!(s.spurious_total(), 3);
+        assert_eq!(s.total(), 4);
+    }
+}

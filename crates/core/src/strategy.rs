@@ -1,0 +1,136 @@
+//! The DISE implementation design space evaluated in §5.4.
+
+/// How the replacement sequence decides whether the debugger must act
+/// (the three columns of Fig. 7).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckKind {
+    /// *Match-Address / Evaluate-Expression* (Fig. 2c/d, the paper's
+    /// default): the replacement sequence compares the store's
+    /// reconstructed address against the watched address(es) and calls
+    /// the debugger-generated function only on a match. Cheap common
+    /// case (ALU ops only), general (multiple/indirect/range
+    /// watchpoints, conditionals).
+    MatchAddressCall,
+    /// *Evaluate-Expression / –* (Fig. 2a/b): the replacement sequence
+    /// loads the watched expression's value after every store and traps
+    /// on change. No function call, but a **load per store** — load-port
+    /// contention. Single scalar watchpoints only.
+    EvaluateInline,
+    /// *Match-Address-Value / –*: compares the store's address *and* its
+    /// value against the watched address and previous value inline —
+    /// neither load nor call. Applicable only when the watched datum is
+    /// scalar and store-width matched.
+    MatchAddressValue,
+}
+
+/// How a store address is tested against *multiple* watched addresses
+/// (§4 "Watching multiple addresses", evaluated in Fig. 6).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MultiMatch {
+    /// Serial comparison against each watched address: addresses live in
+    /// DISE registers while they last, then in the debugger's data
+    /// region. Replacement length grows linearly with watchpoints.
+    Serial,
+    /// Hash the store address into a 2 KB byte array; 1 ⇒ probable
+    /// match ⇒ call the handler. Constant-length replacement; false
+    /// positives cost a (cheap) function call, never correctness.
+    BloomByte,
+    /// Hash quad addresses to *bits* (8× effective capacity, fewer false
+    /// positives) at the price of two extra bit-manipulation operations.
+    BloomBit,
+}
+
+/// Full configuration of the DISE watchpoint implementation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DiseStrategy {
+    /// Replacement-sequence organisation.
+    pub check: CheckKind,
+    /// Whether the DISE ISA provides `ctrap`/`d_ccall` (Optimization
+    /// I/III). Without them the same logic uses DISE branches +
+    /// unconditional trap/call, flushing the pipeline in the common case
+    /// (the bottom group of Fig. 7).
+    pub conditional_ops: bool,
+    /// Multi-watchpoint matching (only meaningful for
+    /// [`CheckKind::MatchAddressCall`]).
+    pub multi_match: MultiMatch,
+    /// Prepend the Fig. 2f store-range check protecting the debugger's
+    /// embedded data (Fig. 9).
+    pub protect_debugger: bool,
+    /// Run DISE-called function bodies on a second thread context,
+    /// eliminating the two flushes per call (Fig. 8).
+    pub multithreaded_calls: bool,
+    /// Install a more-specific pass-through production for stack-pointer
+    /// stores (§4 "Pattern matching optimizations") — only sound when no
+    /// watched data lives on the stack.
+    pub specialize_stack_stores: bool,
+}
+
+impl Default for DiseStrategy {
+    /// The paper's default: match-address with conditional call.
+    fn default() -> DiseStrategy {
+        DiseStrategy {
+            check: CheckKind::MatchAddressCall,
+            conditional_ops: true,
+            multi_match: MultiMatch::Serial,
+            protect_debugger: false,
+            multithreaded_calls: false,
+            specialize_stack_stores: false,
+        }
+    }
+}
+
+impl DiseStrategy {
+    /// Fig. 2a/b organisation.
+    pub fn evaluate_inline(conditional_ops: bool) -> DiseStrategy {
+        DiseStrategy {
+            check: CheckKind::EvaluateInline,
+            conditional_ops,
+            ..DiseStrategy::default()
+        }
+    }
+
+    /// Match-Address-Value organisation.
+    pub fn match_address_value(conditional_ops: bool) -> DiseStrategy {
+        DiseStrategy {
+            check: CheckKind::MatchAddressValue,
+            conditional_ops,
+            ..DiseStrategy::default()
+        }
+    }
+
+    /// The default organisation with explicit `ctrap`/`d_ccall`
+    /// availability.
+    pub fn match_address_call(conditional_ops: bool) -> DiseStrategy {
+        DiseStrategy { conditional_ops, ..DiseStrategy::default() }
+    }
+
+    /// Bloom-filter multi-matching.
+    pub fn bloom(bitwise: bool) -> DiseStrategy {
+        DiseStrategy {
+            multi_match: if bitwise { MultiMatch::BloomBit } else { MultiMatch::BloomByte },
+            ..DiseStrategy::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_papers_default() {
+        let s = DiseStrategy::default();
+        assert_eq!(s.check, CheckKind::MatchAddressCall);
+        assert!(s.conditional_ops);
+        assert_eq!(s.multi_match, MultiMatch::Serial);
+        assert!(!s.protect_debugger);
+    }
+
+    #[test]
+    fn constructors_set_fields() {
+        assert_eq!(DiseStrategy::evaluate_inline(false).check, CheckKind::EvaluateInline);
+        assert!(!DiseStrategy::evaluate_inline(false).conditional_ops);
+        assert_eq!(DiseStrategy::bloom(true).multi_match, MultiMatch::BloomBit);
+        assert_eq!(DiseStrategy::bloom(false).multi_match, MultiMatch::BloomByte);
+    }
+}

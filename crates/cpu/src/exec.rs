@@ -1,0 +1,1003 @@
+//! The functional half of the machine: architectural state, DISE
+//! replacement context, and per-instruction execution records.
+
+use std::fmt;
+
+use dise_asm::Program;
+use dise_engine::Engine;
+use dise_isa::{decode, Instr, Reg, INSTR_BYTES};
+use dise_mem::Memory;
+
+use crate::CpuConfig;
+
+/// Size of the physical register file (32 GPRs + 16 DISE registers).
+pub const NUM_REGS: usize = Reg::NUM;
+
+/// Why the pipeline must be flushed after an instruction.
+///
+/// All of these are implemented with the mis-prediction recovery
+/// mechanism (§3 "DISE control flow"), so they share the refill cost.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlushKind {
+    /// A taken DISE branch (`d_beq`/`d_bne`): replacement sequences are
+    /// expanded in full with DISE control transfers predicted not-taken.
+    DiseBranch,
+    /// A (taken) DISE call into a debugger-generated function.
+    DiseCall,
+    /// A `d_ret` back into the replacement sequence.
+    DiseRet,
+    /// A taken *conventional* control transfer inside a replacement
+    /// sequence (to `⟨newPC:0⟩`), e.g. Fig. 2f's branch to the error
+    /// handler. Not fetched, so not predicted, so it always flushes.
+    ReplacementBranch,
+}
+
+/// Control-transfer classification, for the branch predictor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BranchKind {
+    /// Conditional direct branch: direction predicted.
+    Conditional,
+    /// Unconditional direct branch or call: statically determined, never
+    /// mispredicts (beyond BTB compulsory effects we do not model).
+    Direct,
+    /// Indirect jump through a register: target predicted by the BTB.
+    Indirect,
+    /// Call (direct or indirect, with link): pushes the RAS.
+    Call,
+    /// Return (`jmp (ra)` without link): target predicted by the RAS.
+    Return,
+}
+
+/// A resolved control transfer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Branch {
+    /// Classification for prediction.
+    pub kind: BranchKind,
+    /// Whether it was taken.
+    pub taken: bool,
+    /// The resolved target (next PC when taken).
+    pub target: u64,
+}
+
+/// A resolved memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemOp {
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub width: u64,
+    /// True for stores.
+    pub is_store: bool,
+    /// For stores, the value previously in memory (silent-store
+    /// detection); for loads, the value loaded.
+    pub old_value: u64,
+    /// For stores, the value written; for loads, equals `old_value`.
+    pub new_value: u64,
+}
+
+impl MemOp {
+    /// A store that overwrote a value with the same value
+    /// ("silent store" — the common source of spurious *value*
+    /// transitions, §2).
+    pub fn is_silent_store(&self) -> bool {
+        self.is_store && self.old_value == self.new_value
+    }
+}
+
+/// Functional execution errors (all terminal).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// The PC pointed at an undecodable word.
+    BadInstruction(u64),
+    /// Conventionally fetched code used a DISE-only instruction or named
+    /// a DISE register (the OS/controller protection of §3).
+    DiseProtection(u64),
+    /// `d_ret` executed with no DISE call outstanding.
+    StrayDiseReturn(u64),
+    /// A DISE branch left its replacement sequence.
+    DiseBranchOutOfSequence(u64),
+    /// Nested DISE call (DISE is disabled inside called functions;
+    /// a second call cannot occur, so this flags a malformed handler).
+    NestedDiseCall(u64),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BadInstruction(pc) => write!(f, "undecodable instruction at {pc:#x}"),
+            ExecError::DiseProtection(pc) => {
+                write!(f, "DISE-only resource used by conventional code at {pc:#x}")
+            }
+            ExecError::StrayDiseReturn(pc) => write!(f, "d_ret without DISE call at {pc:#x}"),
+            ExecError::DiseBranchOutOfSequence(pc) => {
+                write!(f, "DISE branch left its replacement sequence at {pc:#x}")
+            }
+            ExecError::NestedDiseCall(pc) => write!(f, "nested DISE call at {pc:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Notable outcomes of one instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// `trap` (or a satisfied `ctrap`): control should pass to the
+    /// debugger. The driver decides whether the transition is spurious.
+    Trap,
+    /// A store hit a write-protected page (virtual-memory watchpoints).
+    /// The store is performed after the fault is recorded, as the
+    /// debugger would re-execute it.
+    ProtFault {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// `halt` retired; the machine stops.
+    Halted,
+    /// A terminal execution error.
+    Error(ExecError),
+}
+
+/// The record of one executed instruction — everything the timing model
+/// and the debugger backends need to know.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Exec {
+    /// PC of the instruction (for replacement instructions, the PC of
+    /// their trigger).
+    pub pc: u64,
+    /// DISEPC: 0 for unexpanded instructions, else the 1-based index
+    /// within the replacement sequence.
+    pub disepc: u16,
+    /// Executed inside a DISE-called function.
+    pub in_dise_call: bool,
+    /// The instruction.
+    pub instr: Instr,
+    /// True if this instruction came through fetch (consumes fetch
+    /// bandwidth and I-cache); replacement instructions are generated at
+    /// decode instead.
+    pub fetched: bool,
+    /// Control transfer, if any.
+    pub branch: Option<Branch>,
+    /// Memory access, if any.
+    pub mem: Option<MemOp>,
+    /// Pipeline flush caused by DISE mechanics, if any.
+    pub flush: Option<FlushKind>,
+    /// Debugger-visible event, if any.
+    pub event: Option<Event>,
+}
+
+/// Saved resume point for a DISE call: the replacement sequence to
+/// re-enter at `⟨trigger_pc : idx⟩`.
+#[derive(Clone, Debug)]
+struct CallReturn {
+    trigger_pc: u64,
+    seq: Vec<Instr>,
+    idx: usize,
+}
+
+#[derive(Clone, Debug)]
+enum Mode {
+    /// Conventional fetch; DISE expansion armed.
+    Normal,
+    /// Inside a replacement sequence: executing `seq[idx]` for the
+    /// trigger at `trigger_pc`.
+    Replacing { trigger_pc: u64, seq: Vec<Instr>, idx: usize },
+    /// Inside a DISE-called function: conventional fetch at `pc`, DISE
+    /// expansion disabled, with the replacement context saved.
+    InCall { ret: CallReturn },
+}
+
+/// The functional machine: register file (GPRs + DISE registers), PC,
+/// memory, the DISE engine, and the replacement-sequence context.
+#[derive(Clone, Debug)]
+pub struct Executor {
+    regs: [u64; NUM_REGS],
+    pc: u64,
+    mem: Memory,
+    engine: Engine,
+    mode: Mode,
+    halted: bool,
+    instructions: u64,
+}
+
+impl Executor {
+    /// A machine with zeroed state and an empty engine.
+    pub fn new(config: CpuConfig) -> Executor {
+        Executor {
+            regs: [0; NUM_REGS],
+            pc: 0,
+            mem: Memory::new(),
+            engine: Engine::new(config.engine),
+            mode: Mode::Normal,
+            halted: false,
+            instructions: 0,
+        }
+    }
+
+    /// A machine with `prog` loaded, PC at its entry, and SP at its
+    /// stack top.
+    pub fn from_program(prog: &Program, config: CpuConfig) -> Executor {
+        let mut e = Executor::new(config);
+        prog.load(&mut e.mem);
+        e.pc = prog.entry;
+        e.regs[Reg::SP.index()] = prog.stack_top;
+        e
+    }
+
+    /// Current PC.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Set the PC (debugger "jump").
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// Read a register (the zero register reads 0).
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Write a register (writes to the zero register are discarded).
+    /// The debugger uses this to load DISE registers like
+    /// [`Reg::DAR`].
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// The memory (for the debugger's expression evaluation).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable memory (loading, page protection).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The DISE engine (production installation).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable DISE engine.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// True once `halt` or an error has retired.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Dynamic instructions executed (including replacement
+    /// instructions).
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    fn halt_with(&mut self, exec: &mut Exec, err: ExecError) {
+        exec.event = Some(Event::Error(err));
+        self.halted = true;
+    }
+
+    /// After finishing a replacement instruction at `idx`, advance the
+    /// sequence or fall back to conventional fetch at `trigger_pc + 4`.
+    fn advance_replacement(&mut self, trigger_pc: u64, seq: Vec<Instr>, next_idx: usize) {
+        if next_idx >= seq.len() {
+            self.mode = Mode::Normal;
+            self.pc = trigger_pc + INSTR_BYTES;
+        } else {
+            self.mode = Mode::Replacing { trigger_pc, seq, idx: next_idx };
+        }
+    }
+
+    /// Execute one instruction and report what happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the machine halted.
+    pub fn step(&mut self) -> Exec {
+        assert!(!self.halted, "step() on a halted machine");
+        self.instructions += 1;
+
+        // Select the instruction: replacement sequence, called function,
+        // or conventional fetch (with expansion check).
+        #[allow(clippy::type_complexity)]
+        let (pc, disepc, in_call, instr, fetched, repl): (
+            u64,
+            u16,
+            bool,
+            Instr,
+            bool,
+            Option<(u64, Vec<Instr>, usize)>,
+        );
+        match std::mem::replace(&mut self.mode, Mode::Normal) {
+            Mode::Replacing { trigger_pc, seq, idx } => {
+                let i = seq[idx];
+                pc = trigger_pc;
+                disepc = (idx + 1) as u16;
+                in_call = false;
+                instr = i;
+                fetched = false;
+                repl = Some((trigger_pc, seq, idx));
+            }
+            m @ (Mode::Normal | Mode::InCall { .. }) => {
+                pc = self.pc;
+                in_call = matches!(m, Mode::InCall { .. });
+                self.mode = m;
+                let word = self.mem.read_u(pc, 4) as u32;
+                let decoded = match decode(word) {
+                    Ok(i) => i,
+                    Err(_) => {
+                        let mut exec = Exec {
+                            pc,
+                            disepc: 0,
+                            in_dise_call: in_call,
+                            instr: Instr::Nop,
+                            fetched: true,
+                            branch: None,
+                            mem: None,
+                            flush: None,
+                            event: None,
+                        };
+                        self.halt_with(&mut exec, ExecError::BadInstruction(pc));
+                        return exec;
+                    }
+                };
+                // DISE expansion is armed only in Normal mode.
+                if !in_call {
+                    if let Some(seq) = self.engine.expand(pc, &decoded) {
+                        // The trigger is *replaced*: begin the sequence.
+                        let i = seq[0];
+                        return self.execute(pc, 1, false, i, true, Some((pc, seq, 0)));
+                    }
+                }
+                instr = decoded;
+                disepc = 0;
+                fetched = true;
+                repl = None;
+            }
+        }
+        self.execute(pc, disepc, in_call, instr, fetched, repl)
+    }
+
+    /// Execute `instr` in the established context.
+    #[allow(clippy::too_many_lines)]
+    fn execute(
+        &mut self,
+        pc: u64,
+        disepc: u16,
+        in_call: bool,
+        instr: Instr,
+        fetched: bool,
+        repl: Option<(u64, Vec<Instr>, usize)>,
+    ) -> Exec {
+        let mut exec = Exec {
+            pc,
+            disepc,
+            in_dise_call: in_call,
+            instr,
+            fetched,
+            branch: None,
+            mem: None,
+            flush: None,
+            event: None,
+        };
+        let in_replacement = repl.is_some();
+
+        // Protection: conventional application code may not use DISE
+        // resources; DISE-called functions access DISE registers only
+        // through d_mfr/d_mtr.
+        if !in_replacement {
+            let legal_in_call = matches!(
+                instr,
+                Instr::DRet | Instr::DMfr { .. } | Instr::DMtr { .. } | Instr::CTrap { .. }
+            );
+            let allowed = in_call && legal_in_call;
+            if !allowed && (instr.is_dise_only() || instr.touches_dise_regs()) {
+                self.halt_with(&mut exec, ExecError::DiseProtection(pc));
+                return exec;
+            }
+        }
+
+        // Helper: where conventional execution resumes if no transfer.
+        // (For replacement instructions the sequence index advances
+        // instead; `self.pc` is only meaningful outside replacements.)
+        let next_pc = self.pc + INSTR_BYTES;
+
+        // `advance`: what to do after a non-transfer instruction.
+        macro_rules! advance {
+            () => {
+                match repl {
+                    Some((tpc, seq, idx)) => self.advance_replacement(tpc, seq, idx + 1),
+                    None => self.pc = next_pc,
+                }
+            };
+        }
+
+        match instr {
+            Instr::Nop | Instr::Codeword(_) => advance!(),
+            Instr::Halt => {
+                exec.event = Some(Event::Halted);
+                self.halted = true;
+            }
+            Instr::Trap => {
+                exec.event = Some(Event::Trap);
+                advance!();
+            }
+            Instr::CTrap { cond, rs } => {
+                if cond.holds(self.reg(rs)) {
+                    exec.event = Some(Event::Trap);
+                }
+                advance!();
+            }
+            Instr::Alu { op, rd, ra, rb } => {
+                let b = match rb {
+                    dise_isa::Operand::Reg(r) => self.reg(r),
+                    dise_isa::Operand::Imm(i) => i as u64,
+                };
+                let v = op.apply(self.reg(ra), b);
+                self.set_reg(rd, v);
+                advance!();
+            }
+            Instr::Lda { rd, base, disp } => {
+                let v = self.reg(base).wrapping_add(disp as i64 as u64);
+                self.set_reg(rd, v);
+                advance!();
+            }
+            Instr::Ldah { rd, base, disp } => {
+                let v = self.reg(base).wrapping_add(((disp as i64) << 14) as u64);
+                self.set_reg(rd, v);
+                advance!();
+            }
+            Instr::Load { width, rd, base, disp } => {
+                let addr = self.reg(base).wrapping_add(disp as i64 as u64);
+                let w = width.bytes();
+                let v = self.mem.read_u(addr, w);
+                self.set_reg(rd, v);
+                exec.mem = Some(MemOp {
+                    addr,
+                    width: w,
+                    is_store: false,
+                    old_value: v,
+                    new_value: v,
+                });
+                advance!();
+            }
+            Instr::Store { width, rs, base, disp } => {
+                let addr = self.reg(base).wrapping_add(disp as i64 as u64);
+                let w = width.bytes();
+                let old = self.mem.read_u(addr, w);
+                let new = self.reg(rs) & width_mask(w);
+                if let Err(fault) = self.mem.write_checked(addr, w, new) {
+                    exec.event = Some(Event::ProtFault { addr: fault.addr });
+                    // The debugger services the fault and re-executes the
+                    // store on the application's behalf.
+                    self.mem.write_u(addr, w, new);
+                }
+                exec.mem = Some(MemOp {
+                    addr,
+                    width: w,
+                    is_store: true,
+                    old_value: old,
+                    new_value: new,
+                });
+                advance!();
+            }
+            Instr::Br { rd, disp } => {
+                let ret = pc + INSTR_BYTES;
+                let target = (pc as i64 + 4 + 4 * disp as i64) as u64;
+                self.set_reg(rd, ret);
+                exec.branch = Some(Branch {
+                    kind: if rd.is_zero() { BranchKind::Direct } else { BranchKind::Call },
+                    taken: true,
+                    target,
+                });
+                if in_replacement {
+                    exec.flush = Some(FlushKind::ReplacementBranch);
+                    self.mode = Mode::Normal;
+                }
+                self.pc = target;
+            }
+            Instr::CondBr { cond, rs, disp } => {
+                let taken = cond.holds(self.reg(rs));
+                let target = (pc as i64 + 4 + 4 * disp as i64) as u64;
+                exec.branch = Some(Branch { kind: BranchKind::Conditional, taken, target });
+                if taken {
+                    if in_replacement {
+                        exec.flush = Some(FlushKind::ReplacementBranch);
+                        self.mode = Mode::Normal;
+                    }
+                    self.pc = target;
+                } else {
+                    advance!();
+                }
+            }
+            Instr::Jmp { rd, base } => {
+                let target = self.reg(base) & !3;
+                let ret = pc + INSTR_BYTES;
+                let kind = if !rd.is_zero() {
+                    BranchKind::Call
+                } else if base == Reg::RA {
+                    BranchKind::Return
+                } else {
+                    BranchKind::Indirect
+                };
+                self.set_reg(rd, ret);
+                exec.branch = Some(Branch { kind, taken: true, target });
+                if in_replacement {
+                    exec.flush = Some(FlushKind::ReplacementBranch);
+                    self.mode = Mode::Normal;
+                }
+                self.pc = target;
+            }
+            Instr::DBr { cond, rs, disp } => {
+                let (tpc, seq, idx) = repl.expect("DBr only in replacement");
+                if cond.holds(self.reg(rs)) {
+                    exec.flush = Some(FlushKind::DiseBranch);
+                    let next = idx as i64 + 1 + disp as i64;
+                    if next < 0 || next as usize > seq.len() {
+                        self.halt_with(&mut exec, ExecError::DiseBranchOutOfSequence(pc));
+                        return exec;
+                    }
+                    self.advance_replacement(tpc, seq, next as usize);
+                } else {
+                    self.advance_replacement(tpc, seq, idx + 1);
+                }
+            }
+            Instr::DCall { target } | Instr::DCCall { target, .. } => {
+                let taken = match instr {
+                    Instr::DCCall { cond, rs, .. } => cond.holds(self.reg(rs)),
+                    _ => true,
+                };
+                let (tpc, seq, idx) = repl.expect("DISE call only in replacement");
+                if taken {
+                    if in_call {
+                        self.halt_with(&mut exec, ExecError::NestedDiseCall(pc));
+                        return exec;
+                    }
+                    exec.flush = Some(FlushKind::DiseCall);
+                    let callee = self.reg(target);
+                    self.mode = Mode::InCall {
+                        ret: CallReturn { trigger_pc: tpc, seq, idx: idx + 1 },
+                    };
+                    self.pc = callee;
+                } else {
+                    self.advance_replacement(tpc, seq, idx + 1);
+                }
+            }
+            Instr::DRet => {
+                match std::mem::replace(&mut self.mode, Mode::Normal) {
+                    Mode::InCall { ret } => {
+                        exec.flush = Some(FlushKind::DiseRet);
+                        self.advance_replacement(ret.trigger_pc, ret.seq, ret.idx);
+                    }
+                    _ => {
+                        self.halt_with(&mut exec, ExecError::StrayDiseReturn(pc));
+                    }
+                }
+            }
+            Instr::DMfr { rd, dr } => {
+                let v = self.reg(dr);
+                self.set_reg(rd, v);
+                advance!();
+            }
+            Instr::DMtr { dr, rs } => {
+                let v = self.reg(rs);
+                self.set_reg(dr, v);
+                advance!();
+            }
+        }
+        exec
+    }
+}
+
+#[inline]
+fn width_mask(bytes: u64) -> u64 {
+    if bytes == 8 {
+        u64::MAX
+    } else {
+        (1u64 << (8 * bytes)) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_asm::{parse_asm, Layout};
+    use dise_isa::Cond;
+    use dise_engine::{Pattern, Production, TemplateInst};
+    use dise_isa::{AluOp, OpClass, Width};
+
+    fn machine(src: &str) -> Executor {
+        let prog = parse_asm(src).unwrap().assemble(Layout::default()).unwrap();
+        Executor::from_program(&prog, CpuConfig::default())
+    }
+
+    fn run(e: &mut Executor, max: u64) -> Vec<Exec> {
+        let mut out = Vec::new();
+        let mut n = 0;
+        while !e.is_halted() {
+            out.push(e.step());
+            n += 1;
+            assert!(n < max, "did not halt in {max} steps");
+        }
+        out
+    }
+
+    #[test]
+    fn countdown_loop_executes() {
+        let mut m = machine(
+            "start: lda r1, 3(zero)
+             loop:  subq r1, 1, r1
+                    bgt r1, loop
+                    halt",
+        );
+        let trace = run(&mut m, 100);
+        assert_eq!(m.reg(Reg::gpr(1)), 0);
+        // lda + 3*(subq+bgt) + halt
+        assert_eq!(trace.len(), 1 + 6 + 1);
+        assert!(matches!(trace.last().unwrap().event, Some(Event::Halted)));
+    }
+
+    #[test]
+    fn memory_round_trip_and_memop_record() {
+        let mut m = machine(
+            "start: la r1, v
+                    ldq r2, 0(r1)
+                    addq r2, 5, r2
+                    stq r2, 0(r1)
+                    halt
+             .data
+             v: .quad 37",
+        );
+        let trace = run(&mut m, 100);
+        let store = trace.iter().find(|e| e.mem.is_some_and(|m| m.is_store)).unwrap();
+        let mo = store.mem.unwrap();
+        assert_eq!(mo.old_value, 37);
+        assert_eq!(mo.new_value, 42);
+        assert!(!mo.is_silent_store());
+        let addr = mo.addr;
+        assert_eq!(m.mem().read_u(addr, 8), 42);
+    }
+
+    #[test]
+    fn silent_store_detected() {
+        let mut m = machine(
+            "start: la r1, v
+                    ldq r2, 0(r1)
+                    stq r2, 0(r1)
+                    halt
+             .data
+             v: .quad 9",
+        );
+        let trace = run(&mut m, 100);
+        let store = trace.iter().find(|e| e.mem.is_some_and(|m| m.is_store)).unwrap();
+        assert!(store.mem.unwrap().is_silent_store());
+    }
+
+    #[test]
+    fn calls_and_returns() {
+        let mut m = machine(
+            "start: bsr ra, f
+                    halt
+             f:     lda r5, 7(zero)
+                    ret",
+        );
+        let trace = run(&mut m, 100);
+        assert_eq!(m.reg(Reg::gpr(5)), 7);
+        let kinds: Vec<_> = trace.iter().filter_map(|e| e.branch.map(|b| b.kind)).collect();
+        assert_eq!(kinds, vec![BranchKind::Call, BranchKind::Return]);
+    }
+
+    #[test]
+    fn trap_event_and_resume() {
+        let mut m = machine("start: trap\n lda r1, 1(zero)\n halt");
+        let trace = run(&mut m, 10);
+        assert!(matches!(trace[0].event, Some(Event::Trap)));
+        assert_eq!(m.reg(Reg::gpr(1)), 1, "execution resumed after trap");
+    }
+
+    #[test]
+    fn prot_fault_reported_and_store_lands() {
+        let mut m = machine(
+            "start: la r1, v
+                    lda r2, 9(zero)
+                    stq r2, 0(r1)
+                    halt
+             .data
+             v: .quad 1",
+        );
+        let v = 0x0100_0000;
+        m.mem_mut().protect_page(v, true);
+        let trace = run(&mut m, 100);
+        let st = trace.iter().find(|e| e.mem.is_some_and(|m| m.is_store)).unwrap();
+        assert!(matches!(st.event, Some(Event::ProtFault { addr }) if addr == v));
+        assert_eq!(m.mem().read_u(v, 8), 9, "store performed after fault");
+    }
+
+    #[test]
+    fn app_code_cannot_touch_dise_state() {
+        // `d_ret` in conventional code.
+        let mut m = machine("start: d_ret\n halt");
+        let trace = run(&mut m, 10);
+        assert!(matches!(
+            trace[0].event,
+            Some(Event::Error(ExecError::DiseProtection(_)))
+        ));
+
+        // ALU naming a DISE register in conventional code.
+        let mut m = machine("start: addq dr1, 1, dr1\n halt");
+        let trace = run(&mut m, 10);
+        assert!(matches!(
+            trace[0].event,
+            Some(Event::Error(ExecError::DiseProtection(_)))
+        ));
+    }
+
+    /// Install the paper's Fig. 2a naive watchpoint production.
+    fn install_fig2a(m: &mut Executor) {
+        let dr1 = Reg::dise(1);
+        m.engine_mut()
+            .install(Production::new(
+                "fig2a",
+                Pattern::opclass(OpClass::Store),
+                vec![
+                    TemplateInst::Trigger,
+                    TemplateInst::Load {
+                        width: Width::Q,
+                        rd: dise_engine::TReg::Lit(dr1),
+                        base: dise_engine::TReg::Lit(Reg::DAR),
+                        disp: dise_engine::TDisp::Lit(0),
+                    },
+                    TemplateInst::Alu {
+                        op: AluOp::CmpEq,
+                        rd: dise_engine::TReg::Lit(dr1),
+                        ra: dise_engine::TReg::Lit(dr1),
+                        rb: dise_engine::TOperand::Reg(dise_engine::TReg::Lit(Reg::DPV)),
+                    },
+                    TemplateInst::Fixed(Instr::DBr { cond: Cond::Ne, rs: dr1, disp: 1 }),
+                    TemplateInst::Fixed(Instr::Trap),
+                ],
+            ))
+            .unwrap();
+    }
+
+    #[test]
+    fn fig2a_expansion_traps_on_value_change() {
+        let mut m = machine(
+            "start: la r1, w
+                    lda r2, 5(zero)
+                    stq r2, 0(r1)       # changes w: should trap
+                    halt
+             .data
+             w: .quad 0",
+        );
+        let w = 0x0100_0000u64;
+        install_fig2a(&mut m);
+        m.set_reg(Reg::DAR, w);
+        m.set_reg(Reg::DPV, 0); // previous value of w
+        let trace = run(&mut m, 100);
+        // Expansion: store(disepc1), ldq(2), cmpeq(3), d_bne(4) not taken, trap(5)
+        let expanded: Vec<_> = trace.iter().filter(|e| e.disepc > 0).collect();
+        assert_eq!(expanded.len(), 5);
+        assert!(expanded.iter().all(|e| e.pc == expanded[0].pc), "same trigger PC");
+        assert_eq!(expanded[0].disepc, 1);
+        assert!(!expanded[1].fetched, "replacement instructions are not fetched");
+        assert!(matches!(expanded[4].event, Some(Event::Trap)));
+        // DISE branch not taken => no flush on it.
+        assert_eq!(expanded[3].flush, None);
+    }
+
+    #[test]
+    fn fig2a_dise_branch_skips_trap_when_value_unchanged() {
+        let mut m = machine(
+            "start: la r1, w
+                    lda r2, 0(zero)
+                    stq r2, 0(r1)       # silent store: w stays 0
+                    halt
+             .data
+             w: .quad 0",
+        );
+        install_fig2a(&mut m);
+        m.set_reg(Reg::DAR, 0x0100_0000);
+        m.set_reg(Reg::DPV, 0);
+        let trace = run(&mut m, 100);
+        assert!(
+            !trace.iter().any(|e| matches!(e.event, Some(Event::Trap))),
+            "no trap for unchanged value"
+        );
+        // The taken DISE branch must flush.
+        let dbr = trace
+            .iter()
+            .find(|e| matches!(e.instr, Instr::DBr { .. }))
+            .unwrap();
+        assert_eq!(dbr.flush, Some(FlushKind::DiseBranch));
+        // 4 replacement instructions executed (trap skipped).
+        assert_eq!(trace.iter().filter(|e| e.disepc > 0).count(), 4);
+    }
+
+    #[test]
+    fn dise_call_runs_function_and_returns() {
+        // Production: store => store; d_call (dhdlr). Handler: set r9=1,
+        // d_ret. After the call, execution continues after the store.
+        let mut m = machine(
+            "start: la r1, v
+                    lda r2, 3(zero)
+                    stq r2, 0(r1)
+                    lda r8, 1(zero)    # runs after the expansion finishes
+                    halt
+             handler:
+                    lda r9, 1(zero)
+                    d_ret
+             .data
+             v: .quad 0",
+        );
+        let handler = {
+            // Resolve label: re-assemble to find it.
+            let prog = parse_asm(
+                "start: la r1, v
+                    lda r2, 3(zero)
+                    stq r2, 0(r1)
+                    lda r8, 1(zero)
+                    halt
+             handler:
+                    lda r9, 1(zero)
+                    d_ret
+             .data
+             v: .quad 0",
+            )
+            .unwrap()
+            .assemble(Layout::default())
+            .unwrap();
+            prog.symbol("handler").unwrap()
+        };
+        m.engine_mut()
+            .install(Production::new(
+                "call",
+                Pattern::opclass(OpClass::Store),
+                vec![
+                    TemplateInst::Trigger,
+                    TemplateInst::Fixed(Instr::DCall { target: Reg::DHDLR }),
+                ],
+            ))
+            .unwrap();
+        m.set_reg(Reg::DHDLR, handler);
+        let trace = run(&mut m, 100);
+        assert_eq!(m.reg(Reg::gpr(9)), 1, "handler ran");
+        assert_eq!(m.reg(Reg::gpr(8)), 1, "fall-through after expansion");
+        assert_eq!(m.mem().read_u(0x0100_0000, 8), 3, "store retired");
+        let flushes: Vec<_> = trace.iter().filter_map(|e| e.flush).collect();
+        assert_eq!(flushes, vec![FlushKind::DiseCall, FlushKind::DiseRet]);
+        // Handler instructions are conventional fetches inside the call.
+        let in_call: Vec<_> = trace.iter().filter(|e| e.in_dise_call).collect();
+        assert_eq!(in_call.len(), 2);
+        assert!(in_call.iter().all(|e| e.fetched));
+    }
+
+    #[test]
+    fn dise_disabled_inside_called_function() {
+        // The handler itself contains a store; it must NOT re-expand.
+        let src = "start: la r1, v
+                    lda r2, 3(zero)
+                    stq r2, 0(r1)
+                    halt
+             handler:
+                    stq r2, 8(r1)
+                    d_ret
+             .data
+             v: .quad 0
+                .quad 0";
+        let prog = parse_asm(src).unwrap().assemble(Layout::default()).unwrap();
+        let handler = prog.symbol("handler").unwrap();
+        let mut m = Executor::from_program(&prog, CpuConfig::default());
+        m.engine_mut()
+            .install(Production::new(
+                "call",
+                Pattern::opclass(OpClass::Store),
+                vec![
+                    TemplateInst::Trigger,
+                    TemplateInst::Fixed(Instr::DCall { target: Reg::DHDLR }),
+                ],
+            ))
+            .unwrap();
+        m.set_reg(Reg::DHDLR, handler);
+        let trace = run(&mut m, 100);
+        // Exactly one DISE call, not two.
+        let calls = trace.iter().filter(|e| e.flush == Some(FlushKind::DiseCall)).count();
+        assert_eq!(calls, 1);
+        assert_eq!(m.mem().read_u(0x0100_0008, 8), 3, "handler store executed plainly");
+    }
+
+    #[test]
+    fn ctrap_fires_conditionally() {
+        // ctrap in a replacement sequence (Fig. 2b): trap iff value
+        // changed (cmpeq result 0).
+        let dr1 = Reg::dise(1);
+        let prod = Production::new(
+            "fig2b",
+            Pattern::opclass(OpClass::Store),
+            vec![
+                TemplateInst::Trigger,
+                TemplateInst::Load {
+                    width: Width::Q,
+                    rd: dise_engine::TReg::Lit(dr1),
+                    base: dise_engine::TReg::Lit(Reg::DAR),
+                    disp: dise_engine::TDisp::Lit(0),
+                },
+                TemplateInst::Alu {
+                    op: AluOp::CmpEq,
+                    rd: dise_engine::TReg::Lit(dr1),
+                    ra: dise_engine::TReg::Lit(dr1),
+                    rb: dise_engine::TOperand::Reg(dise_engine::TReg::Lit(Reg::DPV)),
+                },
+                TemplateInst::Fixed(Instr::CTrap { cond: Cond::Eq, rs: dr1 }),
+            ],
+        );
+        let mut m = machine(
+            "start: la r1, w
+                    lda r2, 5(zero)
+                    stq r2, 0(r1)
+                    halt
+             .data
+             w: .quad 0",
+        );
+        m.engine_mut().install(prod).unwrap();
+        m.set_reg(Reg::DAR, 0x0100_0000);
+        m.set_reg(Reg::DPV, 0);
+        let trace = run(&mut m, 100);
+        let traps = trace.iter().filter(|e| matches!(e.event, Some(Event::Trap))).count();
+        assert_eq!(traps, 1);
+        // No flush anywhere: ctrap avoids the DISE branch.
+        assert!(trace.iter().all(|e| e.flush.is_none()));
+    }
+
+    #[test]
+    fn zero_register_discards_writes() {
+        let mut m = machine("start: lda r31, 5(zero)\n halt");
+        run(&mut m, 10);
+        assert_eq!(m.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn alu_immediate_and_register_forms() {
+        let mut m = machine(
+            "start: lda r1, 10(zero)
+                    addq r1, 5, r2
+                    addq r2, r2, r3
+                    halt",
+        );
+        run(&mut m, 10);
+        assert_eq!(m.reg(Reg::gpr(2)), 15);
+        assert_eq!(m.reg(Reg::gpr(3)), 30);
+    }
+
+    #[test]
+    fn instruction_count_includes_expansions() {
+        let mut m = machine(
+            "start: la r1, v
+                    stq r2, 0(r1)
+                    halt
+             .data
+             v: .quad 0",
+        );
+        m.engine_mut()
+            .install(Production::new(
+                "pad",
+                Pattern::opclass(OpClass::Store),
+                vec![TemplateInst::Trigger, TemplateInst::Fixed(Instr::Nop)],
+            ))
+            .unwrap();
+        run(&mut m, 100);
+        // la(2) + store-expansion(2) + halt(1)
+        assert_eq!(m.instructions(), 5);
+    }
+}

@@ -1,0 +1,545 @@
+//! The cycle-accounting half of the machine.
+//!
+//! [`Timing`] consumes [`Exec`](crate::Exec) records in program order and
+//! computes the commit cycle of each instruction under the modeled
+//! resources:
+//!
+//! * front end: `width` instructions per cycle; instruction-cache and
+//!   ITLB latency charged per line; fetch groups end at predicted-taken
+//!   branches; **replacement instructions bypass fetch entirely** and
+//!   consume decode/dispatch bandwidth only;
+//! * window: reorder-buffer and reservation-station occupancy stall
+//!   dispatch when full;
+//! * issue: `width` instructions per cycle, `mem_ports` memory
+//!   operations per cycle, operand-ready times tracked per register,
+//!   store→load memory dependences tracked per quadword ("intelligent
+//!   load speculation" — no false dependences, no mis-speculation);
+//! * execute: ALU latencies from the ISA; data-cache/DTLB latency for
+//!   memory operations at issue time;
+//! * commit: in order, `commit_width` per cycle;
+//! * redirects: branch mispredicts (modeled with a real hybrid
+//!   predictor/BTB/RAS), taken DISE branches, DISE calls and returns,
+//!   and conventional branches inside replacement sequences all refill
+//!   the front end; debugger transitions stall it for
+//!   [`CpuConfig::debugger_transition_cost`] cycles.
+
+use std::collections::{HashMap, VecDeque};
+
+use dise_isa::Instr;
+use dise_mem::MemSystem;
+
+use crate::exec::{BranchKind, Exec, FlushKind};
+use crate::{CpuConfig, Predictor};
+
+/// Aggregate results of a timed run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RunStats {
+    /// Total cycles (cycle of the last commit).
+    pub cycles: u64,
+    /// Dynamic instructions committed (including replacement
+    /// instructions).
+    pub instructions: u64,
+    /// Instructions that came through fetch (excludes DISE replacement
+    /// instructions).
+    pub fetched_instructions: u64,
+    /// Conditional-branch direction mispredicts.
+    pub mispredicts: u64,
+    /// Pipeline flushes caused by DISE control transfers.
+    pub dise_flushes: u64,
+    /// Debugger-transition stalls charged.
+    pub debugger_stalls: u64,
+    /// Cycles spent in debugger-transition stalls.
+    pub debugger_stall_cycles: u64,
+}
+
+impl RunStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The timing model. Feed it every [`Exec`] in order via
+/// [`Timing::consume`]; charge debugger transitions with
+/// [`Timing::debugger_stall`]; read the final count with
+/// [`Timing::finish`].
+#[derive(Clone, Debug)]
+pub struct Timing {
+    cfg: CpuConfig,
+    mem: MemSystem,
+    pred: Predictor,
+
+    /// Cycle the front end is currently delivering into.
+    front_cycle: u64,
+    /// Slots remaining in the current front-end cycle.
+    front_slots: u64,
+    /// Current instruction-cache line address (fetch locality).
+    cur_line: u64,
+
+    /// Per-register ready cycle (latest in-flight definition).
+    reg_ready: [u64; crate::NUM_REGS],
+    /// Per-quadword ready cycle of the latest store (memory dependence).
+    store_ready: HashMap<u64, u64>,
+
+    /// Commit cycles of in-flight instructions (ROB occupancy).
+    rob: VecDeque<u64>,
+    /// Issue cycles of in-flight instructions (RS occupancy).
+    rs: VecDeque<u64>,
+
+    /// Issue-port usage per cycle.
+    issue_use: HashMap<u64, u64>,
+    /// Memory-port usage per cycle.
+    mem_use: HashMap<u64, u64>,
+
+    /// In-order commit frontier.
+    commit_cycle: u64,
+    commit_slots: u64,
+    last_commit: u64,
+
+    stats: RunStats,
+    prune_mark: u64,
+}
+
+impl Timing {
+    /// A fresh timing model with cold caches and predictor.
+    pub fn new(cfg: CpuConfig) -> Timing {
+        Timing {
+            cfg,
+            mem: MemSystem::new(cfg.mem),
+            pred: Predictor::new(cfg.bpred),
+            front_cycle: 0,
+            front_slots: cfg.width,
+            cur_line: u64::MAX,
+            reg_ready: [0; crate::NUM_REGS],
+            store_ready: HashMap::new(),
+            rob: VecDeque::new(),
+            rs: VecDeque::new(),
+            issue_use: HashMap::new(),
+            mem_use: HashMap::new(),
+            commit_cycle: 0,
+            commit_slots: cfg.commit_width,
+            last_commit: 0,
+            stats: RunStats::default(),
+            prune_mark: 0,
+        }
+    }
+
+    /// The memory hierarchy (for inspecting cache statistics).
+    pub fn mem_system(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// The branch predictor (for inspecting misprediction rates).
+    pub fn predictor(&self) -> &Predictor {
+        &self.pred
+    }
+
+    /// Cycles elapsed so far (commit frontier).
+    pub fn cycles(&self) -> u64 {
+        self.last_commit
+    }
+
+    fn redirect(&mut self, resume_at: u64) {
+        self.front_cycle = self.front_cycle.max(resume_at);
+        self.front_slots = self.cfg.width;
+        self.cur_line = u64::MAX; // refetch charges the I-cache
+    }
+
+    /// Find the earliest cycle ≥ `ready` with a free slot in `table`
+    /// (capacity `cap` per cycle) and reserve it.
+    fn reserve(table: &mut HashMap<u64, u64>, cap: u64, ready: u64) -> u64 {
+        let mut c = ready;
+        loop {
+            let used = table.entry(c).or_insert(0);
+            if *used < cap {
+                *used += 1;
+                return c;
+            }
+            c += 1;
+        }
+    }
+
+    /// Account one instruction; returns its commit cycle.
+    pub fn consume(&mut self, e: &Exec) -> u64 {
+        self.stats.instructions += 1;
+
+        // ---- Front end --------------------------------------------------
+        if e.fetched {
+            self.stats.fetched_instructions += 1;
+            let line = e.pc / self.cfg.mem.l1i.line;
+            if line != self.cur_line {
+                self.cur_line = line;
+                let lat = self.mem.inst_fetch(e.pc);
+                if lat > 1 {
+                    // Fetch stalls for the miss; the group restarts.
+                    self.front_cycle += lat - 1;
+                    self.front_slots = self.cfg.width;
+                }
+            }
+        }
+        if self.front_slots == 0 {
+            self.front_cycle += 1;
+            self.front_slots = self.cfg.width;
+        }
+        self.front_slots -= 1;
+        let mut dispatch = self.front_cycle;
+
+        // ---- Window occupancy -------------------------------------------
+        while self.rob.len() >= self.cfg.rob_entries {
+            let freed = self.rob.pop_front().expect("rob nonempty");
+            dispatch = dispatch.max(freed);
+        }
+        while self.rs.len() >= self.cfg.rs_entries {
+            let freed = self.rs.pop_front().expect("rs nonempty");
+            dispatch = dispatch.max(freed);
+        }
+        // Retire bookkeeping entries that are already done.
+        while self.rob.front().is_some_and(|&c| c < dispatch) {
+            self.rob.pop_front();
+        }
+        while self.rs.front().is_some_and(|&c| c < dispatch) {
+            self.rs.pop_front();
+        }
+        self.front_cycle = self.front_cycle.max(dispatch);
+
+        // ---- Operand readiness ------------------------------------------
+        let mut ready = dispatch + 1;
+        for src in e.instr.sources().iter().flatten() {
+            ready = ready.max(self.reg_ready[src.index()]);
+        }
+        if let Some(m) = e.mem {
+            if !m.is_store {
+                for q in (m.addr / 8)..=((m.addr + m.width - 1) / 8) {
+                    if let Some(&r) = self.store_ready.get(&q) {
+                        ready = ready.max(r);
+                    }
+                }
+            }
+        }
+
+        // ---- Issue -------------------------------------------------------
+        let issue = {
+            let c = Self::reserve(&mut self.issue_use, self.cfg.width, ready);
+            if e.mem.is_some() {
+                Self::reserve(&mut self.mem_use, self.cfg.mem_ports, c)
+            } else {
+                c
+            }
+        };
+        self.rs.push_back(issue);
+
+        // ---- Execute -----------------------------------------------------
+        let latency = match (&e.instr, e.mem) {
+            (_, Some(m)) => self.mem.data_access(m.addr, m.is_store),
+            (Instr::Alu { op, .. }, None) => op.latency(),
+            _ => 1,
+        };
+        let done = issue + latency;
+        if let Some(d) = e.instr.dest() {
+            self.reg_ready[d.index()] = done;
+        }
+        if let Some(m) = e.mem {
+            if m.is_store {
+                for q in (m.addr / 8)..=((m.addr + m.width - 1) / 8) {
+                    self.store_ready.insert(q, done);
+                }
+            }
+        }
+
+        // ---- Commit (in order) --------------------------------------------
+        let mut commit = done.max(self.commit_cycle);
+        if commit > self.commit_cycle {
+            self.commit_cycle = commit;
+            self.commit_slots = self.cfg.commit_width;
+        }
+        if self.commit_slots == 0 {
+            self.commit_cycle += 1;
+            self.commit_slots = self.cfg.commit_width;
+            commit = self.commit_cycle;
+        }
+        self.commit_slots -= 1;
+        self.last_commit = commit;
+        self.rob.push_back(commit);
+
+        // ---- Redirects -----------------------------------------------------
+        if let Some(b) = e.branch {
+            if e.fetched {
+                let mispredict = match b.kind {
+                    BranchKind::Conditional => !self.pred.predict_and_update(e.pc, b.taken),
+                    BranchKind::Direct => false,
+                    BranchKind::Indirect => !self.pred.predict_indirect(e.pc, b.target),
+                    BranchKind::Call => {
+                        self.pred.push_return(e.pc + 4);
+                        match e.instr {
+                            Instr::Jmp { .. } => !self.pred.predict_indirect(e.pc, b.target),
+                            _ => false,
+                        }
+                    }
+                    BranchKind::Return => !self.pred.predict_return(b.target),
+                };
+                if mispredict {
+                    self.stats.mispredicts += 1;
+                    self.redirect(done + self.cfg.mispredict_penalty);
+                } else if b.taken {
+                    // Predicted-taken branch ends the fetch group.
+                    self.front_cycle += 1;
+                    self.front_slots = self.cfg.width;
+                    self.cur_line = u64::MAX;
+                }
+            }
+        }
+        if let Some(kind) = e.flush {
+            let suppressed = self.cfg.multithreaded_dise_calls
+                && matches!(kind, FlushKind::DiseCall | FlushKind::DiseRet);
+            if !suppressed {
+                self.stats.dise_flushes += 1;
+                self.redirect(done + self.cfg.dise_flush_penalty);
+            }
+        }
+
+        // ---- Housekeeping ---------------------------------------------------
+        if self.stats.instructions.is_multiple_of(65_536) {
+            let keep = self.prune_mark;
+            self.issue_use.retain(|&c, _| c >= keep);
+            self.mem_use.retain(|&c, _| c >= keep);
+            self.prune_mark = self.last_commit;
+        }
+
+        commit
+    }
+
+    /// Charge a debugger transition: the pipeline is flushed and the
+    /// application stalls for `cost` cycles (use
+    /// [`CpuConfig::debugger_transition_cost`] for spurious transitions;
+    /// masked transitions are free per the paper's methodology).
+    pub fn debugger_stall(&mut self, cost: u64) {
+        self.stats.debugger_stalls += 1;
+        self.stats.debugger_stall_cycles += cost;
+        let resume = self.last_commit + cost;
+        self.commit_cycle = self.commit_cycle.max(resume);
+        self.redirect(resume);
+    }
+
+    /// Close out the run and return the statistics.
+    pub fn finish(&mut self) -> RunStats {
+        self.stats.cycles = self.last_commit;
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Branch, Event, MemOp};
+    use dise_isa::{AluOp, Operand, Reg};
+
+    fn cfg() -> CpuConfig {
+        CpuConfig::default()
+    }
+
+    fn plain_alu(pc: u64, rd: u8, ra: u8) -> Exec {
+        Exec {
+            pc,
+            disepc: 0,
+            in_dise_call: false,
+            instr: Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::gpr(rd),
+                ra: Reg::gpr(ra),
+                rb: Operand::Imm(1),
+            },
+            fetched: true,
+            branch: None,
+            mem: None,
+            flush: None,
+            event: None,
+        }
+    }
+
+    #[test]
+    fn independent_alus_reach_full_width() {
+        let mut t = Timing::new(cfg());
+        // 4000 independent single-cycle ALU ops: IPC should approach 4.
+        for i in 0..4000u64 {
+            let e = plain_alu(0x10_0000 + (i % 16) * 4, (i % 8) as u8, 20);
+            t.consume(&e);
+        }
+        let s = t.finish();
+        assert!(s.ipc() > 3.0, "ipc = {}", s.ipc());
+    }
+
+    #[test]
+    fn dependent_chain_limits_to_one_ipc() {
+        let mut t = Timing::new(cfg());
+        for i in 0..2000u64 {
+            // r1 = r1 + 1 repeatedly: serial dependence.
+            let e = plain_alu(0x10_0000 + (i % 16) * 4, 1, 1);
+            t.consume(&e);
+        }
+        let s = t.finish();
+        assert!(s.ipc() < 1.2, "ipc = {}", s.ipc());
+        assert!(s.ipc() > 0.8, "ipc = {}", s.ipc());
+    }
+
+    #[test]
+    fn dise_flush_costs_cycles() {
+        let base = {
+            let mut t = Timing::new(cfg());
+            for i in 0..1000u64 {
+                t.consume(&plain_alu(0x10_0000 + (i % 16) * 4, (i % 8) as u8, 20));
+            }
+            t.finish().cycles
+        };
+        let flushed = {
+            let mut t = Timing::new(cfg());
+            for i in 0..1000u64 {
+                let mut e = plain_alu(0x10_0000 + (i % 16) * 4, (i % 8) as u8, 20);
+                if i % 10 == 0 {
+                    e.flush = Some(FlushKind::DiseBranch);
+                    e.fetched = false;
+                    e.disepc = 1;
+                }
+                t.consume(&e);
+            }
+            t.finish().cycles
+        };
+        assert!(
+            flushed > base + 500,
+            "flushes should add ≈100×10 cycles: base {base}, flushed {flushed}"
+        );
+    }
+
+    #[test]
+    fn multithreading_suppresses_call_flushes() {
+        let run = |mt: bool| {
+            let mut c = cfg();
+            c.multithreaded_dise_calls = mt;
+            let mut t = Timing::new(c);
+            for i in 0..1000u64 {
+                let mut e = plain_alu(0x10_0000 + (i % 16) * 4, (i % 8) as u8, 20);
+                if i % 10 == 0 {
+                    e.flush = Some(FlushKind::DiseCall);
+                }
+                if i % 10 == 5 {
+                    e.flush = Some(FlushKind::DiseRet);
+                }
+                t.consume(&e);
+            }
+            t.finish()
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(with.cycles < without.cycles);
+        assert_eq!(with.dise_flushes, 0);
+        assert!(without.dise_flushes > 0);
+    }
+
+    #[test]
+    fn debugger_stall_dominates() {
+        let mut t = Timing::new(cfg());
+        t.consume(&plain_alu(0x10_0000, 1, 2));
+        t.debugger_stall(100_000);
+        t.consume(&plain_alu(0x10_0004, 3, 4));
+        let s = t.finish();
+        assert!(s.cycles >= 100_000);
+        assert_eq!(s.debugger_stalls, 1);
+        assert_eq!(s.debugger_stall_cycles, 100_000);
+    }
+
+    #[test]
+    fn load_dependence_on_store_address() {
+        // A load that reads the quad a prior store wrote must wait.
+        let mut t = Timing::new(cfg());
+        let mut store = plain_alu(0x10_0000, 1, 2);
+        store.instr = Instr::Store { width: dise_isa::Width::Q, rs: Reg::gpr(1), base: Reg::gpr(2), disp: 0 };
+        store.mem = Some(MemOp { addr: 0x100, width: 8, is_store: true, old_value: 0, new_value: 1 });
+        let sc = t.consume(&store);
+
+        let mut load = plain_alu(0x10_0004, 3, 4);
+        load.instr = Instr::Load { width: dise_isa::Width::Q, rd: Reg::gpr(3), base: Reg::gpr(4), disp: 0 };
+        load.mem = Some(MemOp { addr: 0x100, width: 8, is_store: false, old_value: 1, new_value: 1 });
+        let lc = t.consume(&load);
+        assert!(lc >= sc, "load commits no earlier than the store it depends on");
+    }
+
+    #[test]
+    fn mispredicted_branches_add_bubbles() {
+        // Random directions on one PC: predictor can't learn, frequent
+        // mispredicts, low IPC.
+        let run = |pattern: &dyn Fn(u64) -> bool| {
+            let mut t = Timing::new(cfg());
+            for i in 0..2000u64 {
+                let taken = pattern(i);
+                let mut e = plain_alu(0x10_0000, (i % 8) as u8, 20);
+                e.instr = Instr::CondBr { cond: dise_isa::Cond::Eq, rs: Reg::gpr(20), disp: 4 };
+                e.branch = Some(Branch { kind: BranchKind::Conditional, taken, target: 0x10_0040 });
+                t.consume(&e);
+                // a few straight-line instructions between branches
+                for j in 0..3 {
+                    t.consume(&plain_alu(0x10_0044 + j * 4, ((i + j) % 8) as u8, 21));
+                }
+            }
+            t.finish()
+        };
+        let steady = run(&|_| true);
+        // LFSR-ish pseudo-random pattern the 12-bit-history gshare cannot
+        // fully capture.
+        let chaotic = run(&|i| ((i * 2654435761u64) >> 13) & 1 == 1);
+        assert!(chaotic.mispredicts > steady.mispredicts * 2);
+        assert!(chaotic.cycles > steady.cycles);
+    }
+
+    #[test]
+    fn icache_miss_slows_cold_code() {
+        // Walk a large code footprint twice: first pass cold, second warm.
+        let mut t = Timing::new(cfg());
+        for i in 0..2000u64 {
+            t.consume(&plain_alu(0x10_0000 + i * 4, (i % 8) as u8, 20));
+        }
+        let cold = t.finish().cycles;
+        let mut t2 = Timing::new(cfg());
+        // Prime.
+        for i in 0..2000u64 {
+            t2.consume(&plain_alu(0x10_0000 + i * 4, (i % 8) as u8, 20));
+        }
+        let primed = t2.finish().cycles;
+        assert_eq!(cold, primed, "determinism");
+        // Same loop within one line: no further misses.
+        let mut t3 = Timing::new(cfg());
+        for i in 0..2000u64 {
+            t3.consume(&plain_alu(0x10_0000 + (i % 16) * 4, (i % 8) as u8, 20));
+        }
+        assert!(t3.finish().cycles < cold);
+    }
+
+    #[test]
+    fn unfetched_instructions_skip_icache() {
+        // Replacement instructions spanning many "lines" must not touch
+        // the I-cache.
+        let mut t = Timing::new(cfg());
+        for i in 0..100u64 {
+            let mut e = plain_alu(0x10_0000 + i * 256, (i % 8) as u8, 20);
+            e.fetched = false;
+            e.disepc = 1;
+            t.consume(&e);
+        }
+        let (l1i, ..) = t.mem_system().stats();
+        assert_eq!(l1i.accesses, 0);
+    }
+
+    #[test]
+    fn trap_event_field_is_inert_in_timing() {
+        // Timing treats events as data; only debugger_stall charges cost.
+        let mut t = Timing::new(cfg());
+        let mut e = plain_alu(0x10_0000, 1, 2);
+        e.event = Some(Event::Trap);
+        t.consume(&e);
+        let s = t.finish();
+        assert_eq!(s.debugger_stalls, 0);
+        assert!(s.cycles < 500, "only cold-miss latency, no stall: {}", s.cycles);
+    }
+}

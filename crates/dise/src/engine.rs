@@ -1,0 +1,402 @@
+//! The production store: bounded tables, matching, instantiation.
+
+use std::fmt;
+
+use dise_isa::{Instr, OpClass};
+
+use crate::{ExpandError, Production};
+
+/// Capacity of the physical DISE controller.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EngineConfig {
+    /// Maximum number of installed patterns.
+    pub pattern_entries: usize,
+    /// Total replacement-table capacity in instructions.
+    pub replacement_entries: usize,
+}
+
+impl EngineConfig {
+    /// The paper's "modestly configured" engine: a 32-entry pattern table
+    /// and a 512-instruction replacement table.
+    pub const PAPER: EngineConfig = EngineConfig { pattern_entries: 32, replacement_entries: 512 };
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig::PAPER
+    }
+}
+
+/// Handle to an installed production.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ProductionId(usize);
+
+/// Errors from [`Engine::install`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// The pattern table is full.
+    PatternTableFull {
+        /// Its capacity.
+        capacity: usize,
+    },
+    /// The replacement table cannot hold the production's sequence.
+    ReplacementTableFull {
+        /// Its capacity.
+        capacity: usize,
+        /// Entries already in use.
+        used: usize,
+        /// Entries requested.
+        requested: usize,
+    },
+    /// A template directive is incompatible with the production's own
+    /// pattern (e.g. `T.IMM` under a pattern that matches non-memory
+    /// instructions), which would fault at decode time.
+    IncompatibleTemplate {
+        /// Description of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::PatternTableFull { capacity } => {
+                write!(f, "pattern table full ({capacity} entries)")
+            }
+            EngineError::ReplacementTableFull { capacity, used, requested } => write!(
+                f,
+                "replacement table full ({used}/{capacity} used, {requested} requested)"
+            ),
+            EngineError::IncompatibleTemplate { reason } => {
+                write!(f, "template incompatible with pattern: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The DISE engine: a bounded store of [`Production`]s plus the
+/// match/instantiate operation performed at decode.
+///
+/// The engine itself is architectural state only; the pipeline in
+/// `dise-cpu` owns the DISE register file, the DISEPC, and the
+/// expansion-disable flag used inside DISE-called functions.
+#[derive(Clone, Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+    productions: Vec<Production>,
+    /// Dynamic count of instructions produced by expansion.
+    expanded_instructions: u64,
+    /// Dynamic count of triggers matched.
+    triggers: u64,
+}
+
+impl Engine {
+    /// An engine with the given capacities.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine { config, ..Engine::default() }
+    }
+
+    /// An engine with the paper's capacities.
+    pub fn with_paper_config() -> Engine {
+        Engine::new(EngineConfig::PAPER)
+    }
+
+    /// The configured capacities.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Replacement-table entries currently in use.
+    pub fn replacement_used(&self) -> usize {
+        self.productions.iter().map(Production::replacement_len).sum()
+    }
+
+    /// Install a production.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either table is full, or when a template directive can
+    /// fault against instructions the pattern admits (checked up front so
+    /// decode never faults).
+    pub fn install(&mut self, production: Production) -> Result<ProductionId, EngineError> {
+        if self.productions.len() == self.config.pattern_entries {
+            return Err(EngineError::PatternTableFull { capacity: self.config.pattern_entries });
+        }
+        let used = self.replacement_used();
+        let requested = production.replacement_len();
+        if used + requested > self.config.replacement_entries {
+            return Err(EngineError::ReplacementTableFull {
+                capacity: self.config.replacement_entries,
+                used,
+                requested,
+            });
+        }
+        // A pattern restricted to loads/stores guarantees memory-trigger
+        // directives resolve; PC/codeword/unrestricted patterns do not.
+        let memory_only = matches!(
+            production.pattern().opclass,
+            Some(OpClass::Load) | Some(OpClass::Store)
+        );
+        if !memory_only {
+            if let Some(t) = production
+                .replacement()
+                .iter()
+                .find(|t| t.needs_memory_trigger())
+            {
+                return Err(EngineError::IncompatibleTemplate {
+                    reason: format!(
+                        "{t:?} requires memory triggers but the pattern admits others"
+                    ),
+                });
+            }
+        }
+        self.productions.push(production);
+        Ok(ProductionId(self.productions.len() - 1))
+    }
+
+    /// Access an installed production.
+    pub fn production(&self, id: ProductionId) -> Option<&Production> {
+        self.productions.get(id.0)
+    }
+
+    /// Activate/deactivate a production (the debugger's fast
+    /// enable/disable path — no code modification).
+    pub fn set_active(&mut self, id: ProductionId, active: bool) {
+        if let Some(p) = self.productions.get_mut(id.0) {
+            p.set_active(active);
+        }
+    }
+
+    /// Remove every production.
+    pub fn clear(&mut self) {
+        self.productions.clear();
+    }
+
+    /// Number of installed productions.
+    pub fn len(&self) -> usize {
+        self.productions.len()
+    }
+
+    /// True when no productions are installed.
+    pub fn is_empty(&self) -> bool {
+        self.productions.is_empty()
+    }
+
+    /// Find the matching production for the instruction at `pc`, if any;
+    /// the most specific active pattern wins ties by installation order.
+    pub fn matching(&self, pc: u64, instr: &Instr) -> Option<&Production> {
+        self.productions
+            .iter()
+            .filter(|p| p.is_active() && p.pattern().matches(pc, instr))
+            .max_by_key(|p| p.pattern().specificity())
+    }
+
+    /// Decode-stage expansion: returns the instantiated replacement
+    /// sequence for a matching trigger, or `None` for unmatched
+    /// instructions (which pass through unmodified).
+    ///
+    /// Statistics ([`Engine::stats`]) are updated on matches.
+    pub fn expand(&mut self, pc: u64, instr: &Instr) -> Option<Vec<Instr>> {
+        let seq = {
+            let p = self.matching(pc, instr)?;
+            match p.instantiate(instr) {
+                Ok(seq) => seq,
+                // Install-time validation makes this unreachable; treat a
+                // residual mismatch as no-match rather than corrupting the
+                // stream.
+                Err(ExpandError::NoRd | ExpandError::NoRs1 | ExpandError::NoImm
+                | ExpandError::NotMemory) => return None,
+            }
+        };
+        self.triggers += 1;
+        self.expanded_instructions += seq.len() as u64;
+        Some(seq)
+    }
+
+    /// `(triggers_matched, instructions_emitted)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.triggers, self.expanded_instructions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pattern, TDisp, TOperand, TReg, TemplateInst};
+    use dise_isa::{AluOp, Reg, Width};
+
+    fn store() -> Instr {
+        Instr::Store { width: Width::Q, rs: Reg::gpr(1), base: Reg::gpr(2), disp: 8 }
+    }
+
+    fn trigger_only(name: &str, pattern: Pattern) -> Production {
+        Production::new(name, pattern, vec![TemplateInst::Trigger])
+    }
+
+    #[test]
+    fn unmatched_passes_through() {
+        let mut e = Engine::with_paper_config();
+        assert_eq!(e.expand(0, &Instr::Nop), None);
+        e.install(trigger_only("stores", Pattern::opclass(OpClass::Store))).unwrap();
+        assert_eq!(e.expand(0, &Instr::Nop), None);
+        assert_eq!(e.expand(0, &store()), Some(vec![store()]));
+        assert_eq!(e.stats(), (1, 1));
+    }
+
+    #[test]
+    fn most_specific_pattern_wins() {
+        // The paper's stack-store specialisation: general store pattern
+        // expands to the watchpoint sequence, sp-based stores expand to
+        // just themselves.
+        let mut e = Engine::with_paper_config();
+        e.install(Production::new(
+            "watch",
+            Pattern::opclass(OpClass::Store),
+            vec![TemplateInst::Trigger, TemplateInst::Fixed(Instr::Nop)],
+        ))
+        .unwrap();
+        e.install(trigger_only(
+            "stack-passthrough",
+            Pattern::opclass(OpClass::Store).with_base_reg(Reg::SP),
+        ))
+        .unwrap();
+
+        let heap_store = store();
+        let stack_store =
+            Instr::Store { width: Width::Q, rs: Reg::gpr(1), base: Reg::SP, disp: 8 };
+        assert_eq!(e.expand(0, &heap_store).unwrap().len(), 2);
+        assert_eq!(e.expand(0, &stack_store).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn inactive_productions_skipped() {
+        let mut e = Engine::with_paper_config();
+        let id = e
+            .install(Production::new(
+                "watch",
+                Pattern::opclass(OpClass::Store),
+                vec![TemplateInst::Trigger, TemplateInst::Fixed(Instr::Trap)],
+            ))
+            .unwrap();
+        assert!(e.expand(0, &store()).is_some());
+        e.set_active(id, false);
+        assert_eq!(e.expand(0, &store()), None);
+        e.set_active(id, true);
+        assert!(e.expand(0, &store()).is_some());
+    }
+
+    #[test]
+    fn pattern_table_capacity() {
+        let mut e = Engine::new(EngineConfig { pattern_entries: 2, replacement_entries: 512 });
+        e.install(trigger_only("a", Pattern::at_pc(0))).unwrap();
+        e.install(trigger_only("b", Pattern::at_pc(4))).unwrap();
+        let err = e.install(trigger_only("c", Pattern::at_pc(8))).unwrap_err();
+        assert_eq!(err, EngineError::PatternTableFull { capacity: 2 });
+    }
+
+    #[test]
+    fn replacement_table_capacity() {
+        let mut e = Engine::new(EngineConfig { pattern_entries: 32, replacement_entries: 3 });
+        e.install(Production::new(
+            "two",
+            Pattern::at_pc(0),
+            vec![TemplateInst::Trigger, TemplateInst::Fixed(Instr::Nop)],
+        ))
+        .unwrap();
+        let err = e
+            .install(Production::new(
+                "two-more",
+                Pattern::at_pc(4),
+                vec![TemplateInst::Trigger, TemplateInst::Fixed(Instr::Nop)],
+            ))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::ReplacementTableFull { capacity: 3, used: 2, requested: 2 }
+        );
+    }
+
+    #[test]
+    fn incompatible_template_rejected() {
+        let mut e = Engine::with_paper_config();
+        // T.IMM under an any-instruction pattern could fault at decode.
+        let err = e
+            .install(Production::new(
+                "bad",
+                Pattern::default(),
+                vec![TemplateInst::Lda {
+                    rd: TReg::Lit(Reg::dise(1)),
+                    base: TReg::Rs1,
+                    disp: TDisp::Imm,
+                }],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::IncompatibleTemplate { .. }));
+
+        // The same template under a store-only pattern is fine.
+        e.install(Production::new(
+            "good",
+            Pattern::opclass(OpClass::Store),
+            vec![
+                TemplateInst::Trigger,
+                TemplateInst::Lda {
+                    rd: TReg::Lit(Reg::dise(1)),
+                    base: TReg::Rs1,
+                    disp: TDisp::Imm,
+                },
+                TemplateInst::Alu {
+                    op: AluOp::CmpEq,
+                    rd: TReg::Lit(Reg::dise(1)),
+                    ra: TReg::Lit(Reg::dise(1)),
+                    rb: TOperand::Reg(TReg::Lit(Reg::DAR)),
+                },
+            ],
+        ))
+        .unwrap();
+        assert_eq!(e.replacement_used(), 3);
+    }
+
+    #[test]
+    fn paper_fig2d_production_expands() {
+        // Match-Address + conditional call (Fig. 2d), the paper's default.
+        let dr1 = Reg::dise(1);
+        let mut e = Engine::with_paper_config();
+        e.install(Production::new(
+            "watch-fig2d",
+            Pattern::opclass(OpClass::Store),
+            vec![
+                TemplateInst::Trigger,
+                TemplateInst::Lda { rd: TReg::Lit(dr1), base: TReg::Rs1, disp: TDisp::Imm },
+                TemplateInst::Alu {
+                    op: AluOp::Bic,
+                    rd: TReg::Lit(dr1),
+                    ra: TReg::Lit(dr1),
+                    rb: TOperand::Imm(7),
+                },
+                TemplateInst::Alu {
+                    op: AluOp::CmpEq,
+                    rd: TReg::Lit(dr1),
+                    ra: TReg::Lit(dr1),
+                    rb: TOperand::Reg(TReg::Lit(Reg::DAR)),
+                },
+                TemplateInst::Fixed(Instr::DCCall {
+                    cond: dise_isa::Cond::Ne,
+                    rs: dr1,
+                    target: Reg::DHDLR,
+                }),
+            ],
+        ))
+        .unwrap();
+
+        let seq = e.expand(0x100, &store()).unwrap();
+        assert_eq!(seq.len(), 5);
+        assert_eq!(seq[0], store());
+        assert_eq!(seq[1], Instr::Lda { rd: dr1, base: Reg::gpr(2), disp: 8 });
+        match seq[4] {
+            Instr::DCCall { target, .. } => assert_eq!(target, Reg::DHDLR),
+            other => panic!("{other:?}"),
+        }
+    }
+}

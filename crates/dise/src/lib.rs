@@ -1,0 +1,50 @@
+//! # dise-engine — Dynamic Instruction Stream Editing
+//!
+//! The DISE facility of Corliss, Lewis & Roth: a decode-stage macro
+//! engine that pattern-matches each fetched instruction and, on a match,
+//! feeds the execution engine a parameterised *replacement sequence*
+//! instead. This crate implements the engine's architectural content:
+//!
+//! * [`Pattern`] — single-instruction predicates over opclass, opcode
+//!   kind, PC, codeword index, and base register, with
+//!   *most-specific-wins* arbitration exactly as the paper specifies for
+//!   overlapping patterns;
+//! * [`TemplateInst`] — replacement-sequence instructions whose fields
+//!   may be literal or instantiated from the matched *trigger*
+//!   (`T.INST`, `T.OP`, `T.RD`, `T.RS1`, `T.IMM` directives);
+//! * [`Production`] — a pattern plus replacement sequence;
+//! * [`Engine`] — the production store, bounded like the paper's
+//!   "modestly configured" engine (32-entry pattern table, 512-entry
+//!   replacement table), performing match + instantiation.
+//!
+//! Execution-time state (the DISE register file, DISEPC, the
+//! expansion-disable flag inside DISE-called functions, and the flush
+//! costs of DISE control transfers) lives in the `dise-cpu` pipeline,
+//! which queries this engine at decode.
+//!
+//! ```
+//! use dise_engine::{Engine, Pattern, Production, TemplateInst};
+//! use dise_isa::{Instr, OpClass, Reg, Width};
+//!
+//! let mut engine = Engine::with_paper_config();
+//! engine.install(Production::new(
+//!     "count-stores",
+//!     Pattern::opclass(OpClass::Store),
+//!     vec![TemplateInst::Trigger, TemplateInst::Fixed(Instr::Nop)],
+//! ))?;
+//!
+//! let store = Instr::Store { width: Width::Q, rs: Reg::gpr(1), base: Reg::SP, disp: 0 };
+//! let seq = engine.expand(0x1000, &store).expect("store matches");
+//! assert_eq!(seq, vec![store, Instr::Nop]);
+//! # Ok::<(), dise_engine::EngineError>(())
+//! ```
+
+mod engine;
+mod pattern;
+mod production;
+mod template;
+
+pub use engine::{Engine, EngineConfig, EngineError, ProductionId};
+pub use pattern::Pattern;
+pub use production::Production;
+pub use template::{ExpandError, TDisp, TOperand, TReg, TemplateInst};

@@ -1,0 +1,141 @@
+//! Single-instruction match patterns.
+
+use dise_isa::{Instr, OpClass, Reg};
+
+/// A DISE pattern: a conjunction of predicates over one instruction.
+///
+/// "A pattern may specify any aspect of a single instruction: PC, opcode,
+/// register, etc." — we expose the aspects the paper's productions use.
+/// An empty pattern matches everything; when several installed patterns
+/// match the same instruction the most *specific* one (most predicates)
+/// wins, which is how the paper's stack-store specialisation works
+/// (§4.2, "Pattern matching optimizations").
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Pattern {
+    /// Require this opclass (`T.OPCLASS==store`).
+    pub opclass: Option<OpClass>,
+    /// Require this trigger PC (breakpoint-register style).
+    pub pc: Option<u64>,
+    /// Require a DISE codeword with this index.
+    pub codeword: Option<u16>,
+    /// Require this base register on a memory trigger (`T.RS==sp`).
+    pub base_reg: Option<Reg>,
+}
+
+impl Pattern {
+    /// Match any instruction of `class`.
+    pub fn opclass(class: OpClass) -> Pattern {
+        Pattern { opclass: Some(class), ..Pattern::default() }
+    }
+
+    /// Match the instruction at `pc` (hardware-breakpoint style).
+    pub fn at_pc(pc: u64) -> Pattern {
+        Pattern { pc: Some(pc), ..Pattern::default() }
+    }
+
+    /// Match the DISE codeword with index `idx`.
+    pub fn codeword(idx: u16) -> Pattern {
+        Pattern { codeword: Some(idx), ..Pattern::default() }
+    }
+
+    /// Further require the trigger's base register (builder style).
+    pub fn with_base_reg(mut self, base: Reg) -> Pattern {
+        self.base_reg = Some(base);
+        self
+    }
+
+    /// Number of predicates; higher wins arbitration.
+    pub fn specificity(&self) -> u32 {
+        u32::from(self.opclass.is_some())
+            + u32::from(self.pc.is_some())
+            + u32::from(self.codeword.is_some())
+            + u32::from(self.base_reg.is_some())
+    }
+
+    /// Does the instruction at `pc` match?
+    pub fn matches(&self, pc: u64, instr: &Instr) -> bool {
+        if let Some(class) = self.opclass {
+            if instr.opclass() != class {
+                return false;
+            }
+        }
+        if let Some(p) = self.pc {
+            if pc != p {
+                return false;
+            }
+        }
+        if let Some(idx) = self.codeword {
+            match instr {
+                Instr::Codeword(i) if *i == idx => {}
+                _ => return false,
+            }
+        }
+        if let Some(base) = self.base_reg {
+            match instr.mem_access() {
+                Some((b, _, _)) if b == base => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_isa::Width;
+
+    fn store(base: Reg) -> Instr {
+        Instr::Store { width: Width::Q, rs: Reg::gpr(1), base, disp: 0 }
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let p = Pattern::default();
+        assert!(p.matches(0, &Instr::Nop));
+        assert!(p.matches(4, &store(Reg::SP)));
+        assert_eq!(p.specificity(), 0);
+    }
+
+    #[test]
+    fn opclass_pattern() {
+        let p = Pattern::opclass(OpClass::Store);
+        assert!(p.matches(0, &store(Reg::SP)));
+        assert!(!p.matches(0, &Instr::Nop));
+        assert!(!p.matches(
+            0,
+            &Instr::Load { width: Width::Q, rd: Reg::gpr(1), base: Reg::SP, disp: 0 }
+        ));
+    }
+
+    #[test]
+    fn pc_pattern() {
+        let p = Pattern::at_pc(0x400);
+        assert!(p.matches(0x400, &Instr::Nop));
+        assert!(!p.matches(0x404, &Instr::Nop));
+    }
+
+    #[test]
+    fn codeword_pattern() {
+        let p = Pattern::codeword(7);
+        assert!(p.matches(0, &Instr::Codeword(7)));
+        assert!(!p.matches(0, &Instr::Codeword(8)));
+        assert!(!p.matches(0, &Instr::Nop));
+    }
+
+    #[test]
+    fn base_reg_narrowing() {
+        // The paper's example: all loads whose base is the stack pointer.
+        let p = Pattern::opclass(OpClass::Store).with_base_reg(Reg::SP);
+        assert!(p.matches(0, &store(Reg::SP)));
+        assert!(!p.matches(0, &store(Reg::gpr(4))));
+        assert_eq!(p.specificity(), 2);
+    }
+
+    #[test]
+    fn specificity_ordering() {
+        let general = Pattern::opclass(OpClass::Store);
+        let specific = Pattern::opclass(OpClass::Store).with_base_reg(Reg::SP);
+        assert!(specific.specificity() > general.specificity());
+    }
+}

@@ -1,0 +1,351 @@
+//! Parameterised replacement-sequence instructions.
+//!
+//! Replacement sequences are "templates in which some instruction fields
+//! are literal and others are instantiated using fields from the replaced
+//! trigger". The `T…` types below are the template directives: [`TReg`]
+//! corresponds to `T.RD`/`T.RS1`, [`TDisp`] to `T.IMM`, and
+//! [`TemplateInst::Trigger`] to `T.INST`.
+
+use std::fmt;
+
+use dise_isa::{AluOp, Instr, Reg, Width};
+
+/// A register field of a template: literal or taken from the trigger.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TReg {
+    /// A literal register (typically a DISE register).
+    Lit(Reg),
+    /// The trigger's destination/data register (`T.RD`).
+    Rd,
+    /// The trigger's first source register (`T.RS1`): the base register
+    /// of a memory trigger, else its first source.
+    Rs1,
+}
+
+/// A displacement field of a template.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TDisp {
+    /// A literal displacement.
+    Lit(i16),
+    /// The trigger's immediate/displacement (`T.IMM`).
+    Imm,
+}
+
+/// A register-or-immediate ALU operand of a template.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TOperand {
+    /// A register field.
+    Reg(TReg),
+    /// A literal 8-bit immediate.
+    Imm(u8),
+}
+
+/// One instruction of a replacement sequence.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TemplateInst {
+    /// `T.INST` — the trigger instruction itself, verbatim.
+    Trigger,
+    /// An all-literal instruction.
+    Fixed(Instr),
+    /// A load with templated fields.
+    Load {
+        /// Access width.
+        width: Width,
+        /// Destination.
+        rd: TReg,
+        /// Base register field.
+        base: TReg,
+        /// Displacement field.
+        disp: TDisp,
+    },
+    /// A store with templated fields.
+    Store {
+        /// Access width.
+        width: Width,
+        /// Data register field.
+        rs: TReg,
+        /// Base register field.
+        base: TReg,
+        /// Displacement field.
+        disp: TDisp,
+    },
+    /// `lda` with templated fields — `lda dr1, T.IMM(T.RS1)` is how the
+    /// paper's productions reconstruct a store's effective address.
+    Lda {
+        /// Destination.
+        rd: TReg,
+        /// Base register field.
+        base: TReg,
+        /// Displacement field.
+        disp: TDisp,
+    },
+    /// An ALU operation with templated fields.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: TReg,
+        /// First source field.
+        ra: TReg,
+        /// Second operand field.
+        rb: TOperand,
+    },
+    /// `T.OP T.RD, disp(base)` — the trigger's own memory opcode with
+    /// substituted address fields (Fig. 1's redirected load).
+    TriggerOpWith {
+        /// Base register field.
+        base: TReg,
+        /// Displacement field.
+        disp: TDisp,
+    },
+}
+
+/// Instantiation failure: a directive referenced a trigger field the
+/// trigger does not have.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExpandError {
+    /// `T.RD` on a trigger without a destination/data register.
+    NoRd,
+    /// `T.RS1` on a trigger without a source register.
+    NoRs1,
+    /// `T.IMM` on a trigger without a displacement.
+    NoImm,
+    /// [`TemplateInst::TriggerOpWith`] on a non-memory trigger.
+    NotMemory,
+}
+
+impl fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpandError::NoRd => write!(f, "trigger has no destination register for T.RD"),
+            ExpandError::NoRs1 => write!(f, "trigger has no source register for T.RS1"),
+            ExpandError::NoImm => write!(f, "trigger has no immediate for T.IMM"),
+            ExpandError::NotMemory => write!(f, "T.OP substitution requires a memory trigger"),
+        }
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+/// The trigger's data register: store source, load/lda destination,
+/// else the instruction's destination.
+fn trigger_rd(t: &Instr) -> Result<Reg, ExpandError> {
+    match *t {
+        Instr::Store { rs, .. } => Ok(rs),
+        Instr::Load { rd, .. } | Instr::Lda { rd, .. } | Instr::Ldah { rd, .. } => Ok(rd),
+        _ => t.dest().ok_or(ExpandError::NoRd),
+    }
+}
+
+/// The trigger's first source: base register of memory ops, else the
+/// first source register.
+fn trigger_rs1(t: &Instr) -> Result<Reg, ExpandError> {
+    if let Some((base, _, _)) = t.mem_access() {
+        return Ok(base);
+    }
+    match *t {
+        Instr::Lda { base, .. } | Instr::Ldah { base, .. } => Ok(base),
+        _ => t.sources()[0].ok_or(ExpandError::NoRs1),
+    }
+}
+
+/// The trigger's displacement/immediate.
+fn trigger_imm(t: &Instr) -> Result<i16, ExpandError> {
+    match *t {
+        Instr::Load { disp, .. }
+        | Instr::Store { disp, .. }
+        | Instr::Lda { disp, .. }
+        | Instr::Ldah { disp, .. } => Ok(disp),
+        _ => Err(ExpandError::NoImm),
+    }
+}
+
+impl TReg {
+    fn resolve(self, trigger: &Instr) -> Result<Reg, ExpandError> {
+        match self {
+            TReg::Lit(r) => Ok(r),
+            TReg::Rd => trigger_rd(trigger),
+            TReg::Rs1 => trigger_rs1(trigger),
+        }
+    }
+}
+
+impl TDisp {
+    fn resolve(self, trigger: &Instr) -> Result<i16, ExpandError> {
+        match self {
+            TDisp::Lit(d) => Ok(d),
+            TDisp::Imm => trigger_imm(trigger),
+        }
+    }
+}
+
+impl TemplateInst {
+    /// Instantiate this template against a trigger instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExpandError`] when a directive references a field the
+    /// trigger lacks (the engine validates productions against their
+    /// pattern at install time, so a well-formed production never fails
+    /// here at runtime).
+    pub fn instantiate(&self, trigger: &Instr) -> Result<Instr, ExpandError> {
+        Ok(match self {
+            TemplateInst::Trigger => *trigger,
+            TemplateInst::Fixed(i) => *i,
+            TemplateInst::Load { width, rd, base, disp } => Instr::Load {
+                width: *width,
+                rd: rd.resolve(trigger)?,
+                base: base.resolve(trigger)?,
+                disp: disp.resolve(trigger)?,
+            },
+            TemplateInst::Store { width, rs, base, disp } => Instr::Store {
+                width: *width,
+                rs: rs.resolve(trigger)?,
+                base: base.resolve(trigger)?,
+                disp: disp.resolve(trigger)?,
+            },
+            TemplateInst::Lda { rd, base, disp } => Instr::Lda {
+                rd: rd.resolve(trigger)?,
+                base: base.resolve(trigger)?,
+                disp: disp.resolve(trigger)?,
+            },
+            TemplateInst::Alu { op, rd, ra, rb } => Instr::Alu {
+                op: *op,
+                rd: rd.resolve(trigger)?,
+                ra: ra.resolve(trigger)?,
+                rb: match rb {
+                    TOperand::Reg(r) => dise_isa::Operand::Reg(r.resolve(trigger)?),
+                    TOperand::Imm(i) => dise_isa::Operand::Imm(*i),
+                },
+            },
+            TemplateInst::TriggerOpWith { base, disp } => {
+                let b = base.resolve(trigger)?;
+                let d = disp.resolve(trigger)?;
+                match *trigger {
+                    Instr::Load { width, rd, .. } => Instr::Load { width, rd, base: b, disp: d },
+                    Instr::Store { width, rs, .. } => Instr::Store { width, rs, base: b, disp: d },
+                    _ => return Err(ExpandError::NotMemory),
+                }
+            }
+        })
+    }
+
+    /// Whether instantiation against *any* trigger matched by a pattern
+    /// with the given properties can fail. Used for install-time checks.
+    pub fn needs_memory_trigger(&self) -> bool {
+        match self {
+            TemplateInst::TriggerOpWith { .. } => true,
+            TemplateInst::Load { rd, base, disp, .. } => {
+                uses_imm(disp) || [rd, base].iter().any(|r| uses_mem_field(r))
+            }
+            TemplateInst::Store { rs, base, disp, .. } => {
+                uses_imm(disp) || [rs, base].iter().any(|r| uses_mem_field(r))
+            }
+            TemplateInst::Lda { rd, base, disp } => {
+                uses_imm(disp) || [rd, base].iter().any(|r| uses_mem_field(r))
+            }
+            TemplateInst::Alu { .. } | TemplateInst::Trigger | TemplateInst::Fixed(_) => false,
+        }
+    }
+}
+
+fn uses_imm(d: &TDisp) -> bool {
+    matches!(d, TDisp::Imm)
+}
+
+fn uses_mem_field(r: &TReg) -> bool {
+    matches!(r, TReg::Rs1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_isa::Operand;
+
+    fn store() -> Instr {
+        Instr::Store { width: Width::Q, rs: Reg::gpr(9), base: Reg::gpr(5), disp: 24 }
+    }
+
+    #[test]
+    fn trigger_verbatim() {
+        assert_eq!(TemplateInst::Trigger.instantiate(&store()), Ok(store()));
+    }
+
+    #[test]
+    fn effective_address_reconstruction() {
+        // lda dr1, T.IMM(T.RS1) — the heart of Fig. 2c/d.
+        let t = TemplateInst::Lda {
+            rd: TReg::Lit(Reg::dise(1)),
+            base: TReg::Rs1,
+            disp: TDisp::Imm,
+        };
+        assert_eq!(
+            t.instantiate(&store()),
+            Ok(Instr::Lda { rd: Reg::dise(1), base: Reg::gpr(5), disp: 24 })
+        );
+    }
+
+    #[test]
+    fn fig1_redirected_load() {
+        // T.OP T.RD, T.IMM(dr0): the paper's Fig. 1 expansion.
+        let ld = Instr::Load { width: Width::Q, rd: Reg::gpr(4), base: Reg::SP, disp: 32 };
+        let t = TemplateInst::TriggerOpWith { base: TReg::Lit(Reg::dise(0)), disp: TDisp::Imm };
+        assert_eq!(
+            t.instantiate(&ld),
+            Ok(Instr::Load { width: Width::Q, rd: Reg::gpr(4), base: Reg::dise(0), disp: 32 })
+        );
+    }
+
+    #[test]
+    fn alu_with_trigger_fields() {
+        // addq T.RS1, 8, dr0 from Fig. 1.
+        let ld = Instr::Load { width: Width::Q, rd: Reg::gpr(4), base: Reg::SP, disp: 32 };
+        let t = TemplateInst::Alu {
+            op: AluOp::Add,
+            rd: TReg::Lit(Reg::dise(0)),
+            ra: TReg::Rs1,
+            rb: TOperand::Imm(8),
+        };
+        assert_eq!(
+            t.instantiate(&ld),
+            Ok(Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::dise(0),
+                ra: Reg::SP,
+                rb: Operand::Imm(8)
+            })
+        );
+    }
+
+    #[test]
+    fn rd_of_store_is_data_register() {
+        let t = TemplateInst::Alu {
+            op: AluOp::Or,
+            rd: TReg::Lit(Reg::dise(2)),
+            ra: TReg::Rd,
+            rb: TOperand::Reg(TReg::Rd),
+        };
+        match t.instantiate(&store()).unwrap() {
+            Instr::Alu { ra, .. } => assert_eq!(ra, Reg::gpr(9)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn directive_errors() {
+        let t = TemplateInst::Lda { rd: TReg::Lit(Reg::dise(1)), base: TReg::Rs1, disp: TDisp::Imm };
+        assert_eq!(t.instantiate(&Instr::Nop), Err(ExpandError::NoRs1));
+        let t = TemplateInst::TriggerOpWith { base: TReg::Lit(Reg::dise(0)), disp: TDisp::Lit(0) };
+        assert_eq!(t.instantiate(&Instr::Trap), Err(ExpandError::NotMemory));
+    }
+
+    #[test]
+    fn needs_memory_trigger_analysis() {
+        assert!(!TemplateInst::Trigger.needs_memory_trigger());
+        assert!(!TemplateInst::Fixed(Instr::Nop).needs_memory_trigger());
+        let t = TemplateInst::Lda { rd: TReg::Lit(Reg::dise(1)), base: TReg::Rs1, disp: TDisp::Imm };
+        assert!(t.needs_memory_trigger());
+        let t = TemplateInst::TriggerOpWith { base: TReg::Lit(Reg::dise(0)), disp: TDisp::Lit(0) };
+        assert!(t.needs_memory_trigger());
+    }
+}

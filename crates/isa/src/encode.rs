@@ -1,0 +1,354 @@
+//! 32-bit binary instruction encoding.
+//!
+//! Layout (bit 31 is the MSB):
+//!
+//! | format  | [31:26] | fields |
+//! |---------|---------|--------|
+//! | memory  | opcode  | ra\[25:20\], base\[19:14\], disp14\[13:0\] |
+//! | ALU reg | `ALU_R` | rd\[25:20\], ra\[19:14\], func\[13:8\], rb\[5:0\] |
+//! | ALU imm | `ALU_I` | rd\[25:20\], ra\[19:14\], func\[13:8\], imm8\[7:0\] |
+//! | branch  | opcode  | r\[25:20\], disp20\[19:0\] |
+//! | jump    | `JMP`   | rd\[25:20\], base\[19:14\] |
+//! | misc    | opcode  | format-specific |
+//!
+//! Register fields are 6 bits wide to cover the 32 GPRs plus the 16 DISE
+//! registers; memory displacements are therefore 14-bit signed (±8 KiB),
+//! narrower than Alpha's 16. The assembler rejects out-of-range values.
+
+use std::fmt;
+
+use crate::{AluOp, Cond, Instr, Operand, Reg, Width};
+
+const OP_NOP: u8 = 0;
+const OP_HALT: u8 = 1;
+const OP_TRAP: u8 = 2;
+const OP_CTRAP: u8 = 3;
+const OP_CODEWORD: u8 = 4;
+const OP_LD_BASE: u8 = 8; // 8..=11: ldb/ldw/ldl/ldq
+const OP_ST_BASE: u8 = 12; // 12..=15: stb/stw/stl/stq
+const OP_LDA: u8 = 16;
+const OP_LDAH: u8 = 17;
+const OP_ALU_R: u8 = 18;
+const OP_ALU_I: u8 = 19;
+const OP_BR: u8 = 24;
+const OP_CONDBR_BASE: u8 = 25; // 25..=30, cond in opcode
+const OP_JMP: u8 = 31;
+const OP_DBR: u8 = 40;
+const OP_DCALL: u8 = 41;
+const OP_DCCALL: u8 = 42;
+const OP_DRET: u8 = 43;
+const OP_DMFR: u8 = 44;
+const OP_DMTR: u8 = 45;
+
+const DISP14_MIN: i32 = -(1 << 13);
+const DISP14_MAX: i32 = (1 << 13) - 1;
+const DISP20_MIN: i32 = -(1 << 19);
+const DISP20_MAX: i32 = (1 << 19) - 1;
+
+/// Maximum encodable signed byte displacement for memory instructions.
+pub const MEM_DISP_MAX: i16 = DISP14_MAX as i16;
+/// Minimum encodable signed byte displacement for memory instructions.
+pub const MEM_DISP_MIN: i16 = DISP14_MIN as i16;
+
+/// Error produced by [`decode`] for malformed instruction words.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The opcode field names no instruction.
+    BadOpcode(u8),
+    /// A register field exceeds the register-file size.
+    BadRegister(u8),
+    /// An ALU function field names no operation.
+    BadFunction(u8),
+    /// A condition field names no condition.
+    BadCondition(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+            DecodeError::BadRegister(r) => write!(f, "register index {r} out of range"),
+            DecodeError::BadFunction(x) => write!(f, "unknown ALU function {x:#x}"),
+            DecodeError::BadCondition(c) => write!(f, "unknown condition code {c:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn field(word: u32, lo: u32, bits: u32) -> u32 {
+    (word >> lo) & ((1 << bits) - 1)
+}
+
+#[inline]
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+fn reg_field(word: u32, lo: u32) -> Result<Reg, DecodeError> {
+    let raw = field(word, lo, 6) as u8;
+    Reg::from_index(raw).ok_or(DecodeError::BadRegister(raw))
+}
+
+fn cond_field(word: u32, lo: u32) -> Result<Cond, DecodeError> {
+    let raw = field(word, lo, 3) as u8;
+    Cond::from_code(raw).ok_or(DecodeError::BadCondition(raw))
+}
+
+#[inline]
+fn op(opcode: u8) -> u32 {
+    (opcode as u32) << 26
+}
+
+#[inline]
+fn r_at(r: Reg, lo: u32) -> u32 {
+    (r.index() as u32) << lo
+}
+
+fn mem(opcode: u8, data: Reg, base: Reg, disp: i16) -> u32 {
+    let d = disp as i32;
+    assert!(
+        (DISP14_MIN..=DISP14_MAX).contains(&d),
+        "memory displacement {disp} out of 14-bit range"
+    );
+    op(opcode) | r_at(data, 20) | r_at(base, 14) | ((d as u32) & 0x3fff)
+}
+
+fn branch(opcode: u8, r: Reg, disp: i32) -> u32 {
+    assert!(
+        (DISP20_MIN..=DISP20_MAX).contains(&disp),
+        "branch displacement {disp} out of 20-bit range"
+    );
+    op(opcode) | r_at(r, 20) | ((disp as u32) & 0xf_ffff)
+}
+
+/// Encode an instruction into its 32-bit word.
+///
+/// # Panics
+///
+/// Panics when a displacement exceeds its field width (14-bit signed for
+/// memory, 20-bit signed for branches). The assembler checks ranges before
+/// calling this.
+pub fn encode(instr: &Instr) -> u32 {
+    match *instr {
+        Instr::Nop => op(OP_NOP),
+        Instr::Halt => op(OP_HALT),
+        Instr::Trap => op(OP_TRAP),
+        Instr::CTrap { cond, rs } => op(OP_CTRAP) | ((cond.code() as u32) << 23) | r_at(rs, 17),
+        Instr::Codeword(i) => op(OP_CODEWORD) | i as u32,
+        Instr::Load { width, rd, base, disp } => mem(OP_LD_BASE + width as u8, rd, base, disp),
+        Instr::Store { width, rs, base, disp } => mem(OP_ST_BASE + width as u8, rs, base, disp),
+        Instr::Lda { rd, base, disp } => mem(OP_LDA, rd, base, disp),
+        Instr::Ldah { rd, base, disp } => mem(OP_LDAH, rd, base, disp),
+        Instr::Alu { op: aop, rd, ra, rb } => {
+            let common = r_at(rd, 20) | r_at(ra, 14) | ((aop.func() as u32) << 8);
+            match rb {
+                Operand::Reg(r) => op(OP_ALU_R) | common | r.index() as u32,
+                Operand::Imm(i) => op(OP_ALU_I) | common | i as u32,
+            }
+        }
+        Instr::Br { rd, disp } => branch(OP_BR, rd, disp),
+        Instr::CondBr { cond, rs, disp } => branch(OP_CONDBR_BASE + cond.code(), rs, disp),
+        Instr::Jmp { rd, base } => op(OP_JMP) | r_at(rd, 20) | r_at(base, 14),
+        Instr::DBr { cond, rs, disp } => {
+            op(OP_DBR) | ((cond.code() as u32) << 23) | r_at(rs, 17) | (disp as u8 as u32)
+        }
+        Instr::DCall { target } => op(OP_DCALL) | r_at(target, 20),
+        Instr::DCCall { cond, rs, target } => {
+            op(OP_DCCALL) | ((cond.code() as u32) << 23) | r_at(rs, 17) | r_at(target, 11)
+        }
+        Instr::DRet => op(OP_DRET),
+        Instr::DMfr { rd, dr } => op(OP_DMFR) | r_at(rd, 20) | r_at(dr, 14),
+        Instr::DMtr { dr, rs } => op(OP_DMTR) | r_at(dr, 20) | r_at(rs, 14),
+    }
+}
+
+/// Decode a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the opcode, a register index, an ALU
+/// function, or a condition code is invalid.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let opcode = (word >> 26) as u8;
+    Ok(match opcode {
+        OP_NOP => Instr::Nop,
+        OP_HALT => Instr::Halt,
+        OP_TRAP => Instr::Trap,
+        OP_CTRAP => Instr::CTrap {
+            cond: cond_field(word, 23)?,
+            rs: reg_field(word, 17)?,
+        },
+        OP_CODEWORD => Instr::Codeword(word as u16),
+        o @ OP_LD_BASE..=11 => Instr::Load {
+            width: Width::from_code(o - OP_LD_BASE).expect("width in range"),
+            rd: reg_field(word, 20)?,
+            base: reg_field(word, 14)?,
+            disp: sext(field(word, 0, 14), 14) as i16,
+        },
+        o @ OP_ST_BASE..=15 => Instr::Store {
+            width: Width::from_code(o - OP_ST_BASE).expect("width in range"),
+            rs: reg_field(word, 20)?,
+            base: reg_field(word, 14)?,
+            disp: sext(field(word, 0, 14), 14) as i16,
+        },
+        OP_LDA => Instr::Lda {
+            rd: reg_field(word, 20)?,
+            base: reg_field(word, 14)?,
+            disp: sext(field(word, 0, 14), 14) as i16,
+        },
+        OP_LDAH => Instr::Ldah {
+            rd: reg_field(word, 20)?,
+            base: reg_field(word, 14)?,
+            disp: sext(field(word, 0, 14), 14) as i16,
+        },
+        OP_ALU_R | OP_ALU_I => {
+            let func = field(word, 8, 6) as u8;
+            let aop = AluOp::from_func(func).ok_or(DecodeError::BadFunction(func))?;
+            let rb = if opcode == OP_ALU_R {
+                Operand::Reg(reg_field(word, 0)?)
+            } else {
+                Operand::Imm(word as u8)
+            };
+            Instr::Alu {
+                op: aop,
+                rd: reg_field(word, 20)?,
+                ra: reg_field(word, 14)?,
+                rb,
+            }
+        }
+        OP_BR => Instr::Br {
+            rd: reg_field(word, 20)?,
+            disp: sext(field(word, 0, 20), 20),
+        },
+        o @ OP_CONDBR_BASE..=30 => Instr::CondBr {
+            cond: Cond::from_code(o - OP_CONDBR_BASE).expect("cond in range"),
+            rs: reg_field(word, 20)?,
+            disp: sext(field(word, 0, 20), 20),
+        },
+        OP_JMP => Instr::Jmp {
+            rd: reg_field(word, 20)?,
+            base: reg_field(word, 14)?,
+        },
+        OP_DBR => Instr::DBr {
+            cond: cond_field(word, 23)?,
+            rs: reg_field(word, 17)?,
+            disp: word as u8 as i8,
+        },
+        OP_DCALL => Instr::DCall {
+            target: reg_field(word, 20)?,
+        },
+        OP_DCCALL => Instr::DCCall {
+            cond: cond_field(word, 23)?,
+            rs: reg_field(word, 17)?,
+            target: reg_field(word, 11)?,
+        },
+        OP_DRET => Instr::DRet,
+        OP_DMFR => Instr::DMfr {
+            rd: reg_field(word, 20)?,
+            dr: reg_field(word, 14)?,
+        },
+        OP_DMTR => Instr::DMtr {
+            dr: reg_field(word, 20)?,
+            rs: reg_field(word, 14)?,
+        },
+        other => return Err(DecodeError::BadOpcode(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(i: Instr) {
+        let w = encode(&i);
+        assert_eq!(decode(w), Ok(i), "round-trip failed for {i} ({w:#010x})");
+    }
+
+    #[test]
+    fn round_trip_memory() {
+        for width in Width::ALL {
+            rt(Instr::Load { width, rd: Reg::gpr(5), base: Reg::SP, disp: -8 });
+            rt(Instr::Store { width, rs: Reg::gpr(9), base: Reg::gpr(0), disp: 8191 });
+        }
+        rt(Instr::Lda { rd: Reg::gpr(1), base: Reg::ZERO, disp: -8192 });
+        rt(Instr::Ldah { rd: Reg::gpr(1), base: Reg::gpr(1), disp: 4095 });
+    }
+
+    #[test]
+    fn round_trip_alu() {
+        for op in AluOp::ALL {
+            rt(Instr::Alu { op, rd: Reg::gpr(3), ra: Reg::gpr(4), rb: Operand::Reg(Reg::dise(2)) });
+            rt(Instr::Alu { op, rd: Reg::dise(0), ra: Reg::DAR, rb: Operand::Imm(255) });
+        }
+    }
+
+    #[test]
+    fn round_trip_control() {
+        rt(Instr::Br { rd: Reg::RA, disp: -1 });
+        rt(Instr::Br { rd: Reg::ZERO, disp: 524287 });
+        for cond in Cond::ALL {
+            rt(Instr::CondBr { cond, rs: Reg::gpr(7), disp: -524288 });
+        }
+        rt(Instr::Jmp { rd: Reg::ZERO, base: Reg::RA });
+    }
+
+    #[test]
+    fn round_trip_misc_and_dise() {
+        rt(Instr::Nop);
+        rt(Instr::Halt);
+        rt(Instr::Trap);
+        rt(Instr::Codeword(0xbeef));
+        for cond in Cond::ALL {
+            rt(Instr::CTrap { cond, rs: Reg::dise(1) });
+            rt(Instr::DBr { cond, rs: Reg::dise(1), disp: -2 });
+            rt(Instr::DCCall { cond, rs: Reg::dise(1), target: Reg::DHDLR });
+        }
+        rt(Instr::DCall { target: Reg::DHDLR });
+        rt(Instr::DRet);
+        rt(Instr::DMfr { rd: Reg::gpr(1), dr: Reg::DPV });
+        rt(Instr::DMtr { dr: Reg::DPV, rs: Reg::gpr(1) });
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(decode(63 << 26), Err(DecodeError::BadOpcode(63)));
+        assert_eq!(decode(5 << 26), Err(DecodeError::BadOpcode(5)));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        // ldq with register field 63
+        let w = (OP_LD_BASE as u32 + 3) << 26 | 63 << 20;
+        assert_eq!(decode(w), Err(DecodeError::BadRegister(63)));
+    }
+
+    #[test]
+    fn bad_function_rejected() {
+        let w = (OP_ALU_R as u32) << 26 | 63 << 8;
+        assert_eq!(decode(w), Err(DecodeError::BadFunction(63)));
+    }
+
+    #[test]
+    fn bad_condition_rejected() {
+        let w = (OP_CTRAP as u32) << 26 | 7 << 23;
+        assert_eq!(decode(w), Err(DecodeError::BadCondition(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "14-bit range")]
+    fn oversized_mem_disp_panics() {
+        encode(&Instr::Load { width: Width::Q, rd: Reg::gpr(0), base: Reg::gpr(0), disp: 8192 });
+    }
+
+    #[test]
+    fn negative_disp_sign_extends() {
+        let w = encode(&Instr::Load { width: Width::Q, rd: Reg::gpr(1), base: Reg::SP, disp: -4096 });
+        match decode(w).unwrap() {
+            Instr::Load { disp, .. } => assert_eq!(disp, -4096),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # dise-isa — the Alpha-like instruction set of the DISE reproduction
+//!
+//! This crate defines the instruction set simulated by the rest of the
+//! workspace. It is modeled on the Alpha AXP subset used by the paper
+//! *Low-Overhead Interactive Debugging via Dynamic Instrumentation with
+//! DISE* (HPCA 2005): a 64-bit load/store RISC with 32 general-purpose
+//! registers, plus the paper's extensions:
+//!
+//! * a bank of 16 **DISE registers** (`dr0`–`dr15`) visible only to DISE
+//!   replacement sequences and DISE-called functions ([`Reg::dise`]),
+//! * a **conditional trap** `ctrap` (Optimization I, Fig. 2b),
+//! * a reserved-opcode **DISE codeword** used to trigger expansions,
+//! * the DISE-only control instructions `d_beq`/`d_bne` (DISEPC-relative
+//!   branches), `d_call`/`d_ccall` (calls to debugger-generated functions),
+//!   `d_ret`, and the DISE register movers `d_mfr`/`d_mtr`.
+//!
+//! Instructions have a real 32-bit binary encoding ([`encode`]/[`decode`])
+//! so that instruction-cache behaviour, code bloat under binary rewriting,
+//! and program images are all faithful.
+//!
+//! ```
+//! use dise_isa::{Instr, Reg, AluOp, Operand, encode, decode};
+//!
+//! let add = Instr::Alu {
+//!     op: AluOp::Add,
+//!     rd: Reg::gpr(1),
+//!     ra: Reg::gpr(2),
+//!     rb: Operand::Imm(8),
+//! };
+//! let word = encode(&add);
+//! assert_eq!(decode(word).unwrap(), add);
+//! assert_eq!(add.to_string(), "addq r2, 8, r1");
+//! ```
+
+mod encode;
+mod instr;
+mod op;
+mod reg;
+
+pub use encode::{decode, encode, DecodeError, MEM_DISP_MAX, MEM_DISP_MIN};
+pub use instr::{Instr, OpClass};
+pub use op::{AluOp, Cond, Operand, Width};
+pub use reg::Reg;
+
+/// Size of one encoded instruction in bytes.
+pub const INSTR_BYTES: u64 = 4;

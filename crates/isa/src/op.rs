@@ -1,0 +1,416 @@
+//! Operation kinds: ALU operations, branch conditions, memory widths,
+//! and the register-or-immediate second ALU operand.
+
+use std::fmt;
+
+/// ALU operations. All operate on full 64-bit values; compares produce
+/// 0 or 1 in the destination register (Alpha style).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum AluOp {
+    /// 64-bit add (`addq`).
+    Add = 0,
+    /// 64-bit subtract (`subq`).
+    Sub = 1,
+    /// 64-bit multiply (`mulq`).
+    Mul = 2,
+    /// Bitwise and (`and`).
+    And = 3,
+    /// Bitwise or (`bis`).
+    Or = 4,
+    /// Bitwise xor (`xor`).
+    Xor = 5,
+    /// Bit clear: `ra & !rb` (`bic`) — used to align addresses in the
+    /// paper's watchpoint productions (Fig. 2c).
+    Bic = 6,
+    /// Or with complement: `ra | !rb` (`ornot`).
+    Ornot = 7,
+    /// Shift left logical (`sll`).
+    Sll = 8,
+    /// Shift right logical (`srl`).
+    Srl = 9,
+    /// Shift right arithmetic (`sra`).
+    Sra = 10,
+    /// Set if equal (`cmpeq`).
+    CmpEq = 11,
+    /// Set if signed less-than (`cmplt`).
+    CmpLt = 12,
+    /// Set if signed less-or-equal (`cmple`).
+    CmpLe = 13,
+    /// Set if unsigned less-than (`cmpult`).
+    CmpUlt = 14,
+    /// Set if unsigned less-or-equal (`cmpule`).
+    CmpUle = 15,
+    /// Scaled add `ra*4 + rb` (`s4addq`).
+    S4Add = 16,
+    /// Scaled add `ra*8 + rb` (`s8addq`).
+    S8Add = 17,
+}
+
+impl AluOp {
+    /// All ALU operations, in encoding order.
+    pub const ALL: [AluOp; 18] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Bic,
+        AluOp::Ornot,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::CmpEq,
+        AluOp::CmpLt,
+        AluOp::CmpLe,
+        AluOp::CmpUlt,
+        AluOp::CmpUle,
+        AluOp::S4Add,
+        AluOp::S8Add,
+    ];
+
+    /// Function-field value used by the encoder.
+    #[inline]
+    pub const fn func(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`AluOp::func`].
+    pub const fn from_func(f: u8) -> Option<AluOp> {
+        if (f as usize) < Self::ALL.len() {
+            Some(Self::ALL[f as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Apply the operation to two 64-bit operands.
+    ///
+    /// Shifts use only the low 6 bits of `b`, as on Alpha.
+    #[inline]
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Bic => a & !b,
+            AluOp::Ornot => a | !b,
+            AluOp::Sll => a << (b & 63),
+            AluOp::Srl => a >> (b & 63),
+            AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+            AluOp::CmpEq => u64::from(a == b),
+            AluOp::CmpLt => u64::from((a as i64) < (b as i64)),
+            AluOp::CmpLe => u64::from((a as i64) <= (b as i64)),
+            AluOp::CmpUlt => u64::from(a < b),
+            AluOp::CmpUle => u64::from(a <= b),
+            AluOp::S4Add => a.wrapping_mul(4).wrapping_add(b),
+            AluOp::S8Add => a.wrapping_mul(8).wrapping_add(b),
+        }
+    }
+
+    /// Execution latency in cycles on the simulated core.
+    #[inline]
+    pub const fn latency(self) -> u64 {
+        match self {
+            AluOp::Mul => 7,
+            _ => 1,
+        }
+    }
+
+    /// Assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "addq",
+            AluOp::Sub => "subq",
+            AluOp::Mul => "mulq",
+            AluOp::And => "and",
+            AluOp::Or => "bis",
+            AluOp::Xor => "xor",
+            AluOp::Bic => "bic",
+            AluOp::Ornot => "ornot",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::CmpEq => "cmpeq",
+            AluOp::CmpLt => "cmplt",
+            AluOp::CmpLe => "cmple",
+            AluOp::CmpUlt => "cmpult",
+            AluOp::CmpUle => "cmpule",
+            AluOp::S4Add => "s4addq",
+            AluOp::S8Add => "s8addq",
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Branch/trap conditions, evaluated against zero (Alpha style:
+/// `beq r, L` branches when `r == 0`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum Cond {
+    /// Register equals zero.
+    Eq = 0,
+    /// Register is non-zero.
+    Ne = 1,
+    /// Register is negative (signed).
+    Lt = 2,
+    /// Register is non-positive (signed).
+    Le = 3,
+    /// Register is positive (signed).
+    Gt = 4,
+    /// Register is non-negative (signed).
+    Ge = 5,
+}
+
+impl Cond {
+    /// All conditions, in encoding order.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+
+    /// Encoding-field value.
+    #[inline]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Cond::code`].
+    pub const fn from_code(c: u8) -> Option<Cond> {
+        if (c as usize) < Self::ALL.len() {
+            Some(Self::ALL[c as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Evaluate the condition against a register value.
+    #[inline]
+    pub fn holds(self, v: u64) -> bool {
+        let s = v as i64;
+        match self {
+            Cond::Eq => v == 0,
+            Cond::Ne => v != 0,
+            Cond::Lt => s < 0,
+            Cond::Le => s <= 0,
+            Cond::Gt => s > 0,
+            Cond::Ge => s >= 0,
+        }
+    }
+
+    /// The complementary condition.
+    pub const fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+
+    /// Mnemonic suffix (`beq`, `bne`, ...).
+    pub const fn suffix(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Memory access width.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum Width {
+    /// One byte (`ldb`/`stb`).
+    B = 0,
+    /// Two bytes (`ldw`/`stw`).
+    W = 1,
+    /// Four bytes (`ldl`/`stl`).
+    L = 2,
+    /// Eight bytes — a quad (`ldq`/`stq`).
+    Q = 3,
+}
+
+impl Width {
+    /// All widths, in encoding order.
+    pub const ALL: [Width; 4] = [Width::B, Width::W, Width::L, Width::Q];
+
+    /// Width in bytes (1, 2, 4 or 8).
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        1 << (self as u8)
+    }
+
+    /// log2 of the byte width.
+    #[inline]
+    pub const fn log2(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of the encoding-field value.
+    pub const fn from_code(c: u8) -> Option<Width> {
+        if (c as usize) < Self::ALL.len() {
+            Some(Self::ALL[c as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Mnemonic suffix character (`b`, `w`, `l`, `q`).
+    pub const fn suffix(self) -> char {
+        match self {
+            Width::B => 'b',
+            Width::W => 'w',
+            Width::L => 'l',
+            Width::Q => 'q',
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.suffix())
+    }
+}
+
+/// Second ALU operand: a register or an 8-bit unsigned literal
+/// (Alpha-style operate-format immediate).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// Register operand.
+    Reg(super::Reg),
+    /// Zero-extended 8-bit immediate.
+    Imm(u8),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<super::Reg> for Operand {
+    fn from(r: super::Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u8> for Operand {
+    fn from(i: u8) -> Self {
+        Operand::Imm(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_apply_arithmetic() {
+        assert_eq!(AluOp::Add.apply(3, 4), 7);
+        assert_eq!(AluOp::Sub.apply(3, 4), u64::MAX);
+        assert_eq!(AluOp::Mul.apply(6, 7), 42);
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0, "wrapping add");
+    }
+
+    #[test]
+    fn alu_apply_logic() {
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Bic.apply(0xff, 0x0f), 0xf0);
+        assert_eq!(AluOp::Ornot.apply(0, 0), u64::MAX);
+    }
+
+    #[test]
+    fn alu_apply_shifts_mask_amount() {
+        assert_eq!(AluOp::Sll.apply(1, 4), 16);
+        assert_eq!(AluOp::Sll.apply(1, 64), 1, "shift amount is mod 64");
+        assert_eq!(AluOp::Srl.apply(0x8000_0000_0000_0000, 63), 1);
+        assert_eq!(AluOp::Sra.apply(u64::MAX, 5), u64::MAX);
+    }
+
+    #[test]
+    fn alu_apply_compares() {
+        assert_eq!(AluOp::CmpEq.apply(5, 5), 1);
+        assert_eq!(AluOp::CmpEq.apply(5, 6), 0);
+        assert_eq!(AluOp::CmpLt.apply(u64::MAX, 0), 1, "-1 < 0 signed");
+        assert_eq!(AluOp::CmpUlt.apply(u64::MAX, 0), 0, "max !< 0 unsigned");
+        assert_eq!(AluOp::CmpLe.apply(7, 7), 1);
+        assert_eq!(AluOp::CmpUle.apply(8, 7), 0);
+    }
+
+    #[test]
+    fn alu_apply_scaled_adds() {
+        assert_eq!(AluOp::S4Add.apply(3, 100), 112);
+        assert_eq!(AluOp::S8Add.apply(3, 100), 124);
+    }
+
+    #[test]
+    fn alu_func_round_trip() {
+        for op in AluOp::ALL {
+            assert_eq!(AluOp::from_func(op.func()), Some(op));
+        }
+        assert_eq!(AluOp::from_func(18), None);
+    }
+
+    #[test]
+    fn cond_holds() {
+        assert!(Cond::Eq.holds(0));
+        assert!(!Cond::Eq.holds(1));
+        assert!(Cond::Ne.holds(5));
+        assert!(Cond::Lt.holds(-3i64 as u64));
+        assert!(!Cond::Lt.holds(0));
+        assert!(Cond::Le.holds(0));
+        assert!(Cond::Gt.holds(1));
+        assert!(Cond::Ge.holds(0));
+    }
+
+    #[test]
+    fn cond_negate_is_involution() {
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+            for v in [0u64, 1, u64::MAX, 1 << 63] {
+                assert_eq!(c.holds(v), !c.negate().holds(v));
+            }
+        }
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::B.bytes(), 1);
+        assert_eq!(Width::W.bytes(), 2);
+        assert_eq!(Width::L.bytes(), 4);
+        assert_eq!(Width::Q.bytes(), 8);
+        for w in Width::ALL {
+            assert_eq!(Width::from_code(w as u8), Some(w));
+            assert_eq!(w.bytes(), 1 << w.log2());
+        }
+    }
+
+    #[test]
+    fn mul_latency_exceeds_add() {
+        assert!(AluOp::Mul.latency() > AluOp::Add.latency());
+    }
+}

@@ -1,0 +1,190 @@
+//! Register names: 32 general-purpose registers plus the 16 DISE registers.
+
+use std::fmt;
+
+/// A register operand.
+///
+/// Indices `0..=31` name the general-purpose registers `r0`–`r31`
+/// (`r31` reads as zero and discards writes, as on Alpha). Indices
+/// `32..=47` name the DISE registers `dr0`–`dr15`, which exist only in the
+/// DISE engine and are architecturally invisible to conventionally fetched
+/// code — the decoder rejects application instructions that name them (see
+/// `dise-cpu`), while DISE replacement sequences and DISE-called functions
+/// (via `d_mfr`/`d_mtr`) may use them freely.
+///
+/// ```
+/// use dise_isa::Reg;
+/// assert_eq!(Reg::gpr(30), Reg::SP);
+/// assert!(Reg::dise(0).is_dise());
+/// assert_eq!(Reg::dise(8), Reg::DAR);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Total number of addressable registers (GPRs + DISE registers).
+    pub const NUM: usize = 48;
+    /// Number of general-purpose registers.
+    pub const NUM_GPR: usize = 32;
+    /// Number of DISE registers.
+    pub const NUM_DISE: usize = 16;
+
+    /// The hardwired zero register `r31`.
+    pub const ZERO: Reg = Reg(31);
+    /// Stack pointer, `r30` by convention.
+    pub const SP: Reg = Reg(30);
+    /// Return-address register, `r26` by convention.
+    pub const RA: Reg = Reg(26);
+    /// Global pointer, `r29` by convention (reserved as scavengeable by the
+    /// binary-rewriting debugger backend).
+    pub const GP: Reg = Reg(29);
+
+    /// DISE register holding the watched address (`dar` in the paper).
+    pub const DAR: Reg = Reg(32 + 8);
+    /// DISE register holding the previous expression value (`dpv`).
+    pub const DPV: Reg = Reg(32 + 9);
+    /// DISE register holding the debugger-generated handler address
+    /// (`dhdlr`).
+    pub const DHDLR: Reg = Reg(32 + 10);
+    /// DISE register holding the high bits of the debugger's protected data
+    /// segment (`dseg`, Fig. 2f).
+    pub const DSEG: Reg = Reg(32 + 11);
+    /// Second watched address, used by serial multi-address matching.
+    pub const DAR2: Reg = Reg(32 + 12);
+    /// Third watched address.
+    pub const DAR3: Reg = Reg(32 + 13);
+    /// DISE register holding the base of the debugger data region.
+    pub const DBASE: Reg = Reg(32 + 14);
+    /// DISE register holding the error-handler address (protection).
+    pub const DERR: Reg = Reg(32 + 15);
+
+    /// General-purpose register `r{i}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    #[inline]
+    pub const fn gpr(i: u8) -> Reg {
+        assert!(i < 32, "GPR index out of range");
+        Reg(i)
+    }
+
+    /// DISE register `dr{i}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 16`.
+    #[inline]
+    pub const fn dise(i: u8) -> Reg {
+        assert!(i < 16, "DISE register index out of range");
+        Reg(32 + i)
+    }
+
+    /// Construct from a raw 6-bit index (0–47), as found in encodings.
+    #[inline]
+    pub const fn from_index(i: u8) -> Option<Reg> {
+        if i < 48 {
+            Some(Reg(i))
+        } else {
+            None
+        }
+    }
+
+    /// The raw register-file index (0–47).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for `dr0`–`dr15`.
+    #[inline]
+    pub const fn is_dise(self) -> bool {
+        self.0 >= 32
+    }
+
+    /// True for the hardwired zero register.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 30 {
+            write!(f, "sp")
+        } else if self.0 == 26 {
+            write!(f, "ra")
+        } else if self.0 < 32 {
+            write!(f, "r{}", self.0)
+        } else {
+            match *self {
+                Reg::DAR => write!(f, "dar"),
+                Reg::DPV => write!(f, "dpv"),
+                Reg::DHDLR => write!(f, "dhdlr"),
+                Reg::DSEG => write!(f, "dseg"),
+                _ => write!(f, "dr{}", self.0 - 32),
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_and_dise_ranges() {
+        assert_eq!(Reg::gpr(0).index(), 0);
+        assert_eq!(Reg::gpr(31), Reg::ZERO);
+        assert_eq!(Reg::dise(0).index(), 32);
+        assert_eq!(Reg::dise(15).index(), 47);
+        assert!(!Reg::gpr(31).is_dise());
+        assert!(Reg::dise(3).is_dise());
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::SP.is_zero());
+        assert!(!Reg::dise(15).is_zero());
+    }
+
+    #[test]
+    fn from_index_bounds() {
+        assert_eq!(Reg::from_index(0), Some(Reg::gpr(0)));
+        assert_eq!(Reg::from_index(47), Some(Reg::dise(15)));
+        assert_eq!(Reg::from_index(48), None);
+        assert_eq!(Reg::from_index(255), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::gpr(4).to_string(), "r4");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::RA.to_string(), "ra");
+        assert_eq!(Reg::dise(2).to_string(), "dr2");
+        assert_eq!(Reg::DAR.to_string(), "dar");
+        assert_eq!(Reg::DPV.to_string(), "dpv");
+        assert_eq!(Reg::DHDLR.to_string(), "dhdlr");
+        assert_eq!(Reg::DSEG.to_string(), "dseg");
+    }
+
+    #[test]
+    #[should_panic]
+    fn gpr_out_of_range_panics() {
+        let _ = Reg::gpr(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dise_out_of_range_panics() {
+        let _ = Reg::dise(16);
+    }
+}

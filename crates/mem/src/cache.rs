@@ -1,0 +1,211 @@
+//! Parameterised set-associative cache model with LRU replacement.
+
+/// Geometry of one cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line: u64,
+}
+
+impl CacheConfig {
+    /// 32 KB, 2-way, 64-byte lines — the paper's L1 configuration.
+    pub const L1: CacheConfig = CacheConfig { size: 32 * 1024, assoc: 2, line: 64 };
+    /// 1 MB, 4-way, 64-byte lines — the paper's L2 configuration.
+    pub const L2: CacheConfig = CacheConfig { size: 1024 * 1024, assoc: 4, line: 64 };
+
+    /// Number of sets implied by the geometry.
+    pub const fn sets(&self) -> u64 {
+        self.size / (self.line * self.assoc as u64)
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses (fills).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`; zero when no accesses were made.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Only tags are modeled (data lives in [`crate::Memory`]); the cache
+/// answers hit/miss and maintains its own state, which is all the timing
+/// model needs.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets[s]` holds up to `assoc` tags in LRU order (front = MRU).
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size is not a power of two or the geometry does
+    /// not divide evenly into sets.
+    pub fn new(config: CacheConfig) -> Cache {
+        assert!(config.line.is_power_of_two(), "line size must be a power of two");
+        assert!(config.assoc >= 1, "associativity must be at least 1");
+        let sets = config.sets();
+        assert!(
+            sets >= 1 && sets.is_power_of_two(),
+            "set count must be a power of two (size/line/assoc mismatch)"
+        );
+        Cache {
+            config,
+            sets: vec![Vec::with_capacity(config.assoc); sets as usize],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    #[inline]
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr / self.config.line;
+        let set = (line_addr % self.config.sets()) as usize;
+        (set, line_addr)
+    }
+
+    /// Access the line containing `addr`; returns `true` on hit.
+    /// Misses allocate (write-allocate policy for stores too).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stats.accesses += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            true
+        } else {
+            self.stats.misses += 1;
+            if ways.len() == self.config.assoc {
+                ways.pop();
+            }
+            ways.insert(0, tag);
+            false
+        }
+    }
+
+    /// Probe without updating LRU state or statistics.
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set].contains(&tag)
+    }
+
+    /// Drop every line (e.g. between experiment runs).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zero the statistics, keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 16-byte lines = 128 bytes
+        Cache::new(CacheConfig { size: 128, assoc: 2, line: 16 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x10f), "same line");
+        assert!(!c.access(0x110), "next line");
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (stride = sets*line = 64).
+        c.access(0x000);
+        c.access(0x040);
+        c.access(0x000); // refresh 0x000; LRU is now 0x040
+        c.access(0x080); // evicts 0x040
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x040));
+        assert!(c.contains(0x080));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.access(0x00);
+        c.access(0x10);
+        c.access(0x20);
+        c.access(0x30);
+        assert!(c.contains(0x00) && c.contains(0x10) && c.contains(0x20) && c.contains(0x30));
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = tiny();
+        c.access(0x0);
+        c.flush();
+        assert!(!c.contains(0x0));
+        assert!(!c.access(0x0), "miss after flush");
+    }
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(CacheConfig::L1.sets(), 256);
+        assert_eq!(CacheConfig::L2.sets(), 4096);
+        let _ = Cache::new(CacheConfig::L1);
+        let _ = Cache::new(CacheConfig::L2);
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = tiny();
+        assert_eq!(c.stats().miss_rate(), 0.0);
+        c.access(0);
+        c.access(0);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = Cache::new(CacheConfig { size: 120, assoc: 2, line: 15 });
+    }
+}

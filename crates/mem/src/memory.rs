@@ -1,0 +1,253 @@
+//! Sparse paged memory with per-page write protection.
+
+use std::collections::{HashMap, HashSet};
+
+/// Page size in bytes (4 KB, "on the small end for real systems" per the
+/// paper's virtual-memory discussion).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A write hit a write-protected page.
+///
+/// Carries the faulting address so the debugger can decide whether the
+/// store touched watched data or merely shares the page with it (a
+/// *spurious address transition*).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProtFault {
+    /// The faulting byte address.
+    pub addr: u64,
+}
+
+impl std::fmt::Display for ProtFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "write to protected page at {:#x}", self.addr)
+    }
+}
+
+impl std::error::Error for ProtFault {}
+
+/// Sparse 64-bit byte-addressable memory.
+///
+/// Pages are allocated on first touch and zero-filled. Reads never fault;
+/// checked writes ([`Memory::write_checked`]) fault on write-protected
+/// pages while plain writes ([`Memory::write_u`]) bypass protection (the
+/// debugger's own accesses use the latter).
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    write_protected: HashSet<u64>,
+}
+
+impl Memory {
+    /// An empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    #[inline]
+    fn page_of(addr: u64) -> u64 {
+        addr / PAGE_SIZE
+    }
+
+    /// The page-aligned base address containing `addr`.
+    #[inline]
+    pub fn page_base(addr: u64) -> u64 {
+        addr & !(PAGE_SIZE - 1)
+    }
+
+    /// Read one byte (zero if the page was never written).
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&Self::page_of(addr)) {
+            Some(p) => p[(addr % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write one byte, ignoring protection.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, val: u8) {
+        let page = self
+            .pages
+            .entry(Self::page_of(addr))
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+        page[(addr % PAGE_SIZE) as usize] = val;
+    }
+
+    /// Read `width` bytes (1, 2, 4 or 8) little-endian, zero-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn read_u(&self, addr: u64, width: u64) -> u64 {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "bad access width {width}");
+        let mut v = 0u64;
+        for i in 0..width {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Write the low `width` bytes of `val` little-endian, ignoring
+    /// protection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn write_u(&mut self, addr: u64, width: u64, val: u64) {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "bad access width {width}");
+        for i in 0..width {
+            self.write_u8(addr.wrapping_add(i), (val >> (8 * i)) as u8);
+        }
+    }
+
+    /// Write with protection checking, as the application's stores do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtFault`] — without performing any part of the write —
+    /// if any byte of the access lies on a write-protected page.
+    pub fn write_checked(&mut self, addr: u64, width: u64, val: u64) -> Result<(), ProtFault> {
+        for i in 0..width {
+            let a = addr.wrapping_add(i);
+            if self.write_protected.contains(&Self::page_of(a)) {
+                return Err(ProtFault { addr: a });
+            }
+        }
+        self.write_u(addr, width, val);
+        Ok(())
+    }
+
+    /// True if a `width`-byte write at `addr` would fault.
+    pub fn write_would_fault(&self, addr: u64, width: u64) -> bool {
+        (0..width).any(|i| {
+            self.write_protected
+                .contains(&Self::page_of(addr.wrapping_add(i)))
+        })
+    }
+
+    /// Set or clear write protection on the page containing `addr`
+    /// (the debugger's `mprotect`).
+    pub fn protect_page(&mut self, addr: u64, protected: bool) {
+        if protected {
+            self.write_protected.insert(Self::page_of(addr));
+        } else {
+            self.write_protected.remove(&Self::page_of(addr));
+        }
+    }
+
+    /// True if the page containing `addr` is write-protected.
+    pub fn page_is_protected(&self, addr: u64) -> bool {
+        self.write_protected.contains(&Self::page_of(addr))
+    }
+
+    /// Remove all page protections.
+    pub fn clear_protections(&mut self) {
+        self.write_protected.clear();
+    }
+
+    /// Copy a byte slice into memory, ignoring protection (loader use).
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Read `len` bytes into a fresh vector.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+
+    /// Number of distinct pages that have been touched by writes.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_filled_on_first_read() {
+        let m = Memory::new();
+        assert_eq!(m.read_u(0x4000, 8), 0);
+        assert_eq!(m.read_u8(u64::MAX), 0);
+    }
+
+    #[test]
+    fn widths_round_trip() {
+        let mut m = Memory::new();
+        for (w, v) in [(1u64, 0xab), (2, 0xabcd), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)] {
+            m.write_u(0x100, w, v);
+            assert_eq!(m.read_u(0x100, w), v);
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new();
+        m.write_u(0x10, 4, 0x0403_0201);
+        assert_eq!(m.read_u8(0x10), 1);
+        assert_eq!(m.read_u8(0x13), 4);
+        assert_eq!(m.read_u(0x10, 2), 0x0201);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = PAGE_SIZE - 4;
+        m.write_u(addr, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u(addr, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn protection_faults_checked_writes_only() {
+        let mut m = Memory::new();
+        m.write_u(0x2000, 8, 7);
+        m.protect_page(0x2000, true);
+        assert!(m.page_is_protected(0x2fff));
+        assert!(!m.page_is_protected(0x3000));
+
+        let err = m.write_checked(0x2008, 8, 9).unwrap_err();
+        assert_eq!(err.addr, 0x2008);
+        assert_eq!(m.read_u(0x2008, 8), 0, "faulting write must not land");
+
+        // Unchecked writes (debugger) bypass protection.
+        m.write_u(0x2008, 8, 9);
+        assert_eq!(m.read_u(0x2008, 8), 9);
+
+        m.protect_page(0x2000, false);
+        m.write_checked(0x2010, 8, 11).unwrap();
+        assert_eq!(m.read_u(0x2010, 8), 11);
+    }
+
+    #[test]
+    fn protection_catches_partial_overlap_from_prior_page() {
+        let mut m = Memory::new();
+        m.protect_page(PAGE_SIZE, true);
+        // A quad starting 4 bytes before the protected page spills into it.
+        let err = m.write_checked(PAGE_SIZE - 4, 8, 1).unwrap_err();
+        assert_eq!(err.addr, PAGE_SIZE);
+        assert!(m.write_would_fault(PAGE_SIZE - 1, 2));
+        assert!(!m.write_would_fault(PAGE_SIZE - 2, 2));
+    }
+
+    #[test]
+    fn bytes_helpers() {
+        let mut m = Memory::new();
+        m.write_bytes(0x500, &[1, 2, 3, 4]);
+        assert_eq!(m.read_bytes(0x500, 4), vec![1, 2, 3, 4]);
+        assert_eq!(m.read_bytes(0x4fe, 3), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn clear_protections() {
+        let mut m = Memory::new();
+        m.protect_page(0x1000, true);
+        m.protect_page(0x9000, true);
+        m.clear_protections();
+        assert!(!m.page_is_protected(0x1000));
+        assert!(!m.page_is_protected(0x9000));
+    }
+}

@@ -1,0 +1,44 @@
+//! Watching many expressions at once: the paper's Fig. 6 scenario on
+//! one kernel. Four hardware registers run out immediately; page
+//! protection melts down; DISE's serial and Bloom-filter productions
+//! keep overhead flat.
+//!
+//! Run with: `cargo run --release --example multi_watchpoint`
+
+use dise_repro::debug::{run_baseline, BackendKind, DiseStrategy, Session};
+use dise_repro::workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = Workload::crafty(200);
+    let baseline = run_baseline(w.app(), Default::default())?;
+    println!(
+        "{} ({}): overhead vs number of watchpoints\n",
+        w.name(),
+        w.function()
+    );
+    println!(
+        "{:>3} {:>12} {:>12} {:>12} {:>12}",
+        "n", "hw/VM", "DISE serial", "byte Bloom", "bit Bloom"
+    );
+
+    for n in [1usize, 2, 4, 8, 16] {
+        let wps = w.sweep_watchpoints(n);
+        let mut row = format!("{n:>3} ");
+        for backend in [
+            BackendKind::hw4(),
+            BackendKind::dise_default(),
+            BackendKind::Dise(DiseStrategy::bloom(false)),
+            BackendKind::Dise(DiseStrategy::bloom(true)),
+        ] {
+            let r = Session::new(w.app(), wps.clone(), backend)?.run();
+            row.push_str(&format!("{:>11.2}x", r.overhead_vs(&baseline)));
+        }
+        println!("{row}");
+    }
+
+    println!(
+        "\npast four watchpoints the hardware registers fall back to page \
+         protection and overhead explodes; every DISE organisation stays flat."
+    );
+    Ok(())
+}

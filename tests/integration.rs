@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: whole debugging sessions over the
+//! calibrated workloads, checking the invariants the paper's evaluation
+//! rests on.
+
+use dise_repro::cpu::CpuConfig;
+use dise_repro::debug::{
+    run_baseline, BackendKind, DebugError, DiseStrategy, Session, SessionReport,
+};
+use dise_repro::workloads::{all, WatchKind, Workload};
+
+const ITERS: u32 = 120;
+
+fn run(w: &Workload, kind: WatchKind, backend: BackendKind) -> Result<SessionReport, DebugError> {
+    Ok(Session::new(w.app(), vec![w.watchpoint(kind)], backend)?.run())
+}
+
+/// Every backend must report the same *user-visible* debugging events
+/// for the same watchpoint — the implementations differ only in
+/// overhead. (Single-stepping is excluded: it observes values at
+/// statement granularity, so back-to-back changes within one statement
+/// coalesce.)
+#[test]
+fn backends_agree_on_user_transitions() {
+    for w in all(ITERS) {
+        for kind in [WatchKind::Warm1, WatchKind::Warm2, WatchKind::Cold] {
+            let dise = run(&w, kind, BackendKind::dise_default()).unwrap();
+            assert_eq!(dise.error, None);
+            let vm = run(&w, kind, BackendKind::VirtualMemory).unwrap();
+            let hw = run(&w, kind, BackendKind::hw4()).unwrap();
+            assert_eq!(
+                dise.transitions.user,
+                vm.transitions.user,
+                "{}/{:?}: DISE vs VM",
+                w.name(),
+                kind
+            );
+            assert_eq!(
+                dise.transitions.user,
+                hw.transitions.user,
+                "{}/{:?}: DISE vs HW",
+                w.name(),
+                kind
+            );
+        }
+    }
+}
+
+/// The paper's headline: DISE eliminates *all* spurious transitions,
+/// for every workload and every watchpoint kind.
+#[test]
+fn dise_has_zero_spurious_transitions_everywhere() {
+    for w in all(ITERS) {
+        for kind in WatchKind::ALL {
+            let r = run(&w, kind, BackendKind::dise_default()).unwrap();
+            assert_eq!(r.error, None, "{}/{kind:?}", w.name());
+            assert_eq!(
+                r.transitions.spurious_total(),
+                0,
+                "{}/{:?} must not pay for spurious transitions",
+                w.name(),
+                kind
+            );
+            assert_eq!(r.run.debugger_stalls, 0, "{}/{kind:?}", w.name());
+        }
+    }
+}
+
+/// "Typically limits debugging overhead to 25% or less for a wide range
+/// of watchpoints": check the non-HOT scalar watchpoints stay modest
+/// and every DISE run stays within a small constant factor.
+#[test]
+fn dise_overhead_stays_modest() {
+    for w in all(ITERS) {
+        let base = run_baseline(w.app(), CpuConfig::default()).unwrap();
+        for kind in WatchKind::ALL {
+            let r = run(&w, kind, BackendKind::dise_default()).unwrap();
+            let overhead = r.overhead_vs(&base);
+            assert!(
+                overhead < 8.0,
+                "{}/{:?}: DISE overhead {overhead:.2}",
+                w.name(),
+                kind
+            );
+            if matches!(kind, WatchKind::Warm2 | WatchKind::Cold) {
+                assert!(
+                    overhead < 1.6,
+                    "{}/{:?}: cool watchpoints should be near-free, got {overhead:.2}",
+                    w.name(),
+                    kind
+                );
+            }
+        }
+    }
+}
+
+/// Spurious transitions translate into cycles: each one costs the
+/// configured 100,000-cycle round trip.
+#[test]
+fn spurious_transitions_are_charged() {
+    let w = Workload::vortex(ITERS);
+    let base = run_baseline(w.app(), CpuConfig::default()).unwrap();
+    let r = run(&w, WatchKind::Hot, BackendKind::hw4()).unwrap();
+    // vortex HOT is silent-store heavy: many spurious value transitions.
+    assert!(r.transitions.spurious_value > 50, "{:?}", r.transitions);
+    let expected_floor = base.cycles + 100_000 * r.transitions.spurious_value;
+    assert!(
+        r.run.cycles >= expected_floor,
+        "cycles {} must include {} stalls",
+        r.run.cycles,
+        r.transitions.spurious_value
+    );
+}
+
+/// The DISE engine's capacity limits are respected end-to-end: a
+/// 16-watchpoint serial production still fits the paper's 512-entry
+/// replacement table.
+#[test]
+fn sweep_fits_paper_engine_capacity() {
+    let w = Workload::gcc(ITERS);
+    for n in [1, 4, 16] {
+        let r = Session::new(w.app(), w.sweep_watchpoints(n), BackendKind::dise_default())
+            .unwrap()
+            .run();
+        assert_eq!(r.error, None, "n={n}");
+    }
+}
+
+/// Conditional watchpoints: the predicate never holds, so *no* backend
+/// reports a user transition; DISE reports no transitions at all.
+#[test]
+fn conditional_predicates_never_reach_user() {
+    for w in all(ITERS) {
+        let wp = w.conditional_watchpoint(WatchKind::Warm1);
+        for backend in [
+            BackendKind::VirtualMemory,
+            BackendKind::hw4(),
+            BackendKind::dise_default(),
+        ] {
+            let r = Session::new(w.app(), vec![wp], backend).unwrap().run();
+            assert_eq!(r.transitions.user, 0, "{}/{backend:?}", w.name());
+        }
+        let dise = Session::new(w.app(), vec![wp], BackendKind::dise_default())
+            .unwrap()
+            .run();
+        assert_eq!(dise.transitions.total(), 0, "{}", w.name());
+    }
+}
+
+/// Debugged runs must not corrupt the application: the final value of
+/// every watched variable (and of the kernel's busiest array cell)
+/// matches the undebugged run, under every backend — no "heisenbugs".
+#[test]
+fn debugging_preserves_application_semantics() {
+    for w in all(ITERS) {
+        let prog = w.app().program().unwrap();
+        let mut m = dise_repro::cpu::Machine::from_program(&prog);
+        m.run();
+        let probes: Vec<u64> = ["hot", "warm1", "warm2", "cold"]
+            .iter()
+            .map(|s| prog.symbol(s).unwrap())
+            .collect();
+        let expected: Vec<u64> = probes.iter().map(|&a| m.exec.mem().read_u(a, 8)).collect();
+
+        for backend in [
+            BackendKind::dise_default(),
+            BackendKind::Dise(DiseStrategy::bloom(false)),
+            BackendKind::Dise(DiseStrategy { protect_debugger: true, ..Default::default() }),
+            BackendKind::VirtualMemory,
+            BackendKind::hw4(),
+        ] {
+            let session =
+                Session::new(w.app(), vec![w.watchpoint(WatchKind::Hot)], backend).unwrap();
+            let (report, exec) = session.run_with_state();
+            assert_eq!(report.error, None, "{}/{backend:?}", w.name());
+            for (&addr, &want) in probes.iter().zip(&expected) {
+                assert_eq!(
+                    exec.mem().read_u(addr, 8),
+                    want,
+                    "{}/{backend:?}: debugged run perturbed {addr:#x}",
+                    w.name()
+                );
+            }
+        }
+    }
+}
