@@ -228,10 +228,7 @@ mod tests {
         assert_eq!(TextItem::Label("x".into()).len(), 0);
         assert_eq!(TextItem::Stmt.len(), 0);
         assert_eq!(TextItem::Inst(Instr::Nop).len(), 1);
-        assert_eq!(
-            TextItem::LoadAddr { rd: Reg::gpr(1), symbol: "d".into(), offset: 0 }.len(),
-            2
-        );
+        assert_eq!(TextItem::LoadAddr { rd: Reg::gpr(1), symbol: "d".into(), offset: 0 }.len(), 2);
         assert!(TextItem::Label("x".into()).is_empty());
     }
 

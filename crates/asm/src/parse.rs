@@ -90,11 +90,7 @@ fn parse_mem_operand(s: &str, line: usize) -> Result<(i16, Reg), ParseError> {
         return err(line, format!("expected `disp(base)`, got `{s}`"));
     }
     let disp_str = &s[..open];
-    let disp = if disp_str.trim().is_empty() {
-        0
-    } else {
-        parse_int(disp_str, line)?
-    };
+    let disp = if disp_str.trim().is_empty() { 0 } else { parse_int(disp_str, line)? };
     if !(i16::MIN as i64..=i16::MAX as i64).contains(&disp) {
         return err(line, format!("displacement {disp} out of range"));
     }
@@ -391,8 +387,7 @@ pub fn parse_asm(src: &str) -> Result<Asm, ParseError> {
                 if let Some(cond) = mnemonic.strip_prefix("ctrap").and_then(cond_from_suffix) {
                     need(1)?;
                     asm.inst(Instr::CTrap { cond, rs: parse_reg(&ops[0], line)? });
-                } else if let Some(cond) = mnemonic.strip_prefix("d_b").and_then(cond_from_suffix)
-                {
+                } else if let Some(cond) = mnemonic.strip_prefix("d_b").and_then(cond_from_suffix) {
                     need(2)?;
                     let rs = parse_reg(&ops[0], line)?;
                     let disp = parse_int(&ops[1], line)?;
@@ -427,7 +422,12 @@ mod tests {
             Instr::Lda { rd: Reg::gpr(1), base: Reg::ZERO, disp: 100 },
             Instr::Ldah { rd: Reg::gpr(1), base: Reg::gpr(1), disp: 64 },
             Instr::Alu { op: AluOp::Bic, rd: Reg::dise(1), ra: Reg::dise(1), rb: Operand::Imm(7) },
-            Instr::Alu { op: AluOp::CmpEq, rd: Reg::dise(1), ra: Reg::dise(1), rb: Operand::Reg(Reg::DAR) },
+            Instr::Alu {
+                op: AluOp::CmpEq,
+                rd: Reg::dise(1),
+                ra: Reg::dise(1),
+                rb: Operand::Reg(Reg::DAR),
+            },
             Instr::Trap,
             Instr::CTrap { cond: Cond::Eq, rs: Reg::dise(1) },
             Instr::Codeword(7),

@@ -24,11 +24,7 @@ pub struct Layout {
 
 impl Default for Layout {
     fn default() -> Layout {
-        Layout {
-            text_base: 0x0010_0000,
-            data_base: 0x0100_0000,
-            stack_top: 0x07FF_C000,
-        }
+        Layout { text_base: 0x0010_0000, data_base: 0x0100_0000, stack_top: 0x07FF_C000 }
     }
 }
 
@@ -222,10 +218,8 @@ impl Asm {
                 }
                 TextItem::LoadAddr { rd, symbol, offset } => {
                     let addr = lookup(symbol)?.wrapping_add(*offset as u64);
-                    let (hi, lo) = split_addr(addr).ok_or(AsmError::AddrOutOfRange {
-                        symbol: symbol.clone(),
-                        addr,
-                    })?;
+                    let (hi, lo) = split_addr(addr)
+                        .ok_or(AsmError::AddrOutOfRange { symbol: symbol.clone(), addr })?;
                     text.push(encode(&Instr::Ldah { rd: *rd, base: Reg::ZERO, disp: hi }));
                     text.push(encode(&Instr::Lda { rd: *rd, base: *rd, disp: lo }));
                     pc += 2 * INSTR_BYTES;

@@ -27,11 +27,7 @@ fn bench_isa_codec(c: &mut Criterion) {
     });
     g.bench_function("decode", |b| {
         b.iter(|| {
-            words
-                .iter()
-                .map(|w| decode(black_box(*w)).unwrap())
-                .filter(Instr::is_load)
-                .count()
+            words.iter().map(|w| decode(black_box(*w)).unwrap()).filter(Instr::is_load).count()
         })
     });
     g.finish();

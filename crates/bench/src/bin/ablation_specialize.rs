@@ -35,10 +35,7 @@ fn stack_heavy_app(iters: u32) -> Application {
 }
 
 fn main() {
-    let iters: u32 = std::env::var("DISE_ITERS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2000);
+    let iters: u32 = std::env::var("DISE_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(2000);
     let app = stack_heavy_app(iters);
     let g = app.program().expect("assembles").symbol("g").unwrap();
     let wp = Watchpoint::new(WatchExpr::Scalar { addr: g, width: Width::Q });
@@ -47,9 +44,7 @@ fn main() {
     println!("Pattern specialization ablation ({iters} iterations, 3 of 4 stores to the stack)\n");
     for (label, specialize) in [("general store pattern", false), ("+ stack pass-through", true)] {
         let strategy = DiseStrategy { specialize_stack_stores: specialize, ..Default::default() };
-        let r = Session::new(&app, vec![wp], BackendKind::Dise(strategy))
-            .expect("session")
-            .run();
+        let r = Session::new(&app, vec![wp], BackendKind::Dise(strategy)).expect("session").run();
         println!(
             "{label:<24} overhead {:>5.2}x  ({} instructions executed)",
             r.overhead_vs(&base),

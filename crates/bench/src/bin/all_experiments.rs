@@ -31,9 +31,8 @@ fn main() {
     // Tables with paper references.
     let t1 = dise_bench::table1(&mut ctx);
     doc.push_str(&section("Table 1 — benchmark summary (measured)", &code(&t1)));
-    let mut t1p = String::from(
-        "benchmark  function                 instructions      IPC   store density\n",
-    );
+    let mut t1p =
+        String::from("benchmark  function                 instructions      IPC   store density\n");
     for (b, f, i, ipc, sd) in paper::TABLE1 {
         writeln!(t1p, "{b:<10} {f:<24} {i:>12} {ipc:>8.2} {sd:>10.1}%").unwrap();
     }

@@ -3,9 +3,7 @@
 use std::collections::HashMap;
 
 use dise_cpu::{CpuConfig, Executor, Machine, RunStats};
-use dise_debug::{
-    run_baseline, BackendKind, DebugError, DiseStrategy, Session, SessionReport,
-};
+use dise_debug::{run_baseline, BackendKind, DebugError, DiseStrategy, Session, SessionReport};
 use dise_workloads::{all, WatchKind, Workload};
 
 /// Shared experiment context: workload scale, machine configuration,
@@ -21,10 +19,7 @@ pub struct Experiment {
 
 impl Default for Experiment {
     fn default() -> Experiment {
-        let iters = std::env::var("DISE_ITERS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(400);
+        let iters = std::env::var("DISE_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(400);
         Experiment::new(iters, CpuConfig::default())
     }
 }
@@ -101,9 +96,8 @@ fn standard_backends() -> [(&'static str, BackendKind); 4] {
 /// **Table 1** — benchmark summary: dynamic instructions, IPC, store
 /// density, per kernel.
 pub fn table1(ctx: &mut Experiment) -> String {
-    let mut out = String::from(
-        "benchmark  function                 instructions      IPC   store density\n",
-    );
+    let mut out =
+        String::from("benchmark  function                 instructions      IPC   store density\n");
     for w in ctx.workloads().to_vec() {
         let prog = w.app().program().expect("kernel assembles");
         // Functional pass for the store count; timed pass for IPC.
@@ -130,9 +124,8 @@ pub fn table1(ctx: &mut Experiment) -> String {
 /// **Table 2** — watchpoint write frequency per 100K stores (stores
 /// overlapping each watched expression's current storage).
 pub fn table2(ctx: &mut Experiment) -> String {
-    let mut out = String::from(
-        "benchmark       HOT    WARM1    WARM2     COLD INDIRECT    RANGE\n",
-    );
+    let mut out =
+        String::from("benchmark       HOT    WARM1    WARM2     COLD INDIRECT    RANGE\n");
     for w in ctx.workloads().to_vec() {
         let prog = w.app().program().expect("kernel assembles");
         let exprs: Vec<_> = WatchKind::ALL.iter().map(|k| w.watch_expr(*k)).collect();
@@ -145,11 +138,10 @@ pub fn table2(ctx: &mut Experiment) -> String {
                 if m.is_store {
                     stores += 1;
                     for (i, expr) in exprs.iter().enumerate() {
-                        let overlap = expr.watched_intervals(exec.mem()).iter().any(
-                            |&(base, len)| {
-                                m.addr < base + len && base < m.addr + m.width
-                            },
-                        );
+                        let overlap = expr
+                            .watched_intervals(exec.mem())
+                            .iter()
+                            .any(|&(base, len)| m.addr < base + len && base < m.addr + m.width);
                         if overlap {
                             hits[i] += 1;
                         }
@@ -185,11 +177,7 @@ fn watchpoint_grid(ctx: &mut Experiment, conditional: bool) -> String {
     );
     for w in ctx.workloads().to_vec() {
         for kind in WatchKind::ALL {
-            let wp = if conditional {
-                w.conditional_watchpoint(kind)
-            } else {
-                w.watchpoint(kind)
-            };
+            let wp = if conditional { w.conditional_watchpoint(kind) } else { w.watchpoint(kind) };
             out.push_str(&format!("{:<10} {:<9}", w.name(), kind.label()));
             for (_, backend) in standard_backends() {
                 let o = ctx.overhead(&w, vec![wp], backend);
@@ -204,16 +192,13 @@ fn watchpoint_grid(ctx: &mut Experiment, conditional: bool) -> String {
 /// **Figure 5** — DISE vs. static binary rewriting on a COLD
 /// watchpoint, plus the static code growth that causes the difference.
 pub fn fig5(ctx: &mut Experiment) -> String {
-    let mut out = format!(
-        "{:<10}{:>10}{:>12}{:>14}\n",
-        "benchmark", "DISE", "Rewriting", "text growth"
-    );
+    let mut out =
+        format!("{:<10}{:>10}{:>12}{:>14}\n", "benchmark", "DISE", "Rewriting", "text growth");
     for w in ctx.workloads().to_vec() {
         let wp = w.watchpoint(WatchKind::Cold);
         let base = ctx.baseline(&w);
-        let dise = ctx
-            .session(&w, vec![wp], BackendKind::dise_default())
-            .expect("dise supports COLD");
+        let dise =
+            ctx.session(&w, vec![wp], BackendKind::dise_default()).expect("dise supports COLD");
         let bw = ctx
             .session(&w, vec![wp], BackendKind::BinaryRewrite)
             .expect("rewrite supports a single scalar");
@@ -238,22 +223,16 @@ pub fn fig6(ctx: &mut Experiment) -> String {
         "benchmark", "n", "Hw/VM", "Serial", "ByteBloom", "BitBloom"
     );
     for name in ["crafty", "gcc", "vortex"] {
-        let w = ctx
-            .workloads()
-            .iter()
-            .find(|w| w.name() == name)
-            .expect("sweep kernel exists")
-            .clone();
+        let w =
+            ctx.workloads().iter().find(|w| w.name() == name).expect("sweep kernel exists").clone();
         for n in counts {
             let wps = w.sweep_watchpoints(n);
             out.push_str(&format!("{:<10}{:>4}", w.name(), n));
             let hw = ctx.overhead(&w, wps.clone(), BackendKind::hw4());
             out.push_str(&fmt_over(hw));
-            for strategy in [
-                DiseStrategy::default(),
-                DiseStrategy::bloom(false),
-                DiseStrategy::bloom(true),
-            ] {
+            for strategy in
+                [DiseStrategy::default(), DiseStrategy::bloom(false), DiseStrategy::bloom(true)]
+            {
                 let o = ctx.overhead(&w, wps.clone(), BackendKind::Dise(strategy));
                 out.push_str(&fmt_over(o));
             }
@@ -282,12 +261,8 @@ pub fn fig7(ctx: &mut Experiment) -> String {
     }
     out.push('\n');
     for name in ["bzip2", "mcf", "twolf"] {
-        let w = ctx
-            .workloads()
-            .iter()
-            .find(|w| w.name() == name)
-            .expect("fig7 kernel exists")
-            .clone();
+        let w =
+            ctx.workloads().iter().find(|w| w.name() == name).expect("fig7 kernel exists").clone();
         for kind in kinds {
             out.push_str(&format!("{:<10}{:<7}", w.name(), kind.label()));
             for (_, strategy) in &organisations {
@@ -304,10 +279,7 @@ pub fn fig7(ctx: &mut Experiment) -> String {
 /// default organisation with and without the second thread context.
 pub fn fig8(ctx: &mut Experiment) -> String {
     let kinds = [WatchKind::Hot, WatchKind::Warm1, WatchKind::Warm2, WatchKind::Cold];
-    let mut out = format!(
-        "{:<10}{:<7}{:>12}{:>12}\n",
-        "benchmark", "watch", "no-MT", "with-MT"
-    );
+    let mut out = format!("{:<10}{:<7}{:>12}{:>12}\n", "benchmark", "watch", "no-MT", "with-MT");
     for w in ctx.workloads().to_vec() {
         for kind in kinds {
             let wp = w.watchpoint(kind);
@@ -335,27 +307,16 @@ pub fn fig8(ctx: &mut Experiment) -> String {
 /// **Figure 9** — the cost of protecting the debugger's embedded data
 /// (the Fig. 2f store-range check) on a COLD watchpoint.
 pub fn fig9(ctx: &mut Experiment) -> String {
-    let mut out = format!(
-        "{:<10}{:>14}{:>12}\n",
-        "benchmark", "unprotected", "protected"
-    );
+    let mut out = format!("{:<10}{:>14}{:>12}\n", "benchmark", "unprotected", "protected");
     for w in ctx.workloads().to_vec() {
         let wp = w.watchpoint(WatchKind::Cold);
         let plain = ctx.overhead(&w, vec![wp], BackendKind::dise_default());
         let prot = ctx.overhead(
             &w,
             vec![wp],
-            BackendKind::Dise(DiseStrategy {
-                protect_debugger: true,
-                ..DiseStrategy::default()
-            }),
+            BackendKind::Dise(DiseStrategy { protect_debugger: true, ..DiseStrategy::default() }),
         );
-        out.push_str(&format!(
-            "{:<10}  {}  {}\n",
-            w.name(),
-            fmt_over(plain),
-            fmt_over(prot)
-        ));
+        out.push_str(&format!("{:<10}  {}  {}\n", w.name(), fmt_over(plain), fmt_over(prot)));
     }
     out
 }
@@ -411,13 +372,8 @@ mod tests {
         let ctx = &mut tiny();
         let t = fig5(ctx);
         for line in t.lines().skip(1) {
-            let growth: f64 = line
-                .split_whitespace()
-                .last()
-                .unwrap()
-                .trim_end_matches('x')
-                .parse()
-                .unwrap();
+            let growth: f64 =
+                line.split_whitespace().last().unwrap().trim_end_matches('x').parse().unwrap();
             assert!(growth > 1.3, "{line}");
         }
     }

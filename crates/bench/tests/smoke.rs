@@ -1,0 +1,51 @@
+//! Smoke tests for the evaluation harness: run real experiments at a
+//! tiny scale and assert they produce rows, so the figure/table
+//! binaries cannot silently rot.
+
+use dise_bench::{table1, Experiment};
+use dise_cpu::CpuConfig;
+
+const BENCHMARKS: [&str; 6] = ["bzip2", "crafty", "gcc", "mcf", "twolf", "vortex"];
+
+/// A tiny-scale context, equivalent to running a binary with
+/// `DISE_ITERS=25`.
+fn tiny() -> Experiment {
+    Experiment::new(25, CpuConfig::default())
+}
+
+/// `table1` at a tiny DISE_ITERS still emits one row per benchmark,
+/// with plausible per-row content.
+#[test]
+fn table1_produces_rows_at_tiny_scale() {
+    let mut ctx = tiny();
+    let out = table1(&mut ctx);
+    assert!(!out.trim().is_empty(), "table1 produced no output");
+    for b in BENCHMARKS {
+        let row = out
+            .lines()
+            .find(|l| l.starts_with(b))
+            .unwrap_or_else(|| panic!("table1 lost its {b} row:\n{out}"));
+        // Each row carries at least an instruction count > 0.
+        let has_count =
+            row.split_whitespace().any(|tok| tok.parse::<u64>().map(|n| n > 0).unwrap_or(false));
+        assert!(has_count, "no instruction count in row: {row}");
+    }
+}
+
+/// The real surface: the `table1` binary run as a subprocess with a
+/// tiny `DISE_ITERS` honours the override and emits every row.
+/// (A subprocess keeps the env override out of this multi-threaded
+/// test binary.)
+#[test]
+fn table1_binary_honours_dise_iters_env() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_table1"))
+        .env("DISE_ITERS", "25")
+        .output()
+        .expect("table1 binary runs");
+    assert!(out.status.success(), "table1 exited with {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("iters = 25"), "DISE_ITERS override not reflected:\n{stdout}");
+    for b in BENCHMARKS {
+        assert!(stdout.lines().any(|l| l.starts_with(b)), "missing {b} row:\n{stdout}");
+    }
+}

@@ -86,7 +86,6 @@ impl DiseBackend {
             last_store: None,
         }
     }
-
 }
 
 fn unsupported(reason: impl Into<String>) -> DebugError {
@@ -298,7 +297,13 @@ impl BackendImpl for DiseBackend {
             for (i, w) in wps.iter().enumerate() {
                 match w.expr {
                     WatchExpr::Scalar { addr, .. } => {
-                        terms.push(Term::Aligned(alloc(&slots, &mut next_slot, &mut rb, addr & !7, &mut reg_values)));
+                        terms.push(Term::Aligned(alloc(
+                            &slots,
+                            &mut next_slot,
+                            &mut rb,
+                            addr & !7,
+                            &mut reg_values,
+                        )));
                     }
                     WatchExpr::Indirect { ptr, .. } => {
                         // The handler rewrites `dar` when the pointer
@@ -309,8 +314,20 @@ impl BackendImpl for DiseBackend {
                             ));
                         }
                         let target = image.read_u(ptr, 8);
-                        terms.push(Term::Aligned(alloc(&slots, &mut next_slot, &mut rb, target & !7, &mut reg_values)));
-                        terms.push(Term::Aligned(alloc(&slots, &mut next_slot, &mut rb, ptr & !7, &mut reg_values)));
+                        terms.push(Term::Aligned(alloc(
+                            &slots,
+                            &mut next_slot,
+                            &mut rb,
+                            target & !7,
+                            &mut reg_values,
+                        )));
+                        terms.push(Term::Aligned(alloc(
+                            &slots,
+                            &mut next_slot,
+                            &mut rb,
+                            ptr & !7,
+                            &mut reg_values,
+                        )));
                     }
                     WatchExpr::Range { base, len } => {
                         let lo = alloc(&slots, &mut next_slot, &mut rb, base, &mut reg_values);
@@ -327,9 +344,7 @@ impl BackendImpl for DiseBackend {
             let mut filter = vec![0u8; 2048];
             for w in wps {
                 let quads: Vec<u64> = match w.expr {
-                    WatchExpr::Scalar { addr, width } => {
-                        quad_span(addr, width.bytes()).collect()
-                    }
+                    WatchExpr::Scalar { addr, width } => quad_span(addr, width.bytes()).collect(),
                     WatchExpr::Range { base, len } => quad_span(base, len).collect(),
                     WatchExpr::Indirect { .. } => {
                         return Err(unsupported(
@@ -538,9 +553,8 @@ impl BackendImpl for DiseBackend {
                 watch.reevaluate(exec.mem());
                 if self.strategy.check == CheckKind::MatchAddressValue {
                     // The debugger refreshes the previous-value register.
-                    if let Some(Watchpoint {
-                        expr: WatchExpr::Scalar { addr, width }, ..
-                    }) = self.wps.first()
+                    if let Some(Watchpoint { expr: WatchExpr::Scalar { addr, width }, .. }) =
+                        self.wps.first()
                     {
                         let v = exec.mem().read_u(*addr, width.bytes());
                         exec.set_reg(Reg::DPV, v);
@@ -749,12 +763,7 @@ fn generate_handler(wps: &[Watchpoint], cells: &[Cells], base: u64) -> Asm {
 fn emit_condition(a: &mut Asm, c: &Cells, value: Reg, tmp: Reg, base: Reg) {
     if let Some(off) = c.cond {
         a.inst(Instr::Load { width: Width::Q, rd: tmp, base, disp: off as i16 });
-        a.inst(Instr::Alu {
-            op: AluOp::CmpEq,
-            rd: tmp,
-            ra: value,
-            rb: Operand::Reg(tmp),
-        });
+        a.inst(Instr::Alu { op: AluOp::CmpEq, rd: tmp, ra: value, rb: Operand::Reg(tmp) });
         a.cond_br(Cond::Eq, tmp, "__done");
     }
 }

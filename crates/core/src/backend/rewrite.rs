@@ -53,10 +53,7 @@ impl BackendImpl for Rewrite {
         for item in out.text_items() {
             match item {
                 TextItem::Inst(i @ Instr::Store { base, disp, .. }) => {
-                    assert!(
-                        ![S1, S2, S3].contains(base),
-                        "store base uses a scavenged register"
-                    );
+                    assert!(![S1, S2, S3].contains(base), "store base uses a scavenged register");
                     items.push(TextItem::Inst(*i));
                     let skip = format!("__bw_skip_{n}");
                     n += 1;

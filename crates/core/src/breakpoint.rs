@@ -146,11 +146,7 @@ impl BreakpointSession {
                     let mut seq = breakpoint_sequence(i, bp, *original, &mut exec);
                     *seq.last_mut().expect("sequence nonempty") = TemplateInst::Trigger;
                     exec.engine_mut()
-                        .install(Production::new(
-                            &format!("bp-pc-{i}"),
-                            Pattern::at_pc(bp.pc),
-                            seq,
-                        ))
+                        .install(Production::new(&format!("bp-pc-{i}"), Pattern::at_pc(bp.pc), seq))
                         .map_err(DebugError::Engine)?;
                 }
             }
@@ -252,10 +248,7 @@ fn breakpoint_sequence(
                 ra: TReg::Lit(Reg::dise(1)),
                 rb: TOperand::Reg(TReg::Lit(val_reg)),
             });
-            seq.push(TemplateInst::Fixed(Instr::CTrap {
-                cond: Cond::Ne,
-                rs: Reg::dise(2),
-            }));
+            seq.push(TemplateInst::Fixed(Instr::CTrap { cond: Cond::Ne, rs: Reg::dise(2) }));
         }
     }
     seq.push(TemplateInst::Fixed(original));
@@ -349,9 +342,14 @@ mod tests {
         let bp = Breakpoint::conditional(pc, v, 10);
 
         // Trap patching transitions on every pass; 19 are spurious.
-        let tp = BreakpointSession::new(&a, vec![bp], BreakpointBackend::TrapPatch, CpuConfig::default())
-            .unwrap()
-            .run();
+        let tp = BreakpointSession::new(
+            &a,
+            vec![bp],
+            BreakpointBackend::TrapPatch,
+            CpuConfig::default(),
+        )
+        .unwrap()
+        .run();
         assert_eq!(tp.transitions.user, 1);
         assert_eq!(tp.transitions.spurious_predicate, 19);
         assert!(tp.run.cycles > 19 * 100_000);
@@ -359,9 +357,8 @@ mod tests {
         // DISE evaluates the predicate in the replacement sequence:
         // exactly one (masked) transition, no stalls.
         for backend in [BreakpointBackend::DiseCodeword, BreakpointBackend::DisePcPattern] {
-            let r = BreakpointSession::new(&a, vec![bp], backend, CpuConfig::default())
-                .unwrap()
-                .run();
+            let r =
+                BreakpointSession::new(&a, vec![bp], backend, CpuConfig::default()).unwrap().run();
             assert_eq!(r.transitions.user, 1, "{backend:?}");
             assert_eq!(r.transitions.spurious_total(), 0, "{backend:?}");
             assert!(r.run.cycles < tp.run.cycles / 10, "{backend:?}");

@@ -83,11 +83,7 @@ impl Monitor {
         let t2 = Reg::dise(2);
         let mut seq = vec![
             TemplateInst::Trigger,
-            TemplateInst::Lda {
-                rd: TReg::Lit(t1),
-                base: TReg::Rs1,
-                disp: dise_engine::TDisp::Imm,
-            },
+            TemplateInst::Lda { rd: TReg::Lit(t1), base: TReg::Rs1, disp: dise_engine::TDisp::Imm },
         ];
         for (i, r) in regions.iter().enumerate() {
             let lo = Reg::dise(5 + 2 * i as u8);
@@ -184,11 +180,7 @@ mod tests {
         let mut mon = Monitor::new(&a, &[region], CpuConfig::default()).unwrap();
         mon.run();
         let hits = prog.symbol("hits").unwrap();
-        assert_eq!(
-            mon.executor().mem().read_u(hits, 8),
-            10,
-            "one callback per monitored store"
-        );
+        assert_eq!(mon.executor().mem().read_u(hits, 8), 10, "one callback per monitored store");
     }
 
     #[test]
@@ -219,11 +211,7 @@ mod tests {
         let mut mon = Monitor::new(&a, &regions, CpuConfig::default()).unwrap();
         mon.run();
         let hits = prog.symbol("hits").unwrap();
-        assert_eq!(
-            mon.executor().mem().read_u(hits, 8),
-            20,
-            "both regions trigger the callback"
-        );
+        assert_eq!(mon.executor().mem().read_u(hits, 8), 20, "both regions trigger the callback");
     }
 
     #[test]

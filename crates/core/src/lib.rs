@@ -57,8 +57,8 @@ mod strategy;
 mod watch;
 
 pub use app::Application;
-pub use breakpoint::{Breakpoint, BreakpointBackend, BreakpointReport, BreakpointSession};
 pub use backend::BackendKind;
+pub use breakpoint::{Breakpoint, BreakpointBackend, BreakpointReport, BreakpointSession};
 pub use iwatcher::{Monitor, MonitoredRegion};
 pub use region::DebugRegion;
 pub use session::{run_baseline, DebugError, Session, SessionReport};

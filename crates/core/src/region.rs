@@ -73,10 +73,7 @@ impl RegionBuilder {
     pub fn finish(self, base: u64) -> (Vec<u8>, DebugRegion) {
         let size = self.bytes.len().max(1) as u64;
         let prot_shift = (64 - (size - 1).leading_zeros()).max(11);
-        (
-            self.bytes,
-            DebugRegion { base, size, prot_shift },
-        )
+        (self.bytes, DebugRegion { base, size, prot_shift })
     }
 
     /// The alignment the finished region will require.

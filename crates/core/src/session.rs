@@ -169,8 +169,7 @@ impl Session {
             n += 1;
             self.timing.consume(&e);
             if let Some(t) =
-                self.backend
-                    .observe(&e, &mut self.exec, &mut self.watch, &mut self.stats)
+                self.backend.observe(&e, &mut self.exec, &mut self.watch, &mut self.stats)
             {
                 self.stats.count(t);
                 if t.is_spurious() {
@@ -371,9 +370,7 @@ mod tests {
             DiseStrategy { multithreaded_calls: true, ..DiseStrategy::default() },
             DiseStrategy { protect_debugger: true, ..DiseStrategy::default() },
         ] {
-            let r = Session::new(&a, vec![wp], BackendKind::Dise(strategy))
-                .unwrap()
-                .run();
+            let r = Session::new(&a, vec![wp], BackendKind::Dise(strategy)).unwrap().run();
             assert_eq!(r.error, None, "{strategy:?}");
             assert_eq!(r.transitions.user, 10, "{strategy:?}");
             assert_eq!(r.transitions.spurious_total(), 0, "{strategy:?}");
@@ -449,10 +446,7 @@ mod tests {
         let wps: Vec<Watchpoint> = ["watched", "silent", "neighbor"]
             .iter()
             .map(|s| {
-                Watchpoint::new(WatchExpr::Scalar {
-                    addr: p.symbol(s).unwrap(),
-                    width: Width::Q,
-                })
+                Watchpoint::new(WatchExpr::Scalar { addr: p.symbol(s).unwrap(), width: Width::Q })
             })
             .collect();
         for kind in [
@@ -496,21 +490,15 @@ mod tests {
     fn unsupported_combinations_are_reported() {
         let a = app(5);
         let p = a.program().unwrap();
-        let range = Watchpoint::new(WatchExpr::Range {
-            base: p.symbol("watched").unwrap(),
-            len: 16,
-        });
+        let range =
+            Watchpoint::new(WatchExpr::Range { base: p.symbol("watched").unwrap(), len: 16 });
         assert!(matches!(
             Session::new(&a, vec![range], BackendKind::hw4()),
             Err(DebugError::Unsupported { .. })
         ));
         let two = vec![scalar_wp(&a, "watched"), scalar_wp(&a, "silent")];
         assert!(matches!(
-            Session::new(
-                &a,
-                two,
-                BackendKind::Dise(DiseStrategy::evaluate_inline(true))
-            ),
+            Session::new(&a, two, BackendKind::Dise(DiseStrategy::evaluate_inline(true))),
             Err(DebugError::Unsupported { .. })
         ));
     }

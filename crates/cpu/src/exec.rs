@@ -463,13 +463,8 @@ impl Executor {
                 let w = width.bytes();
                 let v = self.mem.read_u(addr, w);
                 self.set_reg(rd, v);
-                exec.mem = Some(MemOp {
-                    addr,
-                    width: w,
-                    is_store: false,
-                    old_value: v,
-                    new_value: v,
-                });
+                exec.mem =
+                    Some(MemOp { addr, width: w, is_store: false, old_value: v, new_value: v });
                 advance!();
             }
             Instr::Store { width, rs, base, disp } => {
@@ -483,13 +478,8 @@ impl Executor {
                     // store on the application's behalf.
                     self.mem.write_u(addr, w, new);
                 }
-                exec.mem = Some(MemOp {
-                    addr,
-                    width: w,
-                    is_store: true,
-                    old_value: old,
-                    new_value: new,
-                });
+                exec.mem =
+                    Some(MemOp { addr, width: w, is_store: true, old_value: old, new_value: new });
                 advance!();
             }
             Instr::Br { rd, disp } => {
@@ -566,25 +556,22 @@ impl Executor {
                     }
                     exec.flush = Some(FlushKind::DiseCall);
                     let callee = self.reg(target);
-                    self.mode = Mode::InCall {
-                        ret: CallReturn { trigger_pc: tpc, seq, idx: idx + 1 },
-                    };
+                    self.mode =
+                        Mode::InCall { ret: CallReturn { trigger_pc: tpc, seq, idx: idx + 1 } };
                     self.pc = callee;
                 } else {
                     self.advance_replacement(tpc, seq, idx + 1);
                 }
             }
-            Instr::DRet => {
-                match std::mem::replace(&mut self.mode, Mode::Normal) {
-                    Mode::InCall { ret } => {
-                        exec.flush = Some(FlushKind::DiseRet);
-                        self.advance_replacement(ret.trigger_pc, ret.seq, ret.idx);
-                    }
-                    _ => {
-                        self.halt_with(&mut exec, ExecError::StrayDiseReturn(pc));
-                    }
+            Instr::DRet => match std::mem::replace(&mut self.mode, Mode::Normal) {
+                Mode::InCall { ret } => {
+                    exec.flush = Some(FlushKind::DiseRet);
+                    self.advance_replacement(ret.trigger_pc, ret.seq, ret.idx);
                 }
-            }
+                _ => {
+                    self.halt_with(&mut exec, ExecError::StrayDiseReturn(pc));
+                }
+            },
             Instr::DMfr { rd, dr } => {
                 let v = self.reg(dr);
                 self.set_reg(rd, v);
@@ -613,8 +600,8 @@ fn width_mask(bytes: u64) -> u64 {
 mod tests {
     use super::*;
     use dise_asm::{parse_asm, Layout};
-    use dise_isa::Cond;
     use dise_engine::{Pattern, Production, TemplateInst};
+    use dise_isa::Cond;
     use dise_isa::{AluOp, OpClass, Width};
 
     fn machine(src: &str) -> Executor {
@@ -729,18 +716,12 @@ mod tests {
         // `d_ret` in conventional code.
         let mut m = machine("start: d_ret\n halt");
         let trace = run(&mut m, 10);
-        assert!(matches!(
-            trace[0].event,
-            Some(Event::Error(ExecError::DiseProtection(_)))
-        ));
+        assert!(matches!(trace[0].event, Some(Event::Error(ExecError::DiseProtection(_)))));
 
         // ALU naming a DISE register in conventional code.
         let mut m = machine("start: addq dr1, 1, dr1\n halt");
         let trace = run(&mut m, 10);
-        assert!(matches!(
-            trace[0].event,
-            Some(Event::Error(ExecError::DiseProtection(_)))
-        ));
+        assert!(matches!(trace[0].event, Some(Event::Error(ExecError::DiseProtection(_)))));
     }
 
     /// Install the paper's Fig. 2a naive watchpoint production.
@@ -816,10 +797,7 @@ mod tests {
             "no trap for unchanged value"
         );
         // The taken DISE branch must flush.
-        let dbr = trace
-            .iter()
-            .find(|e| matches!(e.instr, Instr::DBr { .. }))
-            .unwrap();
+        let dbr = trace.iter().find(|e| matches!(e.instr, Instr::DBr { .. })).unwrap();
         assert_eq!(dbr.flush, Some(FlushKind::DiseBranch));
         // 4 replacement instructions executed (trap skipped).
         assert_eq!(trace.iter().filter(|e| e.disepc > 0).count(), 4);

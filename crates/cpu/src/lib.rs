@@ -49,9 +49,7 @@ mod predictor;
 mod timing;
 
 pub use config::CpuConfig;
-pub use exec::{
-    Branch, BranchKind, Event, Exec, ExecError, Executor, FlushKind, MemOp, NUM_REGS,
-};
+pub use exec::{Branch, BranchKind, Event, Exec, ExecError, Executor, FlushKind, MemOp, NUM_REGS};
 pub use predictor::{BpredConfig, Predictor};
 pub use timing::{RunStats, Timing};
 
@@ -77,10 +75,7 @@ impl Machine {
 
     /// Build a machine with an explicit configuration.
     pub fn with_config(prog: &Program, config: CpuConfig) -> Machine {
-        Machine {
-            exec: Executor::from_program(prog, config),
-            timing: Timing::new(config),
-        }
+        Machine { exec: Executor::from_program(prog, config), timing: Timing::new(config) }
     }
 
     /// Run until `halt` (or an execution error), returning the final

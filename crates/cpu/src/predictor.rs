@@ -110,8 +110,8 @@ impl Predictor {
         }
         bump(&mut self.bimodal[bi], taken);
         bump(&mut self.gshare[gi], taken);
-        self.history = ((self.history << 1) | u64::from(taken))
-            & ((1 << self.config.history_bits) - 1);
+        self.history =
+            ((self.history << 1) | u64::from(taken)) & ((1 << self.config.history_bits) - 1);
 
         let correct = pred == taken;
         if !correct {

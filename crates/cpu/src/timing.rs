@@ -455,13 +455,17 @@ mod tests {
         // A load that reads the quad a prior store wrote must wait.
         let mut t = Timing::new(cfg());
         let mut store = plain_alu(0x10_0000, 1, 2);
-        store.instr = Instr::Store { width: dise_isa::Width::Q, rs: Reg::gpr(1), base: Reg::gpr(2), disp: 0 };
-        store.mem = Some(MemOp { addr: 0x100, width: 8, is_store: true, old_value: 0, new_value: 1 });
+        store.instr =
+            Instr::Store { width: dise_isa::Width::Q, rs: Reg::gpr(1), base: Reg::gpr(2), disp: 0 };
+        store.mem =
+            Some(MemOp { addr: 0x100, width: 8, is_store: true, old_value: 0, new_value: 1 });
         let sc = t.consume(&store);
 
         let mut load = plain_alu(0x10_0004, 3, 4);
-        load.instr = Instr::Load { width: dise_isa::Width::Q, rd: Reg::gpr(3), base: Reg::gpr(4), disp: 0 };
-        load.mem = Some(MemOp { addr: 0x100, width: 8, is_store: false, old_value: 1, new_value: 1 });
+        load.instr =
+            Instr::Load { width: dise_isa::Width::Q, rd: Reg::gpr(3), base: Reg::gpr(4), disp: 0 };
+        load.mem =
+            Some(MemOp { addr: 0x100, width: 8, is_store: false, old_value: 1, new_value: 1 });
         let lc = t.consume(&load);
         assert!(lc >= sc, "load commits no earlier than the store it depends on");
     }

@@ -63,10 +63,9 @@ impl fmt::Display for EngineError {
             EngineError::PatternTableFull { capacity } => {
                 write!(f, "pattern table full ({capacity} entries)")
             }
-            EngineError::ReplacementTableFull { capacity, used, requested } => write!(
-                f,
-                "replacement table full ({used}/{capacity} used, {requested} requested)"
-            ),
+            EngineError::ReplacementTableFull { capacity, used, requested } => {
+                write!(f, "replacement table full ({used}/{capacity} used, {requested} requested)")
+            }
             EngineError::IncompatibleTemplate { reason } => {
                 write!(f, "template incompatible with pattern: {reason}")
             }
@@ -135,20 +134,12 @@ impl Engine {
         }
         // A pattern restricted to loads/stores guarantees memory-trigger
         // directives resolve; PC/codeword/unrestricted patterns do not.
-        let memory_only = matches!(
-            production.pattern().opclass,
-            Some(OpClass::Load) | Some(OpClass::Store)
-        );
+        let memory_only =
+            matches!(production.pattern().opclass, Some(OpClass::Load) | Some(OpClass::Store));
         if !memory_only {
-            if let Some(t) = production
-                .replacement()
-                .iter()
-                .find(|t| t.needs_memory_trigger())
-            {
+            if let Some(t) = production.replacement().iter().find(|t| t.needs_memory_trigger()) {
                 return Err(EngineError::IncompatibleTemplate {
-                    reason: format!(
-                        "{t:?} requires memory triggers but the pattern admits others"
-                    ),
+                    reason: format!("{t:?} requires memory triggers but the pattern admits others"),
                 });
             }
         }
@@ -206,8 +197,12 @@ impl Engine {
                 // Install-time validation makes this unreachable; treat a
                 // residual mismatch as no-match rather than corrupting the
                 // stream.
-                Err(ExpandError::NoRd | ExpandError::NoRs1 | ExpandError::NoImm
-                | ExpandError::NotMemory) => return None,
+                Err(
+                    ExpandError::NoRd
+                    | ExpandError::NoRs1
+                    | ExpandError::NoImm
+                    | ExpandError::NotMemory,
+                ) => return None,
             }
         };
         self.triggers += 1;
@@ -264,8 +259,7 @@ mod tests {
         .unwrap();
 
         let heap_store = store();
-        let stack_store =
-            Instr::Store { width: Width::Q, rs: Reg::gpr(1), base: Reg::SP, disp: 8 };
+        let stack_store = Instr::Store { width: Width::Q, rs: Reg::gpr(1), base: Reg::SP, disp: 8 };
         assert_eq!(e.expand(0, &heap_store).unwrap().len(), 2);
         assert_eq!(e.expand(0, &stack_store).unwrap().len(), 1);
     }
@@ -312,10 +306,7 @@ mod tests {
                 vec![TemplateInst::Trigger, TemplateInst::Fixed(Instr::Nop)],
             ))
             .unwrap_err();
-        assert_eq!(
-            err,
-            EngineError::ReplacementTableFull { capacity: 3, used: 2, requested: 2 }
-        );
+        assert_eq!(err, EngineError::ReplacementTableFull { capacity: 3, used: 2, requested: 2 });
     }
 
     #[test]

@@ -102,10 +102,8 @@ mod tests {
         let p = Pattern::opclass(OpClass::Store);
         assert!(p.matches(0, &store(Reg::SP)));
         assert!(!p.matches(0, &Instr::Nop));
-        assert!(!p.matches(
-            0,
-            &Instr::Load { width: Width::Q, rd: Reg::gpr(1), base: Reg::SP, disp: 0 }
-        ));
+        assert!(!p
+            .matches(0, &Instr::Load { width: Width::Q, rd: Reg::gpr(1), base: Reg::SP, disp: 0 }));
     }
 
     #[test]

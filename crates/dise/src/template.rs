@@ -274,11 +274,8 @@ mod tests {
     #[test]
     fn effective_address_reconstruction() {
         // lda dr1, T.IMM(T.RS1) — the heart of Fig. 2c/d.
-        let t = TemplateInst::Lda {
-            rd: TReg::Lit(Reg::dise(1)),
-            base: TReg::Rs1,
-            disp: TDisp::Imm,
-        };
+        let t =
+            TemplateInst::Lda { rd: TReg::Lit(Reg::dise(1)), base: TReg::Rs1, disp: TDisp::Imm };
         assert_eq!(
             t.instantiate(&store()),
             Ok(Instr::Lda { rd: Reg::dise(1), base: Reg::gpr(5), disp: 24 })
@@ -308,12 +305,7 @@ mod tests {
         };
         assert_eq!(
             t.instantiate(&ld),
-            Ok(Instr::Alu {
-                op: AluOp::Add,
-                rd: Reg::dise(0),
-                ra: Reg::SP,
-                rb: Operand::Imm(8)
-            })
+            Ok(Instr::Alu { op: AluOp::Add, rd: Reg::dise(0), ra: Reg::SP, rb: Operand::Imm(8) })
         );
     }
 
@@ -333,7 +325,8 @@ mod tests {
 
     #[test]
     fn directive_errors() {
-        let t = TemplateInst::Lda { rd: TReg::Lit(Reg::dise(1)), base: TReg::Rs1, disp: TDisp::Imm };
+        let t =
+            TemplateInst::Lda { rd: TReg::Lit(Reg::dise(1)), base: TReg::Rs1, disp: TDisp::Imm };
         assert_eq!(t.instantiate(&Instr::Nop), Err(ExpandError::NoRs1));
         let t = TemplateInst::TriggerOpWith { base: TReg::Lit(Reg::dise(0)), disp: TDisp::Lit(0) };
         assert_eq!(t.instantiate(&Instr::Trap), Err(ExpandError::NotMemory));
@@ -343,7 +336,8 @@ mod tests {
     fn needs_memory_trigger_analysis() {
         assert!(!TemplateInst::Trigger.needs_memory_trigger());
         assert!(!TemplateInst::Fixed(Instr::Nop).needs_memory_trigger());
-        let t = TemplateInst::Lda { rd: TReg::Lit(Reg::dise(1)), base: TReg::Rs1, disp: TDisp::Imm };
+        let t =
+            TemplateInst::Lda { rd: TReg::Lit(Reg::dise(1)), base: TReg::Rs1, disp: TDisp::Imm };
         assert!(t.needs_memory_trigger());
         let t = TemplateInst::TriggerOpWith { base: TReg::Lit(Reg::dise(0)), disp: TDisp::Lit(0) };
         assert!(t.needs_memory_trigger());

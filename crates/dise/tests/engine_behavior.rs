@@ -1,0 +1,199 @@
+//! Focused engine-level tests: most-specific-wins arbitration across
+//! overlapping patterns, and template instantiation producing
+//! well-formed (encodable, trigger-faithful) replacement sequences.
+
+use dise_engine::{Engine, Pattern, Production, TDisp, TOperand, TReg, TemplateInst};
+use dise_isa::{decode, encode, AluOp, Cond, Instr, OpClass, Operand, Reg, Width};
+
+fn store(base: Reg, disp: i16) -> Instr {
+    Instr::Store { width: Width::Q, rs: Reg::gpr(1), base, disp }
+}
+
+fn tagged(name: &str, pattern: Pattern, tag: u8) -> Production {
+    // Each production is identified by a distinct trailing ALU immediate,
+    // so tests can tell which production expanded a trigger.
+    Production::new(
+        name,
+        pattern,
+        vec![
+            TemplateInst::Trigger,
+            TemplateInst::Alu {
+                op: AluOp::Add,
+                rd: TReg::Lit(Reg::dise(2)),
+                ra: TReg::Lit(Reg::dise(2)),
+                rb: TOperand::Imm(tag),
+            },
+        ],
+    )
+}
+
+fn tag_of(seq: &[Instr]) -> u8 {
+    match seq.last() {
+        Some(Instr::Alu { rb: Operand::Imm(tag), .. }) => *tag,
+        other => panic!("expected tagged ALU terminator, got {other:?}"),
+    }
+}
+
+/// Three overlapping patterns at increasing specificity: the match-all
+/// pattern loses to the store pattern, which loses to the store+base
+/// pattern — regardless of installation order.
+#[test]
+fn arbitration_picks_most_specific_of_three_overlapping() {
+    // Install most-specific first to rule out "last installed wins by
+    // accident" as the mechanism.
+    let orders: [&[(&str, u8)]; 2] = [
+        &[("store-sp", 3), ("store", 2), ("all", 1)],
+        &[("all", 1), ("store", 2), ("store-sp", 3)],
+    ];
+    for order in orders {
+        let mut e = Engine::with_paper_config();
+        for &(name, tag) in order {
+            let pattern = match name {
+                "all" => Pattern::default(),
+                "store" => Pattern::opclass(OpClass::Store),
+                "store-sp" => Pattern::opclass(OpClass::Store).with_base_reg(Reg::SP),
+                _ => unreachable!(),
+            };
+            e.install(tagged(name, pattern, tag)).unwrap();
+        }
+
+        // A non-store matches only the empty pattern.
+        assert_eq!(tag_of(&e.expand(0, &Instr::Nop).unwrap()), 1);
+        // A heap store overlaps "all" and "store": "store" is more specific.
+        assert_eq!(tag_of(&e.expand(0, &store(Reg::gpr(7), 8)).unwrap()), 2);
+        // A stack store overlaps all three: two predicates beat one and zero.
+        assert_eq!(tag_of(&e.expand(0, &store(Reg::SP, 8)).unwrap()), 3);
+    }
+}
+
+/// PC patterns and opclass+base patterns overlap at the watched PC; the
+/// two-predicate pattern still wins over the one-predicate PC pattern.
+#[test]
+fn arbitration_weighs_predicate_count_not_kind() {
+    let mut e = Engine::with_paper_config();
+    e.install(tagged("at-pc", Pattern::at_pc(0x400), 1)).unwrap();
+    e.install(tagged("store-sp", Pattern::opclass(OpClass::Store).with_base_reg(Reg::SP), 2))
+        .unwrap();
+
+    // At 0x400 a stack store matches both; specificity 2 beats 1.
+    assert_eq!(tag_of(&e.expand(0x400, &store(Reg::SP, 0)).unwrap()), 2);
+    // A non-store at 0x400 falls back to the PC pattern.
+    assert_eq!(tag_of(&e.expand(0x400, &Instr::Nop).unwrap()), 1);
+    // Elsewhere, only the store pattern can match.
+    assert_eq!(tag_of(&e.expand(0x800, &store(Reg::SP, 0)).unwrap()), 2);
+    assert_eq!(e.expand(0x800, &Instr::Nop), None);
+}
+
+/// Deactivating the most specific production exposes the next most
+/// specific one instead of disabling expansion outright — the fast
+/// enable/disable path a debugger relies on.
+#[test]
+fn arbitration_falls_back_when_specific_production_deactivated() {
+    let mut e = Engine::with_paper_config();
+    e.install(tagged("store", Pattern::opclass(OpClass::Store), 1)).unwrap();
+    let specific = e
+        .install(tagged("store-sp", Pattern::opclass(OpClass::Store).with_base_reg(Reg::SP), 2))
+        .unwrap();
+
+    let sp_store = store(Reg::SP, 16);
+    assert_eq!(tag_of(&e.expand(0, &sp_store).unwrap()), 2);
+    e.set_active(specific, false);
+    assert_eq!(tag_of(&e.expand(0, &sp_store).unwrap()), 1, "falls back to general pattern");
+    e.set_active(specific, true);
+    assert_eq!(tag_of(&e.expand(0, &sp_store).unwrap()), 2);
+}
+
+/// Equal-specificity overlapping patterns resolve deterministically to
+/// the most recently installed production, so re-installing a
+/// same-shape production overrides its predecessor.
+#[test]
+fn arbitration_tie_goes_to_latest_install() {
+    let mut e = Engine::with_paper_config();
+    e.install(tagged("v1", Pattern::opclass(OpClass::Store), 1)).unwrap();
+    e.install(tagged("v2", Pattern::opclass(OpClass::Store), 2)).unwrap();
+    assert_eq!(tag_of(&e.expand(0, &store(Reg::gpr(3), 0)).unwrap()), 2);
+}
+
+/// The paper's Fig. 2d watchpoint production, instantiated against a
+/// spread of trigger shapes: every emitted sequence starts with the
+/// verbatim trigger, has the template's length, references only
+/// registers the template names (trigger fields resolve to the trigger's
+/// own registers), and every instruction survives a binary
+/// encode/decode round trip — i.e. the sequence is well-formed machine
+/// code, not just plausible IR.
+#[test]
+fn instantiation_emits_well_formed_sequences() {
+    let dr1 = Reg::dise(1);
+    let template = vec![
+        TemplateInst::Trigger,
+        TemplateInst::Lda { rd: TReg::Lit(dr1), base: TReg::Rs1, disp: TDisp::Imm },
+        TemplateInst::Alu {
+            op: AluOp::Bic,
+            rd: TReg::Lit(dr1),
+            ra: TReg::Lit(dr1),
+            rb: TOperand::Imm(7),
+        },
+        TemplateInst::Alu {
+            op: AluOp::CmpEq,
+            rd: TReg::Lit(dr1),
+            ra: TReg::Lit(dr1),
+            rb: TOperand::Reg(TReg::Lit(Reg::DAR)),
+        },
+        TemplateInst::Fixed(Instr::DCCall { cond: Cond::Ne, rs: dr1, target: Reg::DHDLR }),
+    ];
+    let mut e = Engine::with_paper_config();
+    e.install(Production::new("fig2d", Pattern::opclass(OpClass::Store), template.clone()))
+        .unwrap();
+
+    let mut triggers = Vec::new();
+    for (i, width) in [Width::B, Width::W, Width::L, Width::Q].iter().enumerate() {
+        for disp in [-8192i16, -1, 0, 17, 8191] {
+            triggers.push(Instr::Store {
+                width: *width,
+                rs: Reg::gpr(i as u8 + 1),
+                base: Reg::gpr(30 - i as u8),
+                disp,
+            });
+        }
+    }
+
+    for trigger in triggers {
+        let seq = e.expand(0x1000, &trigger).unwrap();
+        assert_eq!(seq.len(), template.len(), "length preserved for {trigger}");
+        assert_eq!(seq[0], trigger, "trigger passes through verbatim");
+        match seq[1] {
+            Instr::Lda { rd, base, disp } => {
+                assert_eq!(rd, dr1);
+                match trigger {
+                    Instr::Store { base: tbase, disp: tdisp, .. } => {
+                        assert_eq!(base, tbase, "T.RS1 resolves to the trigger's base");
+                        assert_eq!(disp, tdisp, "T.IMM resolves to the trigger's displacement");
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            other => panic!("expected effective-address lda, got {other:?}"),
+        }
+        for inst in &seq {
+            assert_eq!(
+                decode(encode(inst)),
+                Ok(*inst),
+                "instantiated instruction must be encodable: {inst}"
+            );
+        }
+    }
+}
+
+/// Engine statistics track arbitration results: only matched triggers
+/// and the instructions they actually emitted are counted.
+#[test]
+fn stats_count_only_matched_triggers() {
+    let mut e = Engine::with_paper_config();
+    e.install(tagged("store", Pattern::opclass(OpClass::Store), 1)).unwrap();
+    e.expand(0, &Instr::Nop);
+    e.expand(0, &store(Reg::gpr(4), 0));
+    e.expand(4, &store(Reg::gpr(4), 8));
+    let (triggers, emitted) = e.stats();
+    assert_eq!(triggers, 2);
+    assert_eq!(emitted, 4, "two instructions per expansion");
+}

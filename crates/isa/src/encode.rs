@@ -177,10 +177,7 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
         OP_NOP => Instr::Nop,
         OP_HALT => Instr::Halt,
         OP_TRAP => Instr::Trap,
-        OP_CTRAP => Instr::CTrap {
-            cond: cond_field(word, 23)?,
-            rs: reg_field(word, 17)?,
-        },
+        OP_CTRAP => Instr::CTrap { cond: cond_field(word, 23)?, rs: reg_field(word, 17)? },
         OP_CODEWORD => Instr::Codeword(word as u16),
         o @ OP_LD_BASE..=11 => Instr::Load {
             width: Width::from_code(o - OP_LD_BASE).expect("width in range"),
@@ -212,48 +209,29 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             } else {
                 Operand::Imm(word as u8)
             };
-            Instr::Alu {
-                op: aop,
-                rd: reg_field(word, 20)?,
-                ra: reg_field(word, 14)?,
-                rb,
-            }
+            Instr::Alu { op: aop, rd: reg_field(word, 20)?, ra: reg_field(word, 14)?, rb }
         }
-        OP_BR => Instr::Br {
-            rd: reg_field(word, 20)?,
-            disp: sext(field(word, 0, 20), 20),
-        },
+        OP_BR => Instr::Br { rd: reg_field(word, 20)?, disp: sext(field(word, 0, 20), 20) },
         o @ OP_CONDBR_BASE..=30 => Instr::CondBr {
             cond: Cond::from_code(o - OP_CONDBR_BASE).expect("cond in range"),
             rs: reg_field(word, 20)?,
             disp: sext(field(word, 0, 20), 20),
         },
-        OP_JMP => Instr::Jmp {
-            rd: reg_field(word, 20)?,
-            base: reg_field(word, 14)?,
-        },
+        OP_JMP => Instr::Jmp { rd: reg_field(word, 20)?, base: reg_field(word, 14)? },
         OP_DBR => Instr::DBr {
             cond: cond_field(word, 23)?,
             rs: reg_field(word, 17)?,
             disp: word as u8 as i8,
         },
-        OP_DCALL => Instr::DCall {
-            target: reg_field(word, 20)?,
-        },
+        OP_DCALL => Instr::DCall { target: reg_field(word, 20)? },
         OP_DCCALL => Instr::DCCall {
             cond: cond_field(word, 23)?,
             rs: reg_field(word, 17)?,
             target: reg_field(word, 11)?,
         },
         OP_DRET => Instr::DRet,
-        OP_DMFR => Instr::DMfr {
-            rd: reg_field(word, 20)?,
-            dr: reg_field(word, 14)?,
-        },
-        OP_DMTR => Instr::DMtr {
-            dr: reg_field(word, 20)?,
-            rs: reg_field(word, 14)?,
-        },
+        OP_DMFR => Instr::DMfr { rd: reg_field(word, 20)?, dr: reg_field(word, 14)? },
+        OP_DMTR => Instr::DMtr { dr: reg_field(word, 20)?, rs: reg_field(word, 14)? },
         other => return Err(DecodeError::BadOpcode(other)),
     })
 }
@@ -345,7 +323,8 @@ mod tests {
 
     #[test]
     fn negative_disp_sign_extends() {
-        let w = encode(&Instr::Load { width: Width::Q, rd: Reg::gpr(1), base: Reg::SP, disp: -4096 });
+        let w =
+            encode(&Instr::Load { width: Width::Q, rd: Reg::gpr(1), base: Reg::SP, disp: -4096 });
         match decode(w).unwrap() {
             Instr::Load { disp, .. } => assert_eq!(disp, -4096),
             other => panic!("decoded {other:?}"),

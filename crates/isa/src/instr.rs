@@ -178,22 +178,13 @@ pub enum Instr {
 impl Instr {
     /// A register-move pseudo-instruction (`bis rs, rs, rd`).
     pub const fn mov(rs: Reg, rd: Reg) -> Instr {
-        Instr::Alu {
-            op: AluOp::Or,
-            rd,
-            ra: rs,
-            rb: Operand::Reg(rs),
-        }
+        Instr::Alu { op: AluOp::Or, rd, ra: rs, rb: Operand::Reg(rs) }
     }
 
     /// A load-immediate pseudo-instruction for small constants
     /// (`lda rd, imm(r31)`).
     pub const fn li(rd: Reg, imm: i16) -> Instr {
-        Instr::Lda {
-            rd,
-            base: Reg::ZERO,
-            disp: imm,
-        }
+        Instr::Lda { rd, base: Reg::ZERO, disp: imm }
     }
 
     /// The coarse class used by DISE pattern matching.
@@ -220,10 +211,7 @@ impl Instr {
 
     /// True for instructions that may redirect the conventional PC.
     pub const fn is_control(&self) -> bool {
-        matches!(
-            self,
-            Instr::Br { .. } | Instr::CondBr { .. } | Instr::Jmp { .. }
-        )
+        matches!(self, Instr::Br { .. } | Instr::CondBr { .. } | Instr::Jmp { .. })
     }
 
     /// True for instructions legal *only* within DISE replacement
@@ -297,12 +285,7 @@ impl Instr {
             Instr::Store { rs, .. } => rs.is_dise(),
             _ => false,
         };
-        dest_uses
-            || self
-                .sources()
-                .iter()
-                .flatten()
-                .any(|r| r.is_dise())
+        dest_uses || self.sources().iter().flatten().any(|r| r.is_dise())
     }
 
     /// For memory instructions: the `(base, disp, width)` of the access.
@@ -372,10 +355,7 @@ mod tests {
         let st = Instr::Store { width: Width::Q, rs: r(1), base: r(2), disp: 0 };
         assert_eq!(ld.opclass(), OpClass::Load);
         assert_eq!(st.opclass(), OpClass::Store);
-        assert_eq!(
-            Instr::CondBr { cond: Cond::Eq, rs: r(1), disp: 0 }.opclass(),
-            OpClass::Branch
-        );
+        assert_eq!(Instr::CondBr { cond: Cond::Eq, rs: r(1), disp: 0 }.opclass(), OpClass::Branch);
         assert_eq!(Instr::Br { rd: Reg::ZERO, disp: 0 }.opclass(), OpClass::Jump);
         assert_eq!(Instr::Trap.opclass(), OpClass::Other);
         assert_eq!(Instr::li(r(1), 5).opclass(), OpClass::Alu);

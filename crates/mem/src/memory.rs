@@ -119,10 +119,7 @@ impl Memory {
 
     /// True if a `width`-byte write at `addr` would fault.
     pub fn write_would_fault(&self, addr: u64, width: u64) -> bool {
-        (0..width).any(|i| {
-            self.write_protected
-                .contains(&Self::page_of(addr.wrapping_add(i)))
-        })
+        (0..width).any(|i| self.write_protected.contains(&Self::page_of(addr.wrapping_add(i))))
     }
 
     /// Set or clear write protection on the page containing `addr`

@@ -85,11 +85,8 @@ impl MemSystem {
             lat += self.config.tlb_miss_penalty;
         }
         if !self.l1i.access(addr) {
-            lat += if self.l2.access(addr) {
-                self.config.l2_latency
-            } else {
-                self.config.mem_latency
-            };
+            lat +=
+                if self.l2.access(addr) { self.config.l2_latency } else { self.config.mem_latency };
         }
         lat
     }
@@ -104,24 +101,15 @@ impl MemSystem {
             lat += self.config.tlb_miss_penalty;
         }
         if !self.l1d.access(addr) {
-            lat += if self.l2.access(addr) {
-                self.config.l2_latency
-            } else {
-                self.config.mem_latency
-            };
+            lat +=
+                if self.l2.access(addr) { self.config.l2_latency } else { self.config.mem_latency };
         }
         lat
     }
 
     /// Statistics: `(l1i, l1d, l2, itlb, dtlb)`.
     pub fn stats(&self) -> (CacheStats, CacheStats, CacheStats, CacheStats, CacheStats) {
-        (
-            self.l1i.stats(),
-            self.l1d.stats(),
-            self.l2.stats(),
-            self.itlb.stats(),
-            self.dtlb.stats(),
-        )
+        (self.l1i.stats(), self.l1d.stats(), self.l2.stats(), self.itlb.stats(), self.dtlb.stats())
     }
 
     /// Empty every cache and TLB (between experiments).
@@ -153,7 +141,7 @@ mod tests {
         let cfg = MemConfig::default();
         let mut s = MemSystem::new(cfg);
         s.data_access(0x40_0000, false); // fills L2 + L1D + DTLB
-        // Evict from tiny L1D set by touching conflicting lines, keeping L2.
+                                         // Evict from tiny L1D set by touching conflicting lines, keeping L2.
         let sets = cfg.l1d.sets();
         let stride = sets * cfg.l1d.line;
         for i in 1..=2 {

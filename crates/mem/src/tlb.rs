@@ -23,9 +23,7 @@ impl Tlb {
     pub fn new(entries: u64, assoc: usize) -> Tlb {
         // Reuse the cache structure with one "byte" per page: a line size
         // of 1 over the page-number space.
-        Tlb {
-            inner: Cache::new(CacheConfig { size: entries, assoc, line: 1 }),
-        }
+        Tlb { inner: Cache::new(CacheConfig { size: entries, assoc, line: 1 }) }
     }
 
     /// The paper's configuration: 64 entries, 4-way.

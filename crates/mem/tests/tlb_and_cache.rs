@@ -1,0 +1,183 @@
+//! Focused dise-mem tests: TLB lookup/refill behaviour and cache
+//! eviction under associativity pressure, complementing the proptest
+//! invariant in the workspace-level property suite.
+
+use dise_mem::{Cache, CacheConfig, Tlb, PAGE_SIZE};
+
+// --- TLB -----------------------------------------------------------------
+
+/// A miss refills the TLB: the first touch of a page misses, every
+/// subsequent byte of the same page hits until the entry is evicted.
+#[test]
+fn tlb_miss_refills_entry() {
+    let mut t = Tlb::paper_default();
+    let page = 7 * PAGE_SIZE;
+    assert!(!t.contains(page), "cold TLB");
+    assert!(!t.access(page), "first touch misses");
+    assert!(t.contains(page), "miss refilled the entry");
+    for offset in [0, 1, PAGE_SIZE / 2, PAGE_SIZE - 1] {
+        assert!(t.access(page + offset), "same-page offset {offset:#x} must hit");
+    }
+    assert_eq!(t.stats().misses, 1);
+    assert_eq!(t.stats().accesses, 5);
+}
+
+/// Page granularity: adjacent pages occupy distinct entries, and the
+/// byte just across a page boundary misses while the byte before hits.
+#[test]
+fn tlb_boundaries_are_page_granular() {
+    let mut t = Tlb::paper_default();
+    assert!(!t.access(PAGE_SIZE - 1));
+    assert!(!t.access(PAGE_SIZE), "next page is a separate translation");
+    assert!(t.access(PAGE_SIZE - 1));
+    assert!(t.access(PAGE_SIZE));
+}
+
+/// Set-associative refill under pressure: with 64 entries 4-way, pages
+/// congruent modulo the set count compete for 4 ways; the fifth
+/// conflicting page evicts the least recently used of the four.
+#[test]
+fn tlb_refill_evicts_lru_within_set() {
+    let mut t = Tlb::new(64, 4);
+    let sets = 64 / 4; // pages p and p + sets share a set
+    let conflicting: Vec<u64> = (0..4).map(|i| (i * sets) as u64 * PAGE_SIZE).collect();
+    for &p in &conflicting {
+        assert!(!t.access(p));
+    }
+    // Touch page 0 again so the LRU victim is conflicting[1].
+    assert!(t.access(conflicting[0]));
+    let fifth = (4 * sets) as u64 * PAGE_SIZE;
+    assert!(!t.access(fifth), "fifth way misses");
+    assert!(t.contains(conflicting[0]), "recently used entry survives");
+    assert!(!t.contains(conflicting[1]), "LRU entry was evicted");
+    assert!(t.contains(conflicting[2]));
+    assert!(t.contains(conflicting[3]));
+    assert!(t.contains(fifth));
+}
+
+/// Non-conflicting pages do not evict each other: a 64-entry TLB holds
+/// 64 consecutive pages simultaneously, and the 65th (which wraps onto
+/// set 0) only displaces within its own set.
+#[test]
+fn tlb_holds_full_capacity_of_distinct_pages() {
+    let mut t = Tlb::new(64, 4);
+    for p in 0..64u64 {
+        assert!(!t.access(p * PAGE_SIZE));
+    }
+    for p in 0..64u64 {
+        assert!(t.contains(p * PAGE_SIZE), "page {p} resident at full capacity");
+    }
+    t.access(64 * PAGE_SIZE); // maps to set 0
+    let resident = (0..=64u64).filter(|&p| t.contains(p * PAGE_SIZE)).count();
+    assert_eq!(resident, 64, "exactly one entry was displaced");
+}
+
+/// Flush invalidates every entry; the next accesses all refill.
+#[test]
+fn tlb_flush_forces_refill() {
+    let mut t = Tlb::paper_default();
+    for p in 0..8u64 {
+        t.access(p * PAGE_SIZE);
+    }
+    t.flush();
+    for p in 0..8u64 {
+        assert!(!t.contains(p * PAGE_SIZE));
+        assert!(!t.access(p * PAGE_SIZE), "page {p} must refill after flush");
+    }
+}
+
+// --- Cache ---------------------------------------------------------------
+
+/// Geometry for eviction tests: 2 sets x 2 ways x 64-byte lines, so
+/// lines with address stride 128 are congruent.
+fn two_way() -> Cache {
+    Cache::new(CacheConfig { size: 256, assoc: 2, line: 64 })
+}
+
+/// Exactly `assoc` conflicting lines fit; one more evicts the LRU line,
+/// and the eviction victim follows recency, not insertion order.
+#[test]
+fn cache_eviction_respects_lru_under_pressure() {
+    let mut c = two_way();
+    let stride = 128u64; // sets * line
+    c.access(0);
+    c.access(stride);
+    assert!(c.contains(0) && c.contains(stride), "both ways occupied");
+
+    // Refresh line 0: the LRU way now holds `stride`.
+    assert!(c.access(0));
+    assert!(!c.access(2 * stride), "third conflicting line misses");
+    assert!(c.contains(0), "MRU line survives");
+    assert!(!c.contains(stride), "LRU line evicted");
+    assert!(c.contains(2 * stride));
+}
+
+/// Round-robin sweeps over assoc+1 conflicting lines thrash: with true
+/// LRU every access misses, the pathological case associativity
+/// pressure produces.
+#[test]
+fn cache_thrashes_on_cyclic_overcommit() {
+    let mut c = two_way();
+    let stride = 128u64;
+    let lines = [0, stride, 2 * stride];
+    for round in 0..5 {
+        for &l in &lines {
+            assert!(!c.access(l), "round {round}: cyclic sweep over assoc+1 lines never hits");
+        }
+    }
+    assert_eq!(c.stats().misses, 15);
+}
+
+/// The same working set fits once associativity covers it: raising
+/// associativity from 2 to 4 (same capacity) turns the thrashing sweep
+/// into steady hits after the cold pass.
+#[test]
+fn cache_higher_associativity_absorbs_conflicts() {
+    let mut c = Cache::new(CacheConfig { size: 256, assoc: 4, line: 64 });
+    let stride = 64u64; // one set: every line conflicts
+    let lines = [0, 2 * stride, 4 * stride]; // distinct lines, same set
+    for &l in &lines {
+        assert!(!c.access(l), "cold pass misses");
+    }
+    for _ in 0..5 {
+        for &l in &lines {
+            assert!(c.access(l), "working set within associativity must hit");
+        }
+    }
+    assert_eq!(c.stats().misses, 3, "only the cold pass missed");
+}
+
+/// Evictions are per-set: pressure in one set never evicts another
+/// set's lines.
+#[test]
+fn cache_eviction_is_set_local() {
+    let mut c = two_way();
+    let other_set = 64u64; // line 1 of set 1
+    c.access(other_set);
+    // Overcommit set 0 thoroughly.
+    for i in 0..8u64 {
+        c.access(i * 128);
+    }
+    assert!(c.contains(other_set), "set 1 is untouched by set 0 pressure");
+}
+
+/// Statistics stay consistent through eviction traffic:
+/// accesses = hits + misses, and contains() never counts.
+#[test]
+fn cache_stats_track_eviction_traffic() {
+    let mut c = two_way();
+    let mut expected_misses = 0u64;
+    for i in 0..6u64 {
+        if !c.access(i * 128) {
+            expected_misses += 1;
+        }
+        let _ = c.contains(i * 128); // probes must not count
+    }
+    let s = c.stats();
+    assert_eq!(s.accesses, 6);
+    assert_eq!(s.misses, expected_misses);
+    assert_eq!(expected_misses, 6, "pure conflict stream misses throughout");
+    c.reset_stats();
+    assert_eq!(c.stats().accesses, 0);
+    assert!(c.contains(5 * 128), "reset_stats keeps contents");
+}

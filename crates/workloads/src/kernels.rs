@@ -65,13 +65,7 @@ impl Workload {
         // Skewed alphabet-32 input: mostly small symbols, so MTF shifts
         // stay short and store density lands near Table 1's 19.8%.
         let input: Vec<u8> = (0..256)
-            .map(|_| {
-                if rng.gen_bool(0.7) {
-                    rng.gen_range(0..4u8)
-                } else {
-                    rng.gen_range(0..32u8)
-                }
-            })
+            .map(|_| if rng.gen_bool(0.7) { rng.gen_range(0..4u8) } else { rng.gen_range(0..32u8) })
             .collect();
         let src = format!(
             "start:
@@ -342,8 +336,8 @@ impl Workload {
         const NODES: u64 = 65_536;
         const NODE_BYTES: u64 = 32;
         let nodes_base = dise_asm::Layout::default().data_base + 16; // after n_iters + pad
-        // A full-cycle LCG permutation over node indices: next(i) =
-        // (a*i + c) mod NODES with a ≡ 1 (mod 4), c odd.
+                                                                     // A full-cycle LCG permutation over node indices: next(i) =
+                                                                     // (a*i + c) mod NODES with a ≡ 1 (mod 4), c odd.
         let next_index = |i: u64| (i.wrapping_mul(52_237).wrapping_add(12_345)) % NODES;
         let mut nodes = vec![0u8; (NODES * NODE_BYTES) as usize];
         let mut rng = StdRng::seed_from_u64(SEED ^ 2);
@@ -739,11 +733,7 @@ mod tests {
             if w.name() == "bzip2" {
                 assert!(frac < 0.5, "bzip2 HOT should be mostly non-silent, got {frac:.2}");
             } else {
-                assert!(
-                    frac >= 0.4,
-                    "{} HOT should be heavily silent, got {frac:.2}",
-                    w.name()
-                );
+                assert!(frac >= 0.4, "{} HOT should be heavily silent, got {frac:.2}", w.name());
             }
         }
     }

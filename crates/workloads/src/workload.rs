@@ -99,9 +99,7 @@ impl Workload {
             WatchKind::Warm1 => WatchExpr::Scalar { addr: self.sym("warm1"), width: Width::Q },
             WatchKind::Warm2 => WatchExpr::Scalar { addr: self.sym("warm2"), width: Width::Q },
             WatchKind::Cold => WatchExpr::Scalar { addr: self.sym("cold"), width: Width::Q },
-            WatchKind::Indirect => {
-                WatchExpr::Indirect { ptr: self.sym("ind_p"), width: Width::Q }
-            }
+            WatchKind::Indirect => WatchExpr::Indirect { ptr: self.sym("ind_p"), width: Width::Q },
             WatchKind::Range => {
                 WatchExpr::Range { base: self.sym("range_arr"), len: self.range_len }
             }
@@ -139,10 +137,7 @@ impl Workload {
         ];
         let extras = self.sym("extras");
         for i in 0..16u64 {
-            wps.push(Watchpoint::new(WatchExpr::Scalar {
-                addr: extras + 8 * i,
-                width: Width::Q,
-            }));
+            wps.push(Watchpoint::new(WatchExpr::Scalar { addr: extras + 8 * i, width: Width::Q }));
         }
         wps.truncate(n);
         wps
@@ -207,11 +202,7 @@ mod tests {
                 }
             }
             let density = stores as f64 / total as f64;
-            assert!(
-                (0.04..0.30).contains(&density),
-                "{}: store density {density:.3}",
-                w.name()
-            );
+            assert!((0.04..0.30).contains(&density), "{}: store density {density:.3}", w.name());
         }
     }
 
@@ -235,11 +226,7 @@ mod tests {
                     }
                 }
             }
-            assert!(
-                hot_w > 10 * cold_w.max(1),
-                "{}: hot {hot_w} vs cold {cold_w}",
-                w.name()
-            );
+            assert!(hot_w > 10 * cold_w.max(1), "{}: hot {hot_w} vs cold {cold_w}", w.name());
             assert!(hot_w > 0, "{}: hot never written", w.name());
         }
     }

@@ -11,11 +11,7 @@ use dise_repro::workloads::Workload;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = Workload::crafty(200);
     let baseline = run_baseline(w.app(), Default::default())?;
-    println!(
-        "{} ({}): overhead vs number of watchpoints\n",
-        w.name(),
-        w.function()
-    );
+    println!("{} ({}): overhead vs number of watchpoints\n", w.name(), w.function());
     println!(
         "{:>3} {:>12} {:>12} {:>12} {:>12}",
         "n", "hw/VM", "DISE serial", "byte Bloom", "bit Bloom"

@@ -55,11 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Monitor a window that includes the canary: writes past the buffer
     // end land on it.
-    let region = MonitoredRegion {
-        base: buf,
-        len: 64 + 8,
-        callback: prog.symbol("check_canary").unwrap(),
-    };
+    let region =
+        MonitoredRegion { base: buf, len: 64 + 8, callback: prog.symbol("check_canary").unwrap() };
     let mut mon = Monitor::new(&app, &[region], Default::default())?;
     let stats = mon.run();
 

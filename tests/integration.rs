@@ -75,12 +75,7 @@ fn dise_overhead_stays_modest() {
         for kind in WatchKind::ALL {
             let r = run(&w, kind, BackendKind::dise_default()).unwrap();
             let overhead = r.overhead_vs(&base);
-            assert!(
-                overhead < 8.0,
-                "{}/{:?}: DISE overhead {overhead:.2}",
-                w.name(),
-                kind
-            );
+            assert!(overhead < 8.0, "{}/{:?}: DISE overhead {overhead:.2}", w.name(), kind);
             if matches!(kind, WatchKind::Warm2 | WatchKind::Cold) {
                 assert!(
                     overhead < 1.6,
@@ -131,17 +126,12 @@ fn sweep_fits_paper_engine_capacity() {
 fn conditional_predicates_never_reach_user() {
     for w in all(ITERS) {
         let wp = w.conditional_watchpoint(WatchKind::Warm1);
-        for backend in [
-            BackendKind::VirtualMemory,
-            BackendKind::hw4(),
-            BackendKind::dise_default(),
-        ] {
+        for backend in [BackendKind::VirtualMemory, BackendKind::hw4(), BackendKind::dise_default()]
+        {
             let r = Session::new(w.app(), vec![wp], backend).unwrap().run();
             assert_eq!(r.transitions.user, 0, "{}/{backend:?}", w.name());
         }
-        let dise = Session::new(w.app(), vec![wp], BackendKind::dise_default())
-            .unwrap()
-            .run();
+        let dise = Session::new(w.app(), vec![wp], BackendKind::dise_default()).unwrap().run();
         assert_eq!(dise.transitions.total(), 0, "{}", w.name());
     }
 }
@@ -155,10 +145,8 @@ fn debugging_preserves_application_semantics() {
         let prog = w.app().program().unwrap();
         let mut m = dise_repro::cpu::Machine::from_program(&prog);
         m.run();
-        let probes: Vec<u64> = ["hot", "warm1", "warm2", "cold"]
-            .iter()
-            .map(|s| prog.symbol(s).unwrap())
-            .collect();
+        let probes: Vec<u64> =
+            ["hot", "warm1", "warm2", "cold"].iter().map(|s| prog.symbol(s).unwrap()).collect();
         let expected: Vec<u64> = probes.iter().map(|&a| m.exec.mem().read_u(a, 8)).collect();
 
         for backend in [

@@ -36,10 +36,16 @@ fn any_instr() -> impl Strategy<Value = Instr> {
             .prop_map(|(width, rd, base, disp)| Instr::Load { width, rd, base, disp }),
         (any_width(), any_reg(), any_reg(), -8192i16..8192)
             .prop_map(|(width, rs, base, disp)| Instr::Store { width, rs, base, disp }),
-        (any_reg(), any_reg(), -8192i16..8192)
-            .prop_map(|(rd, base, disp)| Instr::Lda { rd, base, disp }),
-        (any_reg(), any_reg(), -8192i16..8192)
-            .prop_map(|(rd, base, disp)| Instr::Ldah { rd, base, disp }),
+        (any_reg(), any_reg(), -8192i16..8192).prop_map(|(rd, base, disp)| Instr::Lda {
+            rd,
+            base,
+            disp
+        }),
+        (any_reg(), any_reg(), -8192i16..8192).prop_map(|(rd, base, disp)| Instr::Ldah {
+            rd,
+            base,
+            disp
+        }),
         (any_aluop(), any_reg(), any_reg(), any_operand())
             .prop_map(|(op, rd, ra, rb)| Instr::Alu { op, rd, ra, rb }),
         (any_reg(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, disp)| Instr::Br { rd, disp }),
@@ -51,11 +57,17 @@ fn any_instr() -> impl Strategy<Value = Instr> {
         any::<u16>().prop_map(Instr::Codeword),
         Just(Instr::Halt),
         Just(Instr::Nop),
-        (any_cond(), any_reg(), any::<i8>())
-            .prop_map(|(cond, rs, disp)| Instr::DBr { cond, rs, disp }),
+        (any_cond(), any_reg(), any::<i8>()).prop_map(|(cond, rs, disp)| Instr::DBr {
+            cond,
+            rs,
+            disp
+        }),
         any_reg().prop_map(|target| Instr::DCall { target }),
-        (any_cond(), any_reg(), any_reg())
-            .prop_map(|(cond, rs, target)| Instr::DCCall { cond, rs, target }),
+        (any_cond(), any_reg(), any_reg()).prop_map(|(cond, rs, target)| Instr::DCCall {
+            cond,
+            rs,
+            target
+        }),
         Just(Instr::DRet),
         (any_reg(), any_reg()).prop_map(|(rd, dr)| Instr::DMfr { rd, dr }),
         (any_reg(), any_reg()).prop_map(|(dr, rs)| Instr::DMtr { dr, rs }),

@@ -1,0 +1,232 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this crate provides
+//! the subset of criterion's API the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`Throughput`],
+//! [`black_box`], [`criterion_group!`] and [`criterion_main!`] — backed
+//! by a simple wall-clock sampler: per benchmark it runs a short warm-up,
+//! then `sample_size` timed samples, and prints the median time per
+//! iteration (plus throughput when configured). No statistics beyond
+//! that, no plots, no baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to each target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark (builder-style).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, None, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name: name.to_string(), sample_size, throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Report per-iteration throughput alongside time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    sample: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time the routine, amortised over enough iterations to make one
+    /// sample meaningful. Calibration (doubling the per-sample iteration
+    /// count until a sample takes ~1 ms) happens once, on the warm-up
+    /// pass; later samples reuse the calibrated count.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let target = Duration::from_millis(1);
+        if self.iters == 0 {
+            let mut iters: u64 = 1;
+            loop {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= target || iters >= 1 << 24 {
+                    self.sample = elapsed;
+                    self.iters = iters;
+                    return;
+                }
+                iters *= 2;
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.sample = start.elapsed();
+    }
+}
+
+fn run_one<F>(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    // The warm-up pass doubles as calibration; samples reuse its
+    // iteration count.
+    let mut b = Bencher { sample: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    for _ in 0..sample_size {
+        f(&mut b);
+        per_iter.push(if b.iters == 0 { 0.0 } else { b.sample.as_secs_f64() / b.iters as f64 });
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let mut line = format!("{name:<40} time: {}", fmt_time(median));
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if median > 0.0 {
+            line.push_str(&format!("   thrpt: {:.3e} {unit}/s", count as f64 / median));
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:>10.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:>10.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:>10.2} ms", secs * 1e3)
+    } else {
+        format!("{:>10.2} s ", secs)
+    }
+}
+
+/// Define a benchmark group function. Both criterion forms are accepted:
+/// `criterion_group!(name, target1, target2)` and the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups. Ignores harness CLI arguments
+/// (cargo bench passes `--bench`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| black_box(2 + 2)));
+        c.bench_function("counted", |b| {
+            runs += 1;
+            b.iter(|| ())
+        });
+        assert!(runs >= 4, "warm-up + samples, got {runs}");
+    }
+
+    #[test]
+    fn groups_compose() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(8));
+        g.sample_size(2);
+        g.bench_function("a", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+}

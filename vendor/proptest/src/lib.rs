@@ -1,0 +1,614 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this crate reimplements
+//! the slice of proptest's API that this workspace's property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, ranges, tuples, [`strategy::Just`],
+//!   [`prop_oneof!`] unions and [`collection::vec`];
+//! * [`arbitrary::any`] for primitive types and tuples of them;
+//! * the [`proptest!`] macro (supporting `#![proptest_config(..)]`,
+//!   `pat in strategy` and `name: Type` parameters) and the
+//!   [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`] macros.
+//!
+//! Inputs are generated from a deterministic SplitMix64 stream (override
+//! the seed with `PROPTEST_SEED`), each case is checked, and the first
+//! failure panics with the case number and seed. **No shrinking** is
+//! performed — failures report the generated inputs via `Debug` instead.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Generates values of `Self::Value`. Object-safe: every provided
+    /// generic method is `Self: Sized`, so `Box<dyn Strategy<Value = V>>`
+    /// works (that is what [`BoxedStrategy`] wraps).
+    pub trait Strategy {
+        type Value;
+
+        /// Produce one value from the random stream.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values satisfying `f` (retrying; panics if the
+        /// predicate rejects 1000 draws in a row).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, whence, f }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V>(std::rc::Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({}) rejected 1000 consecutive draws", self.whence);
+        }
+    }
+
+    /// Uniform choice between boxed arms; built by [`crate::prop_oneof!`].
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = ((rng.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + v) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let v = ((rng.next_u64() as u128) % span) as i128;
+                    (start as i128 + v) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A / a);
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> i128 {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    macro_rules! impl_arbitrary_tuple {
+        ($($t:ident),+) => {
+            impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($t::arbitrary(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_arbitrary_tuple!(A);
+    impl_arbitrary_tuple!(A, B);
+    impl_arbitrary_tuple!(A, B, C);
+    impl_arbitrary_tuple!(A, B, C, D);
+    impl_arbitrary_tuple!(A, B, C, D, E);
+    impl_arbitrary_tuple!(A, B, C, D, E, F);
+
+    /// Strategy producing arbitrary values of `T`; see [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` with a length
+    /// in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 stream feeding every strategy.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// Seed from `PROPTEST_SEED` if set, else a fixed default.
+        pub fn from_env(test_name: &str) -> TestRng {
+            let base = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0x_C0FF_EE00_D15E_2005);
+            // Mix the test name in so distinct tests see distinct streams.
+            let mut h = base;
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+            }
+            TestRng::from_seed(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Runner configuration (subset of proptest's).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A property-check failure raised by the `prop_assert*` macros.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: String) -> TestCaseError {
+            TestCaseError { message }
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+/// Everything the tests normally import, plus `prop` as an alias for the
+/// crate root so `prop::collection::vec(..)` resolves.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, "assertion failed: `{:?}` != `{:?}`", left, right);
+    }};
+}
+
+/// The property-test entry point. Supports an optional leading
+/// `#![proptest_config(expr)]`, any number of test functions, and both
+/// parameter forms: `pattern in strategy` and `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::from_env(stringify!($name));
+            for case in 0..config.cases {
+                $crate::__proptest_case! {
+                    rng = rng; case = case; body = $body; binds = []; $($params)*
+                }
+            }
+        }
+        $crate::__proptest_fns! { config = ($config); $($rest)* }
+    };
+}
+
+/// Munches one parameter at a time, normalising `name: Type` to
+/// `name in any::<Type>()`, then emits the per-case runner.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // Done: run one case.
+    (rng = $rng:ident; case = $case:ident; body = $body:block;
+     binds = [$(($pat:pat, $strat:expr))*];
+    ) => {{
+        let mut __inputs: Vec<String> = Vec::new();
+        $(
+            let __value = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+            __inputs.push(format!("  {} = {:?}", stringify!($pat), &__value));
+            let $pat = __value;
+        )*
+        let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+            (|| { $body ::core::result::Result::Ok(()) })();
+        if let ::core::result::Result::Err(e) = outcome {
+            panic!(
+                "proptest case {} failed: {}\ninputs:\n{}\n(set PROPTEST_SEED to vary inputs)",
+                $case,
+                e,
+                __inputs.join("\n")
+            );
+        }
+    }};
+    // `pattern in strategy` (last parameter, optional trailing comma).
+    (rng = $rng:ident; case = $case:ident; body = $body:block;
+     binds = [$($done:tt)*];
+     $pat:pat in $strat:expr $(,)?
+    ) => {
+        $crate::__proptest_case! {
+            rng = $rng; case = $case; body = $body;
+            binds = [$($done)* ($pat, $strat)];
+        }
+    };
+    // `pattern in strategy`, more parameters follow.
+    (rng = $rng:ident; case = $case:ident; body = $body:block;
+     binds = [$($done:tt)*];
+     $pat:pat in $strat:expr, $($rest:tt)+
+    ) => {
+        $crate::__proptest_case! {
+            rng = $rng; case = $case; body = $body;
+            binds = [$($done)* ($pat, $strat)];
+            $($rest)+
+        }
+    };
+    // `name: Type` (last parameter, optional trailing comma).
+    (rng = $rng:ident; case = $case:ident; body = $body:block;
+     binds = [$($done:tt)*];
+     $name:ident: $ty:ty $(,)?
+    ) => {
+        $crate::__proptest_case! {
+            rng = $rng; case = $case; body = $body;
+            binds = [$($done)* ($name, $crate::arbitrary::any::<$ty>())];
+        }
+    };
+    // `name: Type`, more parameters follow.
+    (rng = $rng:ident; case = $case:ident; body = $body:block;
+     binds = [$($done:tt)*];
+     $name:ident: $ty:ty, $($rest:tt)+
+    ) => {
+        $crate::__proptest_case! {
+            rng = $rng; case = $case; body = $body;
+            binds = [$($done)* ($name, $crate::arbitrary::any::<$ty>())];
+            $($rest)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    enum Width {
+        B,
+        Q,
+    }
+
+    fn any_width() -> impl Strategy<Value = Width> {
+        prop_oneof![Just(Width::B), Just(Width::Q)]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u8..20, y in -5i32..5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        /// Mixed `in` and `:` parameter forms, tuples, maps, vec.
+        #[test]
+        fn mixed_forms(
+            (w, n) in (any_width(), 1u64..4),
+            raw: u8,
+            items in prop::collection::vec(any::<(u8, u8)>(), 1..10),
+        ) {
+            prop_assert!(matches!(w, Width::B | Width::Q));
+            prop_assert!((1..4).contains(&n));
+            let _ = raw;
+            prop_assert!(!items.is_empty() && items.len() < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        #[test]
+        fn config_applies(v in prop::collection::vec(0u64..100, 1..5)) {
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+
+    #[test]
+    fn union_covers_all_arms() {
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::test_runner::TestRng::from_seed(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let s = (0u8..10).prop_map(|v| v as u64 * 2);
+        let mut rng = crate::test_runner::TestRng::from_seed(2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn filter_retries() {
+        let s = (0u8..10).prop_filter("even", |v| v % 2 == 0);
+        let mut rng = crate::test_runner::TestRng::from_seed(3);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng) % 2 == 0);
+        }
+    }
+}
