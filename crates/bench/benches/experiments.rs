@@ -17,21 +17,21 @@ fn ctx() -> Experiment {
 fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables");
     g.sample_size(10);
-    g.bench_function("table1", |b| b.iter(|| dise_bench::table1(&mut ctx())));
-    g.bench_function("table2", |b| b.iter(|| dise_bench::table2(&mut ctx())));
+    g.bench_function("table1", |b| b.iter(|| dise_bench::table1(&ctx())));
+    g.bench_function("table2", |b| b.iter(|| dise_bench::table2(&ctx())));
     g.finish();
 }
 
 fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
-    g.bench_function("fig3_unconditional", |b| b.iter(|| dise_bench::fig3(&mut ctx())));
-    g.bench_function("fig4_conditional", |b| b.iter(|| dise_bench::fig4(&mut ctx())));
-    g.bench_function("fig5_rewriting", |b| b.iter(|| dise_bench::fig5(&mut ctx())));
-    g.bench_function("fig6_num_watchpoints", |b| b.iter(|| dise_bench::fig6(&mut ctx())));
-    g.bench_function("fig7_alternate_impls", |b| b.iter(|| dise_bench::fig7(&mut ctx())));
-    g.bench_function("fig8_multithreading", |b| b.iter(|| dise_bench::fig8(&mut ctx())));
-    g.bench_function("fig9_protection", |b| b.iter(|| dise_bench::fig9(&mut ctx())));
+    g.bench_function("fig3_unconditional", |b| b.iter(|| dise_bench::fig3(&ctx())));
+    g.bench_function("fig4_conditional", |b| b.iter(|| dise_bench::fig4(&ctx())));
+    g.bench_function("fig5_rewriting", |b| b.iter(|| dise_bench::fig5(&ctx())));
+    g.bench_function("fig6_num_watchpoints", |b| b.iter(|| dise_bench::fig6(&ctx())));
+    g.bench_function("fig7_alternate_impls", |b| b.iter(|| dise_bench::fig7(&ctx())));
+    g.bench_function("fig8_multithreading", |b| b.iter(|| dise_bench::fig8(&ctx())));
+    g.bench_function("fig9_protection", |b| b.iter(|| dise_bench::fig9(&ctx())));
     g.finish();
 }
 

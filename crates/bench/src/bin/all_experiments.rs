@@ -8,7 +8,7 @@ use dise_bench::{paper, section, Experiment};
 
 fn main() {
     let stdout_only = std::env::args().any(|a| a == "--stdout");
-    let mut ctx = Experiment::default();
+    let ctx = Experiment::default();
     let mut doc = String::new();
 
     writeln!(doc, "# EXPERIMENTS — paper vs. measured\n").unwrap();
@@ -29,7 +29,7 @@ fn main() {
     writeln!(doc, "Regenerate any single experiment with `cargo run --release -p dise-bench --bin <table1|table2|fig3..fig9>`.\n").unwrap();
 
     // Tables with paper references.
-    let t1 = dise_bench::table1(&mut ctx);
+    let t1 = dise_bench::table1(&ctx);
     doc.push_str(&section("Table 1 — benchmark summary (measured)", &code(&t1)));
     let mut t1p =
         String::from("benchmark  function                 instructions      IPC   store density\n");
@@ -38,7 +38,7 @@ fn main() {
     }
     doc.push_str(&section("Table 1 — paper", &code(&t1p)));
 
-    let t2 = dise_bench::table2(&mut ctx);
+    let t2 = dise_bench::table2(&ctx);
     doc.push_str(&section(
         "Table 2 — watchpoint write frequency per 100K stores (measured)",
         &code(&t2),
@@ -55,7 +55,7 @@ fn main() {
     doc.push_str(&section("Table 2 — paper", &code(&t2p)));
 
     // Figures.
-    type Fig = fn(&mut Experiment) -> String;
+    type Fig = fn(&Experiment) -> String;
     let figs: [(&str, Fig); 7] = [
         ("Figure 3 — unconditional watchpoints", dise_bench::fig3),
         ("Figure 4 — conditional watchpoints", dise_bench::fig4),
@@ -67,7 +67,7 @@ fn main() {
     ];
     for (i, (title, f)) in figs.iter().enumerate() {
         eprintln!("running {title} ...");
-        let body = f(&mut ctx);
+        let body = f(&ctx);
         doc.push_str(&section(&format!("{title} (measured)"), &code(&body)));
         let (_, note) = paper::FIGURE_NOTES[i];
         writeln!(doc, "**Paper's shape:** {note}\n").unwrap();

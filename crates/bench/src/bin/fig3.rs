@@ -1,8 +1,8 @@
 //! Regenerates Figure 3 of the paper.
 
 fn main() {
-    let mut ctx = dise_bench::Experiment::default();
+    let ctx = dise_bench::Experiment::default();
     println!("Figure 3: unconditional watchpoints (exec time normalised to baseline)");
     println!("(iters = {}, override with DISE_ITERS)\n", ctx.iters);
-    print!("{}", dise_bench::fig3(&mut ctx));
+    print!("{}", dise_bench::fig3(&ctx));
 }

@@ -1,8 +1,8 @@
 //! Regenerates Figure 4 of the paper.
 
 fn main() {
-    let mut ctx = dise_bench::Experiment::default();
+    let ctx = dise_bench::Experiment::default();
     println!("Figure 4: conditional watchpoints (exec time normalised to baseline)");
     println!("(iters = {}, override with DISE_ITERS)\n", ctx.iters);
-    print!("{}", dise_bench::fig4(&mut ctx));
+    print!("{}", dise_bench::fig4(&ctx));
 }

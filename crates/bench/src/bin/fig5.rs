@@ -1,8 +1,8 @@
 //! Regenerates Figure 5 of the paper.
 
 fn main() {
-    let mut ctx = dise_bench::Experiment::default();
+    let ctx = dise_bench::Experiment::default();
     println!("Figure 5: DISE vs binary rewriting (COLD watchpoint)");
     println!("(iters = {}, override with DISE_ITERS)\n", ctx.iters);
-    print!("{}", dise_bench::fig5(&mut ctx));
+    print!("{}", dise_bench::fig5(&ctx));
 }

@@ -1,8 +1,8 @@
 //! Regenerates Figure 6 of the paper.
 
 fn main() {
-    let mut ctx = dise_bench::Experiment::default();
+    let ctx = dise_bench::Experiment::default();
     println!("Figure 6: impact of the number of watchpoints");
     println!("(iters = {}, override with DISE_ITERS)\n", ctx.iters);
-    print!("{}", dise_bench::fig6(&mut ctx));
+    print!("{}", dise_bench::fig6(&ctx));
 }

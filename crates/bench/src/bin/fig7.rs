@@ -1,8 +1,8 @@
 //! Regenerates Figure 7 of the paper.
 
 fn main() {
-    let mut ctx = dise_bench::Experiment::default();
+    let ctx = dise_bench::Experiment::default();
     println!("Figure 7: alternate DISE implementations");
     println!("(iters = {}, override with DISE_ITERS)\n", ctx.iters);
-    print!("{}", dise_bench::fig7(&mut ctx));
+    print!("{}", dise_bench::fig7(&ctx));
 }

@@ -1,8 +1,8 @@
 //! Regenerates Figure 8 of the paper.
 
 fn main() {
-    let mut ctx = dise_bench::Experiment::default();
+    let ctx = dise_bench::Experiment::default();
     println!("Figure 8: DISE overhead with multithreading");
     println!("(iters = {}, override with DISE_ITERS)\n", ctx.iters);
-    print!("{}", dise_bench::fig8(&mut ctx));
+    print!("{}", dise_bench::fig8(&ctx));
 }

@@ -1,8 +1,8 @@
 //! Regenerates Figure 9 of the paper.
 
 fn main() {
-    let mut ctx = dise_bench::Experiment::default();
+    let ctx = dise_bench::Experiment::default();
     println!("Figure 9: cost of protecting debugger structures");
     println!("(iters = {}, override with DISE_ITERS)\n", ctx.iters);
-    print!("{}", dise_bench::fig9(&mut ctx));
+    print!("{}", dise_bench::fig9(&ctx));
 }

@@ -1,8 +1,8 @@
 //! Regenerates Table 1 of the paper.
 
 fn main() {
-    let mut ctx = dise_bench::Experiment::default();
+    let ctx = dise_bench::Experiment::default();
     println!("Table 1: benchmark summary");
     println!("(iters = {}, override with DISE_ITERS)\n", ctx.iters);
-    print!("{}", dise_bench::table1(&mut ctx));
+    print!("{}", dise_bench::table1(&ctx));
 }

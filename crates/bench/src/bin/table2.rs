@@ -1,8 +1,8 @@
 //! Regenerates Table 2 of the paper.
 
 fn main() {
-    let mut ctx = dise_bench::Experiment::default();
+    let ctx = dise_bench::Experiment::default();
     println!("Table 2: watchpoint write frequency (per 100K stores)");
     println!("(iters = {}, override with DISE_ITERS)\n", ctx.iters);
-    print!("{}", dise_bench::table2(&mut ctx));
+    print!("{}", dise_bench::table2(&ctx));
 }

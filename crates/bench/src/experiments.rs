@@ -1,33 +1,55 @@
 //! The experiment implementations, one per table/figure.
-
-use std::collections::HashMap;
+//!
+//! Each table/figure is decomposed into independent grid cells (see
+//! [`crate::grid`]), run on the experiment's worker pool, and
+//! reassembled in cell order, so output is identical for any worker
+//! count.
 
 use dise_cpu::{CpuConfig, Executor, Machine, RunStats};
-use dise_debug::{run_baseline, BackendKind, DebugError, DiseStrategy, Session, SessionReport};
+use dise_debug::{BackendKind, BaselineCache, DebugError, DiseStrategy, SessionReport};
 use dise_workloads::{all, WatchKind, Workload};
 
+use crate::grid::{self, run_grid_with, SessionJob};
+
 /// Shared experiment context: workload scale, machine configuration,
-/// and a baseline cache (the undebugged run of each kernel).
+/// worker-pool size, and a baseline cache (the undebugged run of each
+/// kernel).
 pub struct Experiment {
     /// Kernel iteration count.
     pub iters: u32,
     /// Machine configuration.
     pub cpu: CpuConfig,
+    /// Worker-pool size used to run experiment grids.
+    pub workers: usize,
     workloads: Vec<Workload>,
-    baselines: HashMap<&'static str, RunStats>,
+    baselines: BaselineCache,
 }
 
 impl Default for Experiment {
     fn default() -> Experiment {
-        let iters = std::env::var("DISE_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(400);
-        Experiment::new(iters, CpuConfig::default())
+        Experiment::new(grid::env_number("DISE_ITERS", 400), CpuConfig::default())
     }
 }
 
 impl Experiment {
-    /// Build a context at the given scale.
+    /// Build a context at the given scale, with the worker-pool size
+    /// from `DISE_JOBS` (default: available parallelism).
     pub fn new(iters: u32, cpu: CpuConfig) -> Experiment {
-        Experiment { iters, cpu, workloads: all(iters), baselines: HashMap::new() }
+        Experiment {
+            iters,
+            cpu,
+            workers: grid::configured_workers(),
+            workloads: all(iters),
+            baselines: BaselineCache::new(),
+        }
+    }
+
+    /// Override the worker-pool size (1 = serial).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Experiment {
+        assert!(workers > 0, "worker pool needs at least one thread");
+        self.workers = workers;
+        self
     }
 
     /// The six kernels.
@@ -36,12 +58,18 @@ impl Experiment {
     }
 
     /// Baseline (undebugged) statistics for a kernel, cached.
-    pub fn baseline(&mut self, w: &Workload) -> RunStats {
-        let cpu = self.cpu;
-        *self
-            .baselines
-            .entry(w.name())
-            .or_insert_with(|| run_baseline(w.app(), cpu).expect("kernel assembles"))
+    pub fn baseline(&self, w: &Workload) -> RunStats {
+        self.baselines.get_or_run(w.name(), w.app(), self.cpu).expect("kernel assembles")
+    }
+
+    /// One grid cell under this experiment's machine configuration.
+    pub fn job(
+        &self,
+        w: &Workload,
+        wps: Vec<dise_debug::Watchpoint>,
+        backend: BackendKind,
+    ) -> SessionJob {
+        SessionJob::new(w.clone(), wps, backend, self.cpu)
     }
 
     /// Run one debugging session; `Err` carries the paper's
@@ -52,26 +80,42 @@ impl Experiment {
         wps: Vec<dise_debug::Watchpoint>,
         backend: BackendKind,
     ) -> Result<SessionReport, DebugError> {
-        Ok(Session::with_config(w.app(), wps, backend, self.cpu)?.run())
+        self.job(w, wps, backend).report()
     }
 
     /// Overhead (normalised execution time) of one session, or `None`
     /// when the backend cannot implement the watchpoint.
     pub fn overhead(
-        &mut self,
+        &self,
         w: &Workload,
         wps: Vec<dise_debug::Watchpoint>,
         backend: BackendKind,
     ) -> Option<f64> {
-        let base = self.baseline(w);
-        match self.session(w, wps, backend) {
-            Ok(report) => {
-                assert_eq!(report.error, None, "{}: session must run clean", w.name());
-                Some(report.overhead_vs(&base))
+        self.job(w, wps, backend).overhead(&self.baselines)
+    }
+
+    /// Overheads of a whole cell grid, on the worker pool, in cell
+    /// order.
+    fn grid_overheads(&self, cells: &[SessionJob]) -> Vec<Option<f64>> {
+        // Warm the cache first — one baseline run per distinct kernel —
+        // so parallel cells of the same kernel don't all stampede on
+        // the same missing entry and run it redundantly.
+        let mut distinct: Vec<&Workload> = Vec::new();
+        for job in cells {
+            if !distinct.iter().any(|w| w.name() == job.workload.name()) {
+                distinct.push(&job.workload);
             }
-            Err(DebugError::Unsupported { .. }) => None,
-            Err(e) => panic!("{}: {e}", w.name()),
         }
+        run_grid_with(&distinct, self.workers, |w| {
+            self.baseline(w);
+        });
+        run_grid_with(cells, self.workers, |job| job.overhead(&self.baselines))
+    }
+
+    /// One result per workload, computed on the worker pool, in
+    /// workload order.
+    fn per_workload<R: Send, F: Fn(&Workload) -> R + Sync>(&self, f: F) -> Vec<R> {
+        run_grid_with(&self.workloads, self.workers, f)
     }
 }
 
@@ -95,10 +139,10 @@ fn standard_backends() -> [(&'static str, BackendKind); 4] {
 
 /// **Table 1** — benchmark summary: dynamic instructions, IPC, store
 /// density, per kernel.
-pub fn table1(ctx: &mut Experiment) -> String {
+pub fn table1(ctx: &Experiment) -> String {
     let mut out =
         String::from("benchmark  function                 instructions      IPC   store density\n");
-    for w in ctx.workloads().to_vec() {
+    let rows = ctx.per_workload(|w| {
         let prog = w.app().program().expect("kernel assembles");
         // Functional pass for the store count; timed pass for IPC.
         let mut exec = Executor::from_program(&prog, ctx.cpu);
@@ -108,25 +152,26 @@ pub fn table1(ctx: &mut Experiment) -> String {
                 stores += 1;
             }
         }
-        let base = ctx.baseline(&w);
-        out.push_str(&format!(
+        let base = ctx.baseline(w);
+        format!(
             "{:<10} {:<24} {:>12} {:>8.2} {:>10.1}%\n",
             w.name(),
             w.function(),
             base.instructions,
             base.ipc(),
             100.0 * stores as f64 / base.instructions as f64,
-        ));
-    }
+        )
+    });
+    out.extend(rows);
     out
 }
 
 /// **Table 2** — watchpoint write frequency per 100K stores (stores
 /// overlapping each watched expression's current storage).
-pub fn table2(ctx: &mut Experiment) -> String {
+pub fn table2(ctx: &Experiment) -> String {
     let mut out =
         String::from("benchmark       HOT    WARM1    WARM2     COLD INDIRECT    RANGE\n");
-    for w in ctx.workloads().to_vec() {
+    let rows = ctx.per_workload(|w| {
         let prog = w.app().program().expect("kernel assembles");
         let exprs: Vec<_> = WatchKind::ALL.iter().map(|k| w.watch_expr(*k)).collect();
         let mut hits = [0u64; 6];
@@ -149,39 +194,51 @@ pub fn table2(ctx: &mut Experiment) -> String {
                 }
             }
         }
-        out.push_str(&format!("{:<10}", w.name()));
+        let mut row = format!("{:<10}", w.name());
         for h in hits {
-            out.push_str(&format!(" {:>8.1}", 100_000.0 * h as f64 / stores.max(1) as f64));
+            row.push_str(&format!(" {:>8.1}", 100_000.0 * h as f64 / stores.max(1) as f64));
         }
-        out.push('\n');
-    }
+        row.push('\n');
+        row
+    });
+    out.extend(rows);
     out
 }
 
 /// **Figure 3** — execution time (normalised to undebugged) of four
 /// unconditional-watchpoint implementations, 6 kernels × 6 watchpoints.
-pub fn fig3(ctx: &mut Experiment) -> String {
+pub fn fig3(ctx: &Experiment) -> String {
     watchpoint_grid(ctx, false)
 }
 
 /// **Figure 4** — the same grid with conditional watchpoints whose
 /// predicate never holds.
-pub fn fig4(ctx: &mut Experiment) -> String {
+pub fn fig4(ctx: &Experiment) -> String {
     watchpoint_grid(ctx, true)
 }
 
-fn watchpoint_grid(ctx: &mut Experiment, conditional: bool) -> String {
+fn watchpoint_grid(ctx: &Experiment, conditional: bool) -> String {
+    let mut cells = Vec::new();
+    for w in ctx.workloads() {
+        for kind in WatchKind::ALL {
+            let wp = if conditional { w.conditional_watchpoint(kind) } else { w.watchpoint(kind) };
+            for (_, backend) in standard_backends() {
+                cells.push(ctx.job(w, vec![wp], backend));
+            }
+        }
+    }
+    let overheads = ctx.grid_overheads(&cells);
+
     let mut out = format!(
         "{:<10} {:<9}{:>9}{:>9}{:>9}{:>9}\n",
         "benchmark", "watch", "SingleStep", " VirtMem", " HwRegs", "  DISE"
     );
-    for w in ctx.workloads().to_vec() {
+    let mut next = overheads.into_iter();
+    for w in ctx.workloads() {
         for kind in WatchKind::ALL {
-            let wp = if conditional { w.conditional_watchpoint(kind) } else { w.watchpoint(kind) };
             out.push_str(&format!("{:<10} {:<9}", w.name(), kind.label()));
-            for (_, backend) in standard_backends() {
-                let o = ctx.overhead(&w, vec![wp], backend);
-                out.push_str(&fmt_over(o));
+            for _ in standard_backends() {
+                out.push_str(&fmt_over(next.next().expect("one overhead per cell")));
             }
             out.push('\n');
         }
@@ -191,50 +248,67 @@ fn watchpoint_grid(ctx: &mut Experiment, conditional: bool) -> String {
 
 /// **Figure 5** — DISE vs. static binary rewriting on a COLD
 /// watchpoint, plus the static code growth that causes the difference.
-pub fn fig5(ctx: &mut Experiment) -> String {
+pub fn fig5(ctx: &Experiment) -> String {
     let mut out =
         format!("{:<10}{:>10}{:>12}{:>14}\n", "benchmark", "DISE", "Rewriting", "text growth");
-    for w in ctx.workloads().to_vec() {
+    let rows = ctx.per_workload(|w| {
         let wp = w.watchpoint(WatchKind::Cold);
-        let base = ctx.baseline(&w);
+        let base = ctx.baseline(w);
         let dise =
-            ctx.session(&w, vec![wp], BackendKind::dise_default()).expect("dise supports COLD");
+            ctx.session(w, vec![wp], BackendKind::dise_default()).expect("dise supports COLD");
         let bw = ctx
-            .session(&w, vec![wp], BackendKind::BinaryRewrite)
+            .session(w, vec![wp], BackendKind::BinaryRewrite)
             .expect("rewrite supports a single scalar");
-        out.push_str(&format!(
+        format!(
             "{:<10}{:>10.2}{:>12.2}{:>13.2}x\n",
             w.name(),
             dise.overhead_vs(&base),
             bw.overhead_vs(&base),
             bw.text_bytes as f64 / dise.text_bytes.max(1) as f64,
-        ));
-    }
+        )
+    });
+    out.extend(rows);
     out
 }
 
 /// **Figure 6** — impact of the number of watchpoints: the
 /// hardware-register/virtual-memory hybrid against the three DISE
 /// multi-matching organisations, on crafty, gcc and vortex.
-pub fn fig6(ctx: &mut Experiment) -> String {
+pub fn fig6(ctx: &Experiment) -> String {
     let counts = [1usize, 2, 3, 4, 5, 8, 16];
+    let kernels: Vec<&Workload> = ["crafty", "gcc", "vortex"]
+        .iter()
+        .map(|name| {
+            ctx.workloads().iter().find(|w| w.name() == *name).expect("sweep kernel exists")
+        })
+        .collect();
+    let backends = [
+        BackendKind::hw4(),
+        BackendKind::Dise(DiseStrategy::default()),
+        BackendKind::Dise(DiseStrategy::bloom(false)),
+        BackendKind::Dise(DiseStrategy::bloom(true)),
+    ];
+    let mut cells = Vec::new();
+    for w in &kernels {
+        for n in counts {
+            let wps = w.sweep_watchpoints(n);
+            for backend in backends {
+                cells.push(ctx.job(w, wps.clone(), backend));
+            }
+        }
+    }
+    let overheads = ctx.grid_overheads(&cells);
+
     let mut out = format!(
         "{:<10}{:>4}{:>10}{:>10}{:>10}{:>10}\n",
         "benchmark", "n", "Hw/VM", "Serial", "ByteBloom", "BitBloom"
     );
-    for name in ["crafty", "gcc", "vortex"] {
-        let w =
-            ctx.workloads().iter().find(|w| w.name() == name).expect("sweep kernel exists").clone();
+    let mut next = overheads.into_iter();
+    for w in &kernels {
         for n in counts {
-            let wps = w.sweep_watchpoints(n);
             out.push_str(&format!("{:<10}{:>4}", w.name(), n));
-            let hw = ctx.overhead(&w, wps.clone(), BackendKind::hw4());
-            out.push_str(&fmt_over(hw));
-            for strategy in
-                [DiseStrategy::default(), DiseStrategy::bloom(false), DiseStrategy::bloom(true)]
-            {
-                let o = ctx.overhead(&w, wps.clone(), BackendKind::Dise(strategy));
-                out.push_str(&fmt_over(o));
+            for _ in backends {
+                out.push_str(&fmt_over(next.next().expect("one overhead per cell")));
             }
             out.push('\n');
         }
@@ -245,7 +319,7 @@ pub fn fig6(ctx: &mut Experiment) -> String {
 /// **Figure 7** — the DISE design space: three replacement-sequence
 /// organisations with and without conditional trap/call support, on
 /// bzip2, mcf and twolf (HOT/WARM1/WARM2/COLD).
-pub fn fig7(ctx: &mut Experiment) -> String {
+pub fn fig7(ctx: &Experiment) -> String {
     let kinds = [WatchKind::Hot, WatchKind::Warm1, WatchKind::Warm2, WatchKind::Cold];
     let organisations = [
         ("MA/EE +cond", DiseStrategy::match_address_call(true)),
@@ -255,19 +329,34 @@ pub fn fig7(ctx: &mut Experiment) -> String {
         ("EE/-- -cond", DiseStrategy::evaluate_inline(false)),
         ("MAV/-- -cond", DiseStrategy::match_address_value(false)),
     ];
+    let kernels: Vec<&Workload> = ["bzip2", "mcf", "twolf"]
+        .iter()
+        .map(|name| ctx.workloads().iter().find(|w| w.name() == *name).expect("fig7 kernel exists"))
+        .collect();
+    let mut cells = Vec::new();
+    for w in &kernels {
+        for kind in kinds {
+            for (_, strategy) in &organisations {
+                cells.push(ctx.job(w, vec![w.watchpoint(kind)], BackendKind::Dise(*strategy)));
+            }
+        }
+    }
+    let overheads = ctx.grid_overheads(&cells);
+
     let mut out = format!("{:<10}{:<7}", "benchmark", "watch");
     for (label, _) in &organisations {
         out.push_str(&format!("{label:>14}"));
     }
     out.push('\n');
-    for name in ["bzip2", "mcf", "twolf"] {
-        let w =
-            ctx.workloads().iter().find(|w| w.name() == name).expect("fig7 kernel exists").clone();
+    let mut next = overheads.into_iter();
+    for w in &kernels {
         for kind in kinds {
             out.push_str(&format!("{:<10}{:<7}", w.name(), kind.label()));
-            for (_, strategy) in &organisations {
-                let o = ctx.overhead(&w, vec![w.watchpoint(kind)], BackendKind::Dise(*strategy));
-                out.push_str(&format!("      {}", fmt_over(o)));
+            for _ in &organisations {
+                out.push_str(&format!(
+                    "      {}",
+                    fmt_over(next.next().expect("one overhead per cell"))
+                ));
             }
             out.push('\n');
         }
@@ -277,21 +366,28 @@ pub fn fig7(ctx: &mut Experiment) -> String {
 
 /// **Figure 8** — multithreaded DISE function calls: the paper's
 /// default organisation with and without the second thread context.
-pub fn fig8(ctx: &mut Experiment) -> String {
+pub fn fig8(ctx: &Experiment) -> String {
     let kinds = [WatchKind::Hot, WatchKind::Warm1, WatchKind::Warm2, WatchKind::Cold];
-    let mut out = format!("{:<10}{:<7}{:>12}{:>12}\n", "benchmark", "watch", "no-MT", "with-MT");
-    for w in ctx.workloads().to_vec() {
+    let backends = [
+        BackendKind::dise_default(),
+        BackendKind::Dise(DiseStrategy { multithreaded_calls: true, ..DiseStrategy::default() }),
+    ];
+    let mut cells = Vec::new();
+    for w in ctx.workloads() {
         for kind in kinds {
-            let wp = w.watchpoint(kind);
-            let plain = ctx.overhead(&w, vec![wp], BackendKind::dise_default());
-            let mt = ctx.overhead(
-                &w,
-                vec![wp],
-                BackendKind::Dise(DiseStrategy {
-                    multithreaded_calls: true,
-                    ..DiseStrategy::default()
-                }),
-            );
+            for backend in backends {
+                cells.push(ctx.job(w, vec![w.watchpoint(kind)], backend));
+            }
+        }
+    }
+    let overheads = ctx.grid_overheads(&cells);
+
+    let mut out = format!("{:<10}{:<7}{:>12}{:>12}\n", "benchmark", "watch", "no-MT", "with-MT");
+    let mut next = overheads.into_iter();
+    for w in ctx.workloads() {
+        for kind in kinds {
+            let plain = next.next().expect("one overhead per cell");
+            let mt = next.next().expect("one overhead per cell");
             out.push_str(&format!(
                 "{:<10}{:<7}  {}  {}\n",
                 w.name(),
@@ -306,16 +402,24 @@ pub fn fig8(ctx: &mut Experiment) -> String {
 
 /// **Figure 9** — the cost of protecting the debugger's embedded data
 /// (the Fig. 2f store-range check) on a COLD watchpoint.
-pub fn fig9(ctx: &mut Experiment) -> String {
+pub fn fig9(ctx: &Experiment) -> String {
+    let backends = [
+        BackendKind::dise_default(),
+        BackendKind::Dise(DiseStrategy { protect_debugger: true, ..DiseStrategy::default() }),
+    ];
+    let mut cells = Vec::new();
+    for w in ctx.workloads() {
+        for backend in backends {
+            cells.push(ctx.job(w, vec![w.watchpoint(WatchKind::Cold)], backend));
+        }
+    }
+    let overheads = ctx.grid_overheads(&cells);
+
     let mut out = format!("{:<10}{:>14}{:>12}\n", "benchmark", "unprotected", "protected");
-    for w in ctx.workloads().to_vec() {
-        let wp = w.watchpoint(WatchKind::Cold);
-        let plain = ctx.overhead(&w, vec![wp], BackendKind::dise_default());
-        let prot = ctx.overhead(
-            &w,
-            vec![wp],
-            BackendKind::Dise(DiseStrategy { protect_debugger: true, ..DiseStrategy::default() }),
-        );
+    let mut next = overheads.into_iter();
+    for w in ctx.workloads() {
+        let plain = next.next().expect("one overhead per cell");
+        let prot = next.next().expect("one overhead per cell");
         out.push_str(&format!("{:<10}  {}  {}\n", w.name(), fmt_over(plain), fmt_over(prot)));
     }
     out
@@ -323,20 +427,15 @@ pub fn fig9(ctx: &mut Experiment) -> String {
 
 /// Sanity harness used by the quickstart example and the integration
 /// tests: one undebugged run of each kernel.
-pub fn baseline_table(ctx: &mut Experiment) -> String {
+pub fn baseline_table(ctx: &Experiment) -> String {
     let mut out = String::from("benchmark   cycles  instructions   IPC\n");
-    for w in ctx.workloads().to_vec() {
+    let rows = ctx.per_workload(|w| {
         let prog = w.app().program().expect("kernel assembles");
         let mut m = Machine::with_config(&prog, ctx.cpu);
         let s = m.run();
-        out.push_str(&format!(
-            "{:<10}{:>9}{:>13}{:>7.2}\n",
-            w.name(),
-            s.cycles,
-            s.instructions,
-            s.ipc()
-        ));
-    }
+        format!("{:<10}{:>9}{:>13}{:>7.2}\n", w.name(), s.cycles, s.instructions, s.ipc())
+    });
+    out.extend(rows);
     out
 }
 
@@ -350,7 +449,7 @@ mod tests {
 
     #[test]
     fn table1_has_six_rows() {
-        let t = table1(&mut tiny());
+        let t = table1(&tiny());
         assert_eq!(t.lines().count(), 7);
         assert!(t.contains("bzip2"));
         assert!(t.contains("generateMTFValues"));
@@ -358,7 +457,7 @@ mod tests {
 
     #[test]
     fn table2_hot_dominates_cold() {
-        let t = table2(&mut tiny());
+        let t = table2(&tiny());
         for line in t.lines().skip(1) {
             let fields: Vec<&str> = line.split_whitespace().collect();
             let hot: f64 = fields[1].parse().unwrap();
@@ -369,8 +468,7 @@ mod tests {
 
     #[test]
     fn fig5_rewriting_bloats_text() {
-        let ctx = &mut tiny();
-        let t = fig5(ctx);
+        let t = fig5(&tiny());
         for line in t.lines().skip(1) {
             let growth: f64 =
                 line.split_whitespace().last().unwrap().trim_end_matches('x').parse().unwrap();
@@ -380,7 +478,7 @@ mod tests {
 
     #[test]
     fn fig3_row_for_one_cell_behaves() {
-        let mut ctx = tiny();
+        let ctx = tiny();
         let w = ctx.workloads()[0].clone(); // bzip2
         let hot = w.watchpoint(WatchKind::Hot);
         let ss = ctx.overhead(&w, vec![hot], BackendKind::SingleStep).unwrap();

@@ -1,0 +1,222 @@
+//! The job-grid subsystem: every table/figure is a grid of independent
+//! debugging sessions (kernel × watchpoint-set × backend × config).
+//! This module decomposes a grid into [`SessionJob`] values, runs them
+//! on a `std::thread` worker pool, and reassembles the per-cell results
+//! in submission order, so parallel output is byte-identical to serial.
+//!
+//! Worker count comes from the `DISE_JOBS` environment variable
+//! (default: the machine's available parallelism, capped by the number
+//! of jobs); `DISE_JOBS=1` runs every job inline on the calling thread.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dise_cpu::CpuConfig;
+use dise_debug::{run_session, BackendKind, BaselineCache, DebugError, SessionReport, Watchpoint};
+use dise_workloads::Workload;
+
+/// One cell of an experiment grid: a kernel, the watchpoints to plant,
+/// the backend implementing them, and the machine configuration.
+#[derive(Clone, Debug)]
+pub struct SessionJob {
+    /// The kernel to debug.
+    pub workload: Workload,
+    /// The watchpoints to plant.
+    pub watchpoints: Vec<Watchpoint>,
+    /// The backend implementing them.
+    pub backend: BackendKind,
+    /// Machine configuration (per-cell override).
+    pub cpu: CpuConfig,
+}
+
+impl SessionJob {
+    /// A cell under the given configuration.
+    pub fn new(
+        workload: Workload,
+        watchpoints: Vec<Watchpoint>,
+        backend: BackendKind,
+        cpu: CpuConfig,
+    ) -> SessionJob {
+        SessionJob { workload, watchpoints, backend, cpu }
+    }
+
+    /// Run the session; `Err` carries the paper's "no experiment" bars.
+    ///
+    /// # Errors
+    ///
+    /// As [`dise_debug::run_session`].
+    pub fn report(&self) -> Result<SessionReport, DebugError> {
+        run_session(self.workload.app(), self.watchpoints.clone(), self.backend, self.cpu)
+    }
+
+    /// Overhead (normalised execution time) of the session against the
+    /// kernel's baseline from the shared cache, or `None` when the
+    /// backend cannot implement the watchpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session reports an execution error (the calibrated
+    /// kernels must run clean).
+    pub fn overhead(&self, baselines: &BaselineCache) -> Option<f64> {
+        let base = baselines
+            .get_or_run(self.workload.name(), self.workload.app(), self.cpu)
+            .expect("kernel assembles");
+        match self.report() {
+            Ok(report) => {
+                assert_eq!(report.error, None, "{}: session must run clean", self.workload.name());
+                Some(report.overhead_vs(&base))
+            }
+            Err(DebugError::Unsupported { .. }) => None,
+            Err(e) => panic!("{}: {e}", self.workload.name()),
+        }
+    }
+}
+
+/// Parse a numeric environment knob, `default` when unset. A typo must
+/// fail loudly, not silently fall back.
+pub(crate) fn env_number<T: std::str::FromStr>(name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    match std::env::var(name) {
+        Ok(s) => s.trim().parse().unwrap_or_else(|e| panic!("invalid {name} value `{s}`: {e}")),
+        Err(std::env::VarError::NotPresent) => default,
+        Err(std::env::VarError::NotUnicode(s)) => {
+            panic!("invalid {name} value {s:?}: not unicode")
+        }
+    }
+}
+
+/// Worker-pool size from the `DISE_JOBS` environment variable, or the
+/// machine's available parallelism when unset.
+///
+/// # Panics
+///
+/// Panics on an unparsable or zero `DISE_JOBS` — a typo must fail
+/// loudly, not silently serialise the grid.
+pub fn configured_workers() -> usize {
+    let default = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let workers = env_number("DISE_JOBS", default);
+    assert!(workers > 0, "DISE_JOBS must be >= 1");
+    workers
+}
+
+/// Run `f` over every job on the configured worker pool (see
+/// [`configured_workers`]) and return the results in job order.
+pub fn run_grid<J, R, F>(jobs: &[J], f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    run_grid_with(jobs, configured_workers(), f)
+}
+
+/// Run `f` over every job on a pool of exactly `workers` threads and
+/// return the results in job order — byte-identical to the serial
+/// `jobs.iter().map(f)` regardless of scheduling.
+///
+/// With `workers == 1` (or one job) everything runs inline on the
+/// calling thread. A panic in any job is propagated to the caller once
+/// all workers have drained.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`, and re-raises the first job panic.
+pub fn run_grid_with<J, R, F>(jobs: &[J], workers: usize, f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    assert!(workers > 0, "worker pool needs at least one thread");
+    let workers = workers.min(jobs.len());
+    if workers <= 1 {
+        return jobs.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let panic = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                match catch_unwind(AssertUnwindSafe(|| f(job))) {
+                    Ok(r) => *results[i].lock().expect("result slot poisoned") = Some(r),
+                    Err(cause) => {
+                        // Record the first panic (by job order) and keep
+                        // draining, so the scope joins cleanly and the
+                        // caller sees a deterministic failure.
+                        let mut p = panic.lock().expect("panic slot poisoned");
+                        match *p {
+                            Some((j, _)) if j < i => {}
+                            _ => *p = Some((i, cause)),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some((_, cause)) = panic.into_inner().expect("panic slot poisoned") {
+        resume_unwind(cause);
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot poisoned").expect("job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let jobs: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = jobs.iter().map(|j| j * j).collect();
+        for workers in [1, 2, 8, 200] {
+            assert_eq!(run_grid_with(&jobs, workers, |j| j * j), serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out: Vec<u64> = run_grid_with(&Vec::<u64>::new(), 8, |j| *j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panic_in_job_propagates() {
+        let jobs: Vec<u64> = (0..32).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_grid_with(&jobs, 4, |j| {
+                if *j == 17 {
+                    panic!("job 17 exploded");
+                }
+                *j
+            })
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "job 17 exploded");
+    }
+
+    #[test]
+    fn first_panic_by_job_order_wins() {
+        let jobs: Vec<u64> = (0..32).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_grid_with(&jobs, 8, |j| {
+                if *j >= 3 {
+                    panic!("job {j} exploded");
+                }
+                *j
+            })
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert_eq!(msg, "job 3 exploded");
+    }
+}

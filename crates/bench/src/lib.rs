@@ -11,13 +11,21 @@
 //! `DISE_ITERS` environment variable). Every reported quantity is a
 //! ratio, so the *shape* — who wins, by what order of magnitude, where
 //! the crossovers fall — is what these harnesses reproduce.
+//!
+//! Execution: each table/figure is decomposed into independent
+//! [`SessionJob`] grid cells and run on a [`grid`] worker pool sized by
+//! the `DISE_JOBS` environment variable (default: available
+//! parallelism), with results reassembled in cell order so output is
+//! byte-identical for any worker count.
 
 mod experiments;
+pub mod grid;
 pub mod paper;
 
 pub use experiments::{
     baseline_table, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, Experiment,
 };
+pub use grid::{configured_workers, run_grid, run_grid_with, SessionJob};
 
 /// Render one figure/table section with a heading.
 pub fn section(title: &str, body: &str) -> String {

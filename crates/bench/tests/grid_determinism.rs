@@ -1,0 +1,77 @@
+//! The grid runner's contract with the experiments: parallel execution
+//! must be invisible in the output. Tables/figures are rendered under a
+//! serial pool (`workers = 1`) and a parallel pool (`workers = 8`) and
+//! compared byte for byte.
+//!
+//! The full ten-experiment sweep simulates a few hundred sessions
+//! (~3 min in the dev profile), so it is `#[ignore]`d by default and
+//! run explicitly by CI (`-- --include-ignored`); a light three-
+//! experiment variant keeps every `cargo test -q` on the parallel path.
+
+use dise_bench::{run_grid_with, Experiment, SessionJob};
+use dise_cpu::CpuConfig;
+use dise_debug::{BackendKind, BaselineCache};
+use dise_workloads::{all, WatchKind};
+
+type Render = fn(&Experiment) -> String;
+
+fn ctx(workers: usize) -> Experiment {
+    Experiment::new(10, CpuConfig::default()).with_workers(workers)
+}
+
+fn assert_deterministic(experiments: &[(&str, Render)]) {
+    let serial = ctx(1);
+    let parallel = ctx(8);
+    for (name, render) in experiments {
+        assert_eq!(render(&serial), render(&parallel), "{name} output depends on worker count");
+    }
+}
+
+/// A cheap slice of the sweep, always on: one table, one per-workload
+/// report grid, one session grid.
+#[test]
+fn light_experiments_are_deterministic_across_worker_counts() {
+    assert_deterministic(&[
+        ("table1", dise_bench::table1),
+        ("fig9", dise_bench::fig9),
+        ("baseline_table", dise_bench::baseline_table),
+    ]);
+}
+
+/// Every experiment produces identical bytes under a 1-thread and an
+/// 8-thread pool (the `DISE_JOBS=1` vs `DISE_JOBS=8` acceptance bar).
+#[test]
+#[ignore = "simulates every figure twice (~3 min dev profile); CI runs it with --include-ignored"]
+fn all_experiments_are_deterministic_across_worker_counts() {
+    assert_deterministic(&[
+        ("table1", dise_bench::table1),
+        ("table2", dise_bench::table2),
+        ("fig3", dise_bench::fig3),
+        ("fig4", dise_bench::fig4),
+        ("fig5", dise_bench::fig5),
+        ("fig6", dise_bench::fig6),
+        ("fig7", dise_bench::fig7),
+        ("fig8", dise_bench::fig8),
+        ("fig9", dise_bench::fig9),
+        ("baseline_table", dise_bench::baseline_table),
+    ]);
+}
+
+/// `run_grid_with(.., 1, ..)` is exactly the serial map, including for
+/// real session jobs against a shared baseline cache.
+#[test]
+fn single_worker_matches_serial_session_runs() {
+    let w = &all(25)[0];
+    let cells: Vec<SessionJob> = [BackendKind::dise_default(), BackendKind::hw4()]
+        .into_iter()
+        .map(|b| {
+            SessionJob::new(w.clone(), vec![w.watchpoint(WatchKind::Hot)], b, CpuConfig::default())
+        })
+        .collect();
+
+    let baselines = BaselineCache::new();
+    let pooled = run_grid_with(&cells, 1, |job| job.overhead(&baselines));
+    let serial: Vec<Option<f64>> = cells.iter().map(|job| job.overhead(&baselines)).collect();
+    assert_eq!(pooled, serial);
+    assert_eq!(baselines.len(), 1, "one kernel, one cached baseline");
+}

@@ -17,8 +17,8 @@ fn tiny() -> Experiment {
 /// with plausible per-row content.
 #[test]
 fn table1_produces_rows_at_tiny_scale() {
-    let mut ctx = tiny();
-    let out = table1(&mut ctx);
+    let ctx = tiny();
+    let out = table1(&ctx);
     assert!(!out.trim().is_empty(), "table1 produced no output");
     for b in BENCHMARKS {
         let row = out

@@ -122,13 +122,13 @@ impl BreakpointSession {
             BreakpointBackend::TrapPatch => {
                 // Static transformation: plant traps.
                 for (bp, _) in &with_originals {
-                    exec.mem_mut().write_u(bp.pc, 4, encode(&Instr::Trap) as u64);
+                    exec.patch_code(bp.pc, encode(&Instr::Trap));
                 }
             }
             BreakpointBackend::DiseCodeword => {
                 for (i, (bp, original)) in with_originals.iter().enumerate() {
                     let idx = i as u16;
-                    exec.mem_mut().write_u(bp.pc, 4, encode(&Instr::Codeword(idx)) as u64);
+                    exec.patch_code(bp.pc, encode(&Instr::Codeword(idx)));
                     let seq = breakpoint_sequence(i, bp, *original, &mut exec);
                     exec.engine_mut()
                         .install(Production::new(
@@ -197,11 +197,11 @@ impl BreakpointSession {
                     }
                     // Restore original / single-step / re-install — the
                     // paper's three-step restart, performed literally.
-                    self.exec.mem_mut().write_u(bp.pc, 4, encode(&original) as u64);
+                    self.exec.patch_code(bp.pc, encode(&original));
                     self.exec.set_pc(bp.pc);
                     let orig = self.exec.step();
                     self.timing.consume(&orig);
-                    self.exec.mem_mut().write_u(bp.pc, 4, encode(&Instr::Trap) as u64);
+                    self.exec.patch_code(bp.pc, encode(&Instr::Trap));
                 }
                 BreakpointBackend::DiseCodeword | BreakpointBackend::DisePcPattern => {
                     // The replacement sequence already evaluated any

@@ -61,7 +61,7 @@ pub use backend::BackendKind;
 pub use breakpoint::{Breakpoint, BreakpointBackend, BreakpointReport, BreakpointSession};
 pub use iwatcher::{Monitor, MonitoredRegion};
 pub use region::DebugRegion;
-pub use session::{run_baseline, DebugError, Session, SessionReport};
+pub use session::{run_baseline, run_session, BaselineCache, DebugError, Session, SessionReport};
 pub use stats::{Transition, TransitionStats};
 pub use strategy::{CheckKind, DiseStrategy, MultiMatch};
 pub use watch::{Condition, WatchExpr, WatchState, WatchValue, Watchpoint};

@@ -1,7 +1,9 @@
 //! Debugging sessions: drive the machine under a backend, classify and
 //! charge debugger transitions.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Mutex;
 
 use dise_asm::AsmError;
 use dise_cpu::{CpuConfig, Event, ExecError, Executor, Machine, RunStats, Timing};
@@ -80,6 +82,79 @@ pub fn run_baseline(app: &Application, cpu: CpuConfig) -> Result<RunStats, Debug
     let prog = app.program()?;
     let mut m = Machine::with_config(&prog, cpu);
     Ok(m.run())
+}
+
+/// Run one complete debugging session and return its report — the
+/// `Send`-able entry point job-grid runners hand to worker threads
+/// (every argument and the result are plain data).
+///
+/// # Errors
+///
+/// As [`Session::with_config`].
+pub fn run_session(
+    app: &Application,
+    watchpoints: Vec<Watchpoint>,
+    backend: BackendKind,
+    cpu: CpuConfig,
+) -> Result<SessionReport, DebugError> {
+    Ok(Session::with_config(app, watchpoints, backend, cpu)?.run())
+}
+
+/// A shared, lock-guarded cache of undebugged baseline runs, so
+/// concurrent experiment jobs can all normalise against the same
+/// denominator without re-running it or serialising on `&mut self`.
+///
+/// Keys are caller-chosen (kernel names); a baseline is computed at most
+/// once per key, outside the lock, so a slow baseline never blocks
+/// lookups of other kernels.
+#[derive(Debug, Default)]
+pub struct BaselineCache {
+    runs: Mutex<HashMap<String, RunStats>>,
+}
+
+impl BaselineCache {
+    /// An empty cache.
+    pub fn new() -> BaselineCache {
+        BaselineCache::default()
+    }
+
+    /// The baseline statistics for `key`, computing them from `app`
+    /// under `cpu` on first use.
+    ///
+    /// Two threads racing on the same missing key may both compute the
+    /// run; the first insertion wins, and both runs are identical (the
+    /// simulator is deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly failures from the baseline run.
+    pub fn get_or_run(
+        &self,
+        key: &str,
+        app: &Application,
+        cpu: CpuConfig,
+    ) -> Result<RunStats, DebugError> {
+        if let Some(stats) = self.runs.lock().expect("baseline cache poisoned").get(key) {
+            return Ok(*stats);
+        }
+        let stats = run_baseline(app, cpu)?;
+        Ok(*self
+            .runs
+            .lock()
+            .expect("baseline cache poisoned")
+            .entry(key.to_string())
+            .or_insert(stats))
+    }
+
+    /// Number of distinct baselines cached.
+    pub fn len(&self) -> usize {
+        self.runs.lock().expect("baseline cache poisoned").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// An interactive debugging session: an application, a set of
@@ -227,6 +302,35 @@ mod tests {
     fn scalar_wp(app: &Application, sym: &str) -> Watchpoint {
         let addr = app.program().unwrap().symbol(sym).unwrap();
         Watchpoint::new(WatchExpr::Scalar { addr, width: Width::Q })
+    }
+
+    /// The grid runners in `dise-bench` ship sessions to worker
+    /// threads: everything [`run_session`] consumes or produces, plus
+    /// the shared baseline cache, must stay `Send + Sync`.
+    #[test]
+    fn session_grid_surface_is_send_and_sync() {
+        fn send_sync<T: Send + Sync>() {}
+        send_sync::<Application>();
+        send_sync::<Watchpoint>();
+        send_sync::<BackendKind>();
+        send_sync::<CpuConfig>();
+        send_sync::<SessionReport>();
+        send_sync::<DebugError>();
+        send_sync::<BaselineCache>();
+    }
+
+    #[test]
+    fn baseline_cache_computes_each_key_once_across_threads() {
+        let a = app(5);
+        let cache = BaselineCache::new();
+        let runs: Vec<RunStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| cache.get_or_run("app", &a, CpuConfig::default()).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.len(), 1);
+        assert!(runs.windows(2).all(|w| w[0] == w[1]), "deterministic baseline");
     }
 
     #[test]

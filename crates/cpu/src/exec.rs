@@ -187,6 +187,9 @@ enum Mode {
     InCall { ret: CallReturn },
 }
 
+/// Number of slots in the decoded-instruction cache (power of two).
+const DECODED_SLOTS: usize = 4096;
+
 /// The functional machine: register file (GPRs + DISE registers), PC,
 /// memory, the DISE engine, and the replacement-sequence context.
 #[derive(Clone, Debug)]
@@ -198,6 +201,14 @@ pub struct Executor {
     mode: Mode,
     halted: bool,
     instructions: u64,
+    /// Decoded-instruction cache: a direct-mapped, PC-tagged store of
+    /// `decode()` results, so warm fetches skip the memory read and the
+    /// decoder. Entries are invalidated by stores that overlap them
+    /// (self-modifying code) and the whole cache is dropped whenever a
+    /// caller takes [`Executor::mem_mut`] (breakpoint patching).
+    decoded: Vec<Option<(u64, Instr)>>,
+    decode_hits: u64,
+    decode_misses: u64,
 }
 
 impl Executor {
@@ -211,6 +222,9 @@ impl Executor {
             mode: Mode::Normal,
             halted: false,
             instructions: 0,
+            decoded: vec![None; DECODED_SLOTS],
+            decode_hits: 0,
+            decode_misses: 0,
         }
     }
 
@@ -258,8 +272,23 @@ impl Executor {
     }
 
     /// Mutable memory (loading, page protection).
+    ///
+    /// The caller may rewrite code behind the executor's back, so the
+    /// decoded-instruction cache is dropped wholesale; use
+    /// [`Executor::patch_code`] for single-word code patches instead.
     pub fn mem_mut(&mut self) -> &mut Memory {
+        for slot in &mut self.decoded {
+            *slot = None;
+        }
         &mut self.mem
+    }
+
+    /// Overwrite one code word (breakpoint planting/restoring),
+    /// invalidating only the decoded-cache entries it overlaps — unlike
+    /// [`Executor::mem_mut`], the rest of the warm cache survives.
+    pub fn patch_code(&mut self, addr: u64, word: u32) {
+        self.mem.write_u(addr, 4, word as u64);
+        self.invalidate_decoded(addr, 4);
     }
 
     /// The DISE engine (production installation).
@@ -281,6 +310,36 @@ impl Executor {
     /// instructions).
     pub fn instructions(&self) -> u64 {
         self.instructions
+    }
+
+    /// `(hits, misses)` of the decoded-instruction cache since
+    /// construction. Replacement instructions never touch the cache
+    /// (they are generated at decode, not fetched).
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        (self.decode_hits, self.decode_misses)
+    }
+
+    #[inline]
+    fn decoded_slot(pc: u64) -> usize {
+        ((pc >> 2) as usize) & (DECODED_SLOTS - 1)
+    }
+
+    /// Drop cached decodes for the (≤ 3) instruction words a
+    /// `width`-byte store at `addr` overlaps.
+    #[inline]
+    fn invalidate_decoded(&mut self, addr: u64, width: u64) {
+        let mut word = addr & !(INSTR_BYTES - 1);
+        let last = addr.wrapping_add(width - 1) & !(INSTR_BYTES - 1);
+        for _ in 0..3 {
+            let slot = Self::decoded_slot(word);
+            if matches!(self.decoded[slot], Some((tag, _)) if tag == word) {
+                self.decoded[slot] = None;
+            }
+            if word == last {
+                break;
+            }
+            word = word.wrapping_add(INSTR_BYTES);
+        }
     }
 
     fn halt_with(&mut self, exec: &mut Exec, err: ExecError) {
@@ -333,23 +392,36 @@ impl Executor {
                 pc = self.pc;
                 in_call = matches!(m, Mode::InCall { .. });
                 self.mode = m;
-                let word = self.mem.read_u(pc, 4) as u32;
-                let decoded = match decode(word) {
-                    Ok(i) => i,
-                    Err(_) => {
-                        let mut exec = Exec {
-                            pc,
-                            disepc: 0,
-                            in_dise_call: in_call,
-                            instr: Instr::Nop,
-                            fetched: true,
-                            branch: None,
-                            mem: None,
-                            flush: None,
-                            event: None,
-                        };
-                        self.halt_with(&mut exec, ExecError::BadInstruction(pc));
-                        return exec;
+                let slot = Self::decoded_slot(pc);
+                let decoded = match self.decoded[slot] {
+                    Some((tag, i)) if tag == pc => {
+                        self.decode_hits += 1;
+                        i
+                    }
+                    _ => {
+                        let word = self.mem.read_u(pc, 4) as u32;
+                        match decode(word) {
+                            Ok(i) => {
+                                self.decode_misses += 1;
+                                self.decoded[slot] = Some((pc, i));
+                                i
+                            }
+                            Err(_) => {
+                                let mut exec = Exec {
+                                    pc,
+                                    disepc: 0,
+                                    in_dise_call: in_call,
+                                    instr: Instr::Nop,
+                                    fetched: true,
+                                    branch: None,
+                                    mem: None,
+                                    flush: None,
+                                    event: None,
+                                };
+                                self.halt_with(&mut exec, ExecError::BadInstruction(pc));
+                                return exec;
+                            }
+                        }
                     }
                 };
                 // DISE expansion is armed only in Normal mode.
@@ -478,6 +550,7 @@ impl Executor {
                     // store on the application's behalf.
                     self.mem.write_u(addr, w, new);
                 }
+                self.invalidate_decoded(addr, w);
                 exec.mem =
                     Some(MemOp { addr, width: w, is_store: true, old_value: old, new_value: new });
                 advance!();
@@ -936,6 +1009,59 @@ mod tests {
         assert_eq!(traps, 1);
         // No flush anywhere: ctrap avoids the DISE branch.
         assert!(trace.iter().all(|e| e.flush.is_none()));
+    }
+
+    #[test]
+    fn decode_cache_hits_on_warm_loop() {
+        let mut m = machine(
+            "start: lda r1, 50(zero)
+             loop:  subq r1, 1, r1
+                    bgt r1, loop
+                    halt",
+        );
+        run(&mut m, 200);
+        let (hits, misses) = m.decode_cache_stats();
+        assert_eq!(misses, 4, "each static instruction decodes once");
+        assert_eq!(hits + misses, m.instructions());
+    }
+
+    #[test]
+    fn self_modifying_store_invalidates_decoded_cache() {
+        // Pass 1 executes `slot` (caching its decode) and then patches it
+        // with `lda r5, 77(zero)`; pass 2 must see the new instruction.
+        let patched = dise_isa::encode(&Instr::Lda { rd: Reg::gpr(5), base: Reg::ZERO, disp: 77 });
+        let mut m = machine(&format!(
+            "start: la r1, slot
+                    la r3, patch
+                    ldl r2, 0(r3)
+                    lda r9, 2(zero)
+             slot:  lda r5, 111(zero)
+                    subq r9, 1, r9
+                    beq r9, done
+                    stl r2, 0(r1)      # self-modify: overwrite slot
+                    br slot
+             done:  halt
+             .data
+             patch: .quad {patched}"
+        ));
+        run(&mut m, 100);
+        assert_eq!(m.reg(Reg::gpr(5)), 77, "stale decode served after self-modification");
+    }
+
+    #[test]
+    fn mem_mut_drops_decoded_cache() {
+        let mut m = machine(
+            "start: lda r5, 1(zero)
+                    halt",
+        );
+        let first = m.step();
+        assert_eq!(first.instr, Instr::Lda { rd: Reg::gpr(5), base: Reg::ZERO, disp: 1 });
+        // Patch the next word (the halt) behind the executor's back, as
+        // the breakpoint backend does, then re-point the PC at it.
+        let pc = m.pc();
+        m.mem_mut().write_u(pc, 4, dise_isa::encode(&Instr::Nop) as u64);
+        let e = m.step();
+        assert_eq!(e.instr, Instr::Nop, "patched word must be re-decoded");
     }
 
     #[test]

@@ -1,17 +1,74 @@
 //! Cross-crate integration tests: whole debugging sessions over the
 //! calibrated workloads, checking the invariants the paper's evaluation
 //! rests on.
+//!
+//! The session grid is shared across tests and run once, on the
+//! `dise-bench` job-grid worker pool (`DISE_JOBS` to override its
+//! size): the DISE column is needed by three tests, so computing it in
+//! each would triple the bill for the most expensive cells.
 
-use dise_repro::cpu::CpuConfig;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use dise_bench::run_grid;
+use dise_repro::cpu::{CpuConfig, RunStats};
 use dise_repro::debug::{
-    run_baseline, BackendKind, DebugError, DiseStrategy, Session, SessionReport,
+    run_baseline, run_session, BackendKind, DebugError, DiseStrategy, Session, SessionReport,
 };
 use dise_repro::workloads::{all, WatchKind, Workload};
 
 const ITERS: u32 = 120;
 
 fn run(w: &Workload, kind: WatchKind, backend: BackendKind) -> Result<SessionReport, DebugError> {
-    Ok(Session::new(w.app(), vec![w.watchpoint(kind)], backend)?.run())
+    run_session(w.app(), vec![w.watchpoint(kind)], backend, CpuConfig::default())
+}
+
+/// The kinds every non-DISE backend can implement on these kernels.
+const COMMON_KINDS: [WatchKind; 3] = [WatchKind::Warm1, WatchKind::Warm2, WatchKind::Cold];
+
+/// One shared run of the unconditional-watchpoint grid: DISE over all
+/// six kinds, virtual memory and hardware registers over the kinds they
+/// support, plus per-kernel baselines.
+struct SharedGrid {
+    workloads: Vec<Workload>,
+    baselines: Vec<RunStats>,
+    reports: HashMap<(usize, WatchKind, &'static str), SessionReport>,
+}
+
+fn shared_grid() -> &'static SharedGrid {
+    static GRID: OnceLock<SharedGrid> = OnceLock::new();
+    GRID.get_or_init(|| {
+        let workloads = all(ITERS);
+        let mut cells: Vec<(usize, WatchKind, &'static str, BackendKind)> = Vec::new();
+        for (i, _) in workloads.iter().enumerate() {
+            for kind in WatchKind::ALL {
+                cells.push((i, kind, "dise", BackendKind::dise_default()));
+            }
+            for kind in COMMON_KINDS {
+                cells.push((i, kind, "vm", BackendKind::VirtualMemory));
+                cells.push((i, kind, "hw", BackendKind::hw4()));
+            }
+        }
+        let reports =
+            run_grid(&cells, |&(i, kind, _, backend)| run(&workloads[i], kind, backend).unwrap());
+        let baselines =
+            run_grid(&workloads, |w| run_baseline(w.app(), CpuConfig::default()).unwrap());
+        SharedGrid {
+            baselines,
+            reports: cells
+                .iter()
+                .map(|&(i, kind, label, _)| (i, kind, label))
+                .zip(reports)
+                .collect(),
+            workloads,
+        }
+    })
+}
+
+impl SharedGrid {
+    fn report(&self, i: usize, kind: WatchKind, label: &'static str) -> &SessionReport {
+        &self.reports[&(i, kind, label)]
+    }
 }
 
 /// Every backend must report the same *user-visible* debugging events
@@ -21,12 +78,13 @@ fn run(w: &Workload, kind: WatchKind, backend: BackendKind) -> Result<SessionRep
 /// coalesce.)
 #[test]
 fn backends_agree_on_user_transitions() {
-    for w in all(ITERS) {
-        for kind in [WatchKind::Warm1, WatchKind::Warm2, WatchKind::Cold] {
-            let dise = run(&w, kind, BackendKind::dise_default()).unwrap();
+    let g = shared_grid();
+    for (i, w) in g.workloads.iter().enumerate() {
+        for kind in COMMON_KINDS {
+            let dise = g.report(i, kind, "dise");
             assert_eq!(dise.error, None);
-            let vm = run(&w, kind, BackendKind::VirtualMemory).unwrap();
-            let hw = run(&w, kind, BackendKind::hw4()).unwrap();
+            let vm = g.report(i, kind, "vm");
+            let hw = g.report(i, kind, "hw");
             assert_eq!(
                 dise.transitions.user,
                 vm.transitions.user,
@@ -49,9 +107,10 @@ fn backends_agree_on_user_transitions() {
 /// for every workload and every watchpoint kind.
 #[test]
 fn dise_has_zero_spurious_transitions_everywhere() {
-    for w in all(ITERS) {
+    let g = shared_grid();
+    for (i, w) in g.workloads.iter().enumerate() {
         for kind in WatchKind::ALL {
-            let r = run(&w, kind, BackendKind::dise_default()).unwrap();
+            let r = g.report(i, kind, "dise");
             assert_eq!(r.error, None, "{}/{kind:?}", w.name());
             assert_eq!(
                 r.transitions.spurious_total(),
@@ -70,11 +129,11 @@ fn dise_has_zero_spurious_transitions_everywhere() {
 /// and every DISE run stays within a small constant factor.
 #[test]
 fn dise_overhead_stays_modest() {
-    for w in all(ITERS) {
-        let base = run_baseline(w.app(), CpuConfig::default()).unwrap();
+    let g = shared_grid();
+    for (i, w) in g.workloads.iter().enumerate() {
+        let base = &g.baselines[i];
         for kind in WatchKind::ALL {
-            let r = run(&w, kind, BackendKind::dise_default()).unwrap();
-            let overhead = r.overhead_vs(&base);
+            let overhead = g.report(i, kind, "dise").overhead_vs(base);
             assert!(overhead < 8.0, "{}/{:?}: DISE overhead {overhead:.2}", w.name(), kind);
             if matches!(kind, WatchKind::Warm2 | WatchKind::Cold) {
                 assert!(
@@ -112,10 +171,17 @@ fn spurious_transitions_are_charged() {
 #[test]
 fn sweep_fits_paper_engine_capacity() {
     let w = Workload::gcc(ITERS);
-    for n in [1, 4, 16] {
-        let r = Session::new(w.app(), w.sweep_watchpoints(n), BackendKind::dise_default())
-            .unwrap()
-            .run();
+    let counts = [1usize, 4, 16];
+    let reports = run_grid(&counts, |&n| {
+        run_session(
+            w.app(),
+            w.sweep_watchpoints(n),
+            BackendKind::dise_default(),
+            CpuConfig::default(),
+        )
+        .unwrap()
+    });
+    for (n, r) in counts.iter().zip(reports) {
         assert_eq!(r.error, None, "n={n}");
     }
 }
@@ -124,15 +190,24 @@ fn sweep_fits_paper_engine_capacity() {
 /// reports a user transition; DISE reports no transitions at all.
 #[test]
 fn conditional_predicates_never_reach_user() {
-    for w in all(ITERS) {
-        let wp = w.conditional_watchpoint(WatchKind::Warm1);
-        for backend in [BackendKind::VirtualMemory, BackendKind::hw4(), BackendKind::dise_default()]
-        {
-            let r = Session::new(w.app(), vec![wp], backend).unwrap().run();
-            assert_eq!(r.transitions.user, 0, "{}/{backend:?}", w.name());
+    let workloads = all(ITERS);
+    let backends = [BackendKind::VirtualMemory, BackendKind::hw4(), BackendKind::dise_default()];
+    let mut cells = Vec::new();
+    for (i, w) in workloads.iter().enumerate() {
+        for backend in backends {
+            cells.push((i, w.conditional_watchpoint(WatchKind::Warm1), backend));
         }
-        let dise = Session::new(w.app(), vec![wp], BackendKind::dise_default()).unwrap().run();
-        assert_eq!(dise.transitions.total(), 0, "{}", w.name());
+    }
+    let reports = run_grid(&cells, |(i, wp, backend)| {
+        run_session(workloads[*i].app(), vec![*wp], *backend, CpuConfig::default()).unwrap()
+    });
+    for ((i, _, backend), r) in cells.iter().zip(&reports) {
+        assert_eq!(r.transitions.user, 0, "{}/{backend:?}", workloads[*i].name());
+        // The DISE cell doubles as the stronger zero-transitions check —
+        // no need to re-run it.
+        if *backend == BackendKind::dise_default() {
+            assert_eq!(r.transitions.total(), 0, "{}", workloads[*i].name());
+        }
     }
 }
 
@@ -141,33 +216,40 @@ fn conditional_predicates_never_reach_user() {
 /// matches the undebugged run, under every backend — no "heisenbugs".
 #[test]
 fn debugging_preserves_application_semantics() {
-    for w in all(ITERS) {
+    let workloads = all(ITERS);
+    let probes = ["hot", "warm1", "warm2", "cold"];
+    let expected = run_grid(&workloads, |w| {
         let prog = w.app().program().unwrap();
         let mut m = dise_repro::cpu::Machine::from_program(&prog);
         m.run();
-        let probes: Vec<u64> =
-            ["hot", "warm1", "warm2", "cold"].iter().map(|s| prog.symbol(s).unwrap()).collect();
-        let expected: Vec<u64> = probes.iter().map(|&a| m.exec.mem().read_u(a, 8)).collect();
+        probes.map(|s| m.exec.mem().read_u(prog.symbol(s).unwrap(), 8))
+    });
 
-        for backend in [
-            BackendKind::dise_default(),
-            BackendKind::Dise(DiseStrategy::bloom(false)),
-            BackendKind::Dise(DiseStrategy { protect_debugger: true, ..Default::default() }),
-            BackendKind::VirtualMemory,
-            BackendKind::hw4(),
-        ] {
-            let session =
-                Session::new(w.app(), vec![w.watchpoint(WatchKind::Hot)], backend).unwrap();
-            let (report, exec) = session.run_with_state();
-            assert_eq!(report.error, None, "{}/{backend:?}", w.name());
-            for (&addr, &want) in probes.iter().zip(&expected) {
-                assert_eq!(
-                    exec.mem().read_u(addr, 8),
-                    want,
-                    "{}/{backend:?}: debugged run perturbed {addr:#x}",
-                    w.name()
-                );
-            }
+    let backends = [
+        BackendKind::dise_default(),
+        BackendKind::Dise(DiseStrategy::bloom(false)),
+        BackendKind::Dise(DiseStrategy { protect_debugger: true, ..Default::default() }),
+        BackendKind::VirtualMemory,
+        BackendKind::hw4(),
+    ];
+    let mut cells = Vec::new();
+    for (i, _) in workloads.iter().enumerate() {
+        for backend in backends {
+            cells.push((i, backend));
+        }
+    }
+    let finals = run_grid(&cells, |&(i, backend)| {
+        let w = &workloads[i];
+        let prog = w.app().program().unwrap();
+        let session = Session::new(w.app(), vec![w.watchpoint(WatchKind::Hot)], backend).unwrap();
+        let (report, exec) = session.run_with_state();
+        (report.error, probes.map(|s| exec.mem().read_u(prog.symbol(s).unwrap(), 8)))
+    });
+    for (&(i, backend), (error, values)) in cells.iter().zip(&finals) {
+        let w = &workloads[i];
+        assert_eq!(*error, None, "{}/{backend:?}", w.name());
+        for (probe, (got, want)) in probes.iter().zip(values.iter().zip(&expected[i])) {
+            assert_eq!(got, want, "{}/{backend:?}: debugged run perturbed `{probe}`", w.name());
         }
     }
 }

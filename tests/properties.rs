@@ -140,6 +140,32 @@ proptest! {
     }
 }
 
+/// A two-pass self-modifying kernel: pass 1 executes `slot` (priming
+/// the decoded-instruction cache) and stores its result, then patches
+/// `slot` in place with the word at `patch`; pass 2 re-executes the
+/// rewritten slot and stores again.
+fn self_modifying_program(patch: &Instr) -> dise_repro::asm::Program {
+    let mut a = Asm::new();
+    a.label("start");
+    a.load_addr(Reg::gpr(1), "slot", 0);
+    a.load_addr(Reg::gpr(3), "patch", 0);
+    a.load_addr(Reg::gpr(20), "out", 0);
+    a.inst(Instr::Load { width: Width::L, rd: Reg::gpr(2), base: Reg::gpr(3), disp: 0 });
+    a.inst(Instr::li(Reg::gpr(9), 2));
+    a.label("slot");
+    a.inst(Instr::Lda { rd: Reg::gpr(5), base: Reg::ZERO, disp: 111 });
+    a.inst(Instr::Store { width: Width::Q, rs: Reg::gpr(5), base: Reg::gpr(20), disp: 0 });
+    a.inst(Instr::Alu { op: AluOp::Add, rd: Reg::gpr(20), ra: Reg::gpr(20), rb: Operand::Imm(8) });
+    // Self-modify: overwrite `slot`'s word with the patch instruction.
+    a.inst(Instr::Store { width: Width::L, rs: Reg::gpr(2), base: Reg::gpr(1), disp: 0 });
+    a.inst(Instr::Alu { op: AluOp::Sub, rd: Reg::gpr(9), ra: Reg::gpr(9), rb: Operand::Imm(1) });
+    a.cond_br(Cond::Gt, Reg::gpr(9), "slot");
+    a.inst(Instr::Halt);
+    a.data_label("patch").long(encode(patch));
+    a.data_label("out").space(16);
+    a.assemble(Layout::default()).unwrap()
+}
+
 /// Build a random straight-line program from (op, rd, ra, imm) tuples,
 /// ending in stores of every register and a halt.
 fn straight_line_program(ops: &[(u8, u8, u8, u8)]) -> dise_repro::asm::Program {
@@ -214,6 +240,44 @@ proptest! {
         };
 
         prop_assert_eq!(run(false), run(true));
+    }
+
+    /// The executor's decoded-instruction cache must never serve a
+    /// stale decode for a rewritten code word: a program that executes
+    /// an instruction slot (priming the cache), overwrites the slot
+    /// with an arbitrary patch instruction, and loops back must observe
+    /// the patch on the second pass.
+    #[test]
+    fn self_modifying_code_never_serves_stale_decodes(
+        op in any_aluop(),
+        imm: u8,
+        disp in 0i16..8192,
+        use_lda: bool,
+    ) {
+        let r5 = Reg::gpr(5);
+        let patch = if use_lda {
+            Instr::Lda { rd: r5, base: Reg::ZERO, disp }
+        } else {
+            Instr::Alu { op, rd: r5, ra: Reg::ZERO, rb: Operand::Imm(imm) }
+        };
+        let expected = if use_lda { disp as i64 as u64 } else { op.apply(0, imm as u64) };
+        let prog = self_modifying_program(&patch);
+
+        let mut e = Executor::from_program(&prog, CpuConfig::default());
+        let mut guard = 0;
+        while !e.is_halted() {
+            e.step();
+            guard += 1;
+            assert!(guard < 1_000);
+        }
+        let out = prog.symbol("out").unwrap();
+        prop_assert_eq!(e.mem().read_u(out, 8), 111, "first pass runs the original slot");
+        prop_assert_eq!(
+            e.mem().read_u(out + 8, 8),
+            expected,
+            "second pass served a stale decode for {:?}",
+            patch
+        );
     }
 
     /// Functional and timed execution see the same dynamic instruction
