@@ -77,7 +77,7 @@ pub enum DataItem {
 /// The builder is the unit of *static transformation*: the debugger's
 /// binary-rewriting backend consumes [`Asm::text_items`], splices in its
 /// instrumentation, and reassembles.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Asm {
     pub(crate) text: Vec<TextItem>,
     pub(crate) data: Vec<DataItem>,

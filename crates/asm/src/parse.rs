@@ -247,19 +247,34 @@ pub fn parse_asm(src: &str) -> Result<Asm, ParseError> {
             continue;
         }
 
-        // Loads/stores: `ldq rd, disp(base)`.
-        if (mnemonic.starts_with("ld") || mnemonic.starts_with("st")) && mnemonic.len() == 3 {
-            if let Some(width) = width_from_suffix(mnemonic.chars().nth(2).unwrap()) {
-                need(2)?;
-                let r = parse_reg(&ops[0], line)?;
-                let (disp, base) = parse_mem_operand(&ops[1], line)?;
-                let inst = if mnemonic.starts_with("ld") {
-                    Instr::Load { width, rd: r, base, disp }
-                } else {
-                    Instr::Store { width, rs: r, base, disp }
-                };
-                asm.inst(inst);
-                continue;
+        // Loads/stores: `ldq rd, disp(base)`. Suffix extraction must not
+        // index past short mnemonics: a bare `ld`/`st` is a parse error,
+        // not a panic, and multi-char or unknown suffixes fall through to
+        // the remaining mnemonic tables (`lda`, `ldah`, ...).
+        if mnemonic.starts_with("ld") || mnemonic.starts_with("st") {
+            let mut suffix = mnemonic.chars().skip(2);
+            match (suffix.next(), suffix.next()) {
+                (None, _) => {
+                    return err(
+                        line,
+                        format!("`{mnemonic}` needs a width suffix (b/w/l/q), e.g. `{mnemonic}q`"),
+                    );
+                }
+                (Some(c), None) => {
+                    if let Some(width) = width_from_suffix(c) {
+                        need(2)?;
+                        let r = parse_reg(&ops[0], line)?;
+                        let (disp, base) = parse_mem_operand(&ops[1], line)?;
+                        let inst = if mnemonic.starts_with("ld") {
+                            Instr::Load { width, rd: r, base, disp }
+                        } else {
+                            Instr::Store { width, rs: r, base, disp }
+                        };
+                        asm.inst(inst);
+                        continue;
+                    }
+                }
+                _ => {}
             }
         }
 
@@ -486,6 +501,29 @@ mod tests {
 
         let e = parse_asm(".data\nnop").unwrap_err();
         assert!(e.message.contains(".data"));
+    }
+
+    #[test]
+    fn short_load_store_mnemonics_are_errors_not_panics() {
+        // 2-character mnemonics: a clear missing-suffix diagnostic.
+        for m in ["ld", "st"] {
+            let e = parse_asm(&format!("{m} r1, 0(r2)")).unwrap_err();
+            assert_eq!(e.line, 1);
+            assert!(e.message.contains("width suffix"), "{m}: {}", e.message);
+        }
+        // 1-character prefixes never reach the suffix logic.
+        for m in ["l", "s"] {
+            let e = parse_asm(&format!("{m} r1, 0(r2)")).unwrap_err();
+            assert!(e.message.contains("unknown mnemonic"), "{m}: {}", e.message);
+        }
+        // Unknown one-char suffixes fall through to the mnemonic tables.
+        let e = parse_asm("ldx r1, 0(r2)").unwrap_err();
+        assert!(e.message.contains("unknown mnemonic"), "{}", e.message);
+        // Multi-byte suffix characters must not slice mid-character.
+        let e = parse_asm("ldé r1, 0(r2)").unwrap_err();
+        assert!(e.message.contains("unknown mnemonic"), "{}", e.message);
+        // `lda`/`ldah` still parse via their own table entries.
+        assert!(parse_asm("lda r1, 4(r2)\nldah r1, 1(zero)").is_ok());
     }
 
     #[test]

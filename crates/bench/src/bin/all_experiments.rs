@@ -73,6 +73,23 @@ fn main() {
         writeln!(doc, "**Paper's shape:** {note}\n").unwrap();
     }
 
+    eprintln!("running transition-cost sensitivity ...");
+    let sens = dise_bench::sensitivity(&ctx);
+    doc.push_str(&section(
+        "Transition-cost sensitivity — WARM1 under 100K/290K/513K-cycle round trips (measured)",
+        &code(&sens),
+    ));
+    writeln!(
+        doc,
+        "**Expected shape:** the paper models a conservative 100K-cycle spurious \
+         round trip but measures ~290K under gdb and ~513K under Visual Studio; \
+         DISE rows are flat (no spurious transitions to charge) while the \
+         virtual-memory and hardware-register rows scale with the cost. Each \
+         (kernel, backend) row is one functional pass replayed through three \
+         timing configurations.\n"
+    )
+    .unwrap();
+
     writeln!(
         doc,
         "## Known calibration gaps\n\n\

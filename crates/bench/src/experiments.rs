@@ -7,9 +7,9 @@
 
 use dise_cpu::{CpuConfig, Executor, Machine, RunStats};
 use dise_debug::{BackendKind, BaselineCache, DebugError, DiseStrategy, SessionReport};
-use dise_workloads::{all, WatchKind, Workload};
+use dise_workloads::{all, transition_cost_sweep, WatchKind, Workload};
 
-use crate::grid::{self, run_grid_with, SessionJob};
+use crate::grid::{self, run_grid_with, run_overhead_grid, SessionJob};
 
 /// Shared experiment context: workload scale, machine configuration,
 /// worker-pool size, and a baseline cache (the undebugged run of each
@@ -21,6 +21,10 @@ pub struct Experiment {
     pub cpu: CpuConfig,
     /// Worker-pool size used to run experiment grids.
     pub workers: usize,
+    /// Batch grid cells differing only in timing configuration into
+    /// single functional passes (on by default; the determinism suite
+    /// compares against the unbatched reference).
+    pub batching: bool,
     workloads: Vec<Workload>,
     baselines: BaselineCache,
 }
@@ -39,6 +43,7 @@ impl Experiment {
             iters,
             cpu,
             workers: grid::configured_workers(),
+            batching: true,
             workloads: all(iters),
             baselines: BaselineCache::new(),
         }
@@ -49,6 +54,15 @@ impl Experiment {
     pub fn with_workers(mut self, workers: usize) -> Experiment {
         assert!(workers > 0, "worker pool needs at least one thread");
         self.workers = workers;
+        self
+    }
+
+    /// Enable or disable multi-config batching (on by default). Output
+    /// must be byte-identical either way; the grid determinism tests
+    /// enforce it.
+    #[must_use]
+    pub fn with_batching(mut self, batching: bool) -> Experiment {
+        self.batching = batching;
         self
     }
 
@@ -109,7 +123,7 @@ impl Experiment {
         run_grid_with(&distinct, self.workers, |w| {
             self.baseline(w);
         });
-        run_grid_with(cells, self.workers, |job| job.overhead(&self.baselines))
+        run_overhead_grid(cells, self.workers, &self.baselines, self.batching)
     }
 
     /// One result per workload, computed on the worker pool, in
@@ -421,6 +435,57 @@ pub fn fig9(ctx: &Experiment) -> String {
         let plain = next.next().expect("one overhead per cell");
         let prot = next.next().expect("one overhead per cell");
         out.push_str(&format!("{:<10}  {}  {}\n", w.name(), fmt_over(plain), fmt_over(prot)));
+    }
+    out
+}
+
+/// **Transition-cost sensitivity** (beyond the paper's figures): the
+/// paper *measures* the application→debugger→application round trip at
+/// ~290K cycles (gdb) and ~513K (Visual Studio) but conservatively
+/// models 100K throughout §5. This table re-runs the WARM1 watchpoint
+/// under all three costs. The three cells of each (kernel, backend) row
+/// differ only in timing configuration, so the grid batches them into a
+/// **single functional pass** (`run_session_batch`) — the sweep costs
+/// one execution per row, not one per cell.
+pub fn sensitivity(ctx: &Experiment) -> String {
+    let costs = transition_cost_sweep(ctx.cpu);
+    let backends = [
+        ("VirtMem", BackendKind::VirtualMemory),
+        ("HwRegs", BackendKind::hw4()),
+        ("DISE", BackendKind::dise_default()),
+    ];
+    let mut cells = Vec::new();
+    for w in ctx.workloads() {
+        for (_, backend) in backends {
+            for (_, cpu) in &costs {
+                cells.push(SessionJob::new(
+                    w.clone(),
+                    vec![w.watchpoint(WatchKind::Warm1)],
+                    backend,
+                    *cpu,
+                ));
+            }
+        }
+    }
+    let overheads = ctx.grid_overheads(&cells);
+
+    let mut out = format!("{:<10}{:<9}", "benchmark", "backend");
+    for (label, _) in &costs {
+        out.push_str(&format!("{label:>10}"));
+    }
+    out.push('\n');
+    let mut next = overheads.into_iter();
+    for w in ctx.workloads() {
+        for (name, _) in backends {
+            out.push_str(&format!("{:<10}{:<9}", w.name(), name));
+            for _ in &costs {
+                out.push_str(&format!(
+                    "  {}",
+                    fmt_over(next.next().expect("one overhead per cell"))
+                ));
+            }
+            out.push('\n');
+        }
     }
     out
 }

@@ -13,7 +13,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use dise_cpu::CpuConfig;
-use dise_debug::{run_session, BackendKind, BaselineCache, DebugError, SessionReport, Watchpoint};
+use dise_debug::{
+    run_session, run_session_batch, BackendKind, BaselineCache, DebugError, SessionReport,
+    Watchpoint,
+};
 use dise_workloads::Workload;
 
 /// One cell of an experiment grid: a kernel, the watchpoints to plant,
@@ -52,7 +55,8 @@ impl SessionJob {
 
     /// Overhead (normalised execution time) of the session against the
     /// kernel's baseline from the shared cache, or `None` when the
-    /// backend cannot implement the watchpoints.
+    /// backend cannot implement the watchpoints (or the watchpoint is
+    /// ill-formed) — the paper's "no experiment" bars.
     ///
     /// # Panics
     ///
@@ -67,10 +71,122 @@ impl SessionJob {
                 assert_eq!(report.error, None, "{}: session must run clean", self.workload.name());
                 Some(report.overhead_vs(&base))
             }
-            Err(DebugError::Unsupported { .. }) => None,
+            Err(DebugError::Unsupported { .. } | DebugError::InvalidWatchpoint { .. }) => None,
             Err(e) => panic!("{}: {e}", self.workload.name()),
         }
     }
+}
+
+/// A group of grid cells that share one functional execution: same
+/// kernel, same watchpoints, same *functional* backend — the cells
+/// differ only in timing configuration, so
+/// [`dise_debug::run_session_batch`] replays a single `Exec` stream
+/// through one timing model per member.
+#[derive(Clone, Debug)]
+pub struct SessionBatch {
+    /// The kernel to debug.
+    pub workload: Workload,
+    /// The watchpoints to plant.
+    pub watchpoints: Vec<Watchpoint>,
+    /// The functional backend (timing-only knobs already folded into
+    /// `cpus` by [`BackendKind::split_timing`]).
+    pub backend: BackendKind,
+    /// Per-member effective machine configurations, in member order.
+    pub cpus: Vec<CpuConfig>,
+    /// Original grid-cell index of each member, parallel to `cpus`.
+    pub cells: Vec<usize>,
+}
+
+impl SessionBatch {
+    /// Per-member overheads, in member order — member `i` is
+    /// byte-identical to `jobs[self.cells[i]].overhead(baselines)`.
+    ///
+    /// # Panics
+    ///
+    /// As [`SessionJob::overhead`].
+    pub fn overheads(&self, baselines: &BaselineCache) -> Vec<Option<f64>> {
+        let base = baselines
+            .get_or_run(self.workload.name(), self.workload.app(), self.cpus[0])
+            .expect("kernel assembles");
+        let reports = run_session_batch(
+            self.workload.app(),
+            self.watchpoints.clone(),
+            self.backend,
+            &self.cpus,
+        );
+        match reports {
+            Ok(reports) => reports
+                .iter()
+                .map(|r| {
+                    assert_eq!(r.error, None, "{}: session must run clean", self.workload.name());
+                    Some(r.overhead_vs(&base))
+                })
+                .collect(),
+            Err(DebugError::Unsupported { .. } | DebugError::InvalidWatchpoint { .. }) => {
+                vec![None; self.cpus.len()]
+            }
+            Err(e) => panic!("{}: {e}", self.workload.name()),
+        }
+    }
+}
+
+/// Group grid cells into [`SessionBatch`]es: cells agreeing on kernel
+/// (full workload identity, not just its name — two scales of the same
+/// kernel are different programs), watchpoints, functional backend and
+/// DISE engine capacities share one batch (and therefore one functional
+/// pass), in first-appearance order; members keep cell order. Grouping
+/// looks only at the jobs, so the partition — and with it the
+/// reassembled output — is identical for any worker count.
+pub fn batch_session_jobs(jobs: &[SessionJob]) -> Vec<SessionBatch> {
+    let mut batches: Vec<SessionBatch> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        let (backend, cpu) = job.backend.split_timing(job.cpu);
+        let existing = batches.iter_mut().find(|b| {
+            b.backend == backend
+                && b.workload == job.workload
+                && b.watchpoints == job.watchpoints
+                && b.cpus[0].engine == cpu.engine
+        });
+        match existing {
+            Some(b) => {
+                b.cpus.push(cpu);
+                b.cells.push(i);
+            }
+            None => batches.push(SessionBatch {
+                workload: job.workload.clone(),
+                watchpoints: job.watchpoints.clone(),
+                backend,
+                cpus: vec![cpu],
+                cells: vec![i],
+            }),
+        }
+    }
+    batches
+}
+
+/// Run a whole overhead grid on `workers` threads, batching cells that
+/// differ only in timing configuration into single functional passes
+/// (`batching: false` runs every cell independently — the reference
+/// path the determinism suite compares against). Results come back in
+/// cell order either way, byte-identical to the serial unbatched map.
+pub fn run_overhead_grid(
+    cells: &[SessionJob],
+    workers: usize,
+    baselines: &BaselineCache,
+    batching: bool,
+) -> Vec<Option<f64>> {
+    if !batching {
+        return run_grid_with(cells, workers, |job| job.overhead(baselines));
+    }
+    let batches = batch_session_jobs(cells);
+    let grouped = run_grid_with(&batches, workers, |b| b.overheads(baselines));
+    let mut out = vec![None; cells.len()];
+    for (batch, overheads) in batches.iter().zip(grouped) {
+        for (&cell, o) in batch.cells.iter().zip(overheads) {
+            out[cell] = o;
+        }
+    }
+    out
 }
 
 /// Parse a numeric environment knob, `default` when unset. A typo must
@@ -172,6 +288,117 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dise_debug::DiseStrategy;
+    use dise_workloads::{all, transition_cost_sweep, WatchKind};
+
+    #[test]
+    fn timing_only_cells_group_into_one_batch() {
+        let w = &all(10)[0];
+        let wp = vec![w.watchpoint(WatchKind::Hot)];
+        let mt = BackendKind::Dise(DiseStrategy {
+            multithreaded_calls: true,
+            ..DiseStrategy::default()
+        });
+        let jobs: Vec<SessionJob> = [
+            (BackendKind::dise_default(), CpuConfig::default()),
+            (mt, CpuConfig::default()),
+            (BackendKind::hw4(), CpuConfig::default()),
+        ]
+        .into_iter()
+        .map(|(b, c)| SessionJob::new(w.clone(), wp.clone(), b, c))
+        .collect();
+        let batches = batch_session_jobs(&jobs);
+        assert_eq!(batches.len(), 2, "the two DISE cells differ only in timing");
+        assert_eq!(batches[0].cells, vec![0, 1]);
+        assert!(batches[0].cpus[1].multithreaded_dise_calls, "mt knob folded into the config");
+        assert_eq!(batches[1].cells, vec![2]);
+    }
+
+    #[test]
+    fn same_name_different_scale_workloads_stay_separate() {
+        // Two scales of the same kernel share a name but are different
+        // programs; merging them would run only the first one's app.
+        let small = &all(10)[0];
+        let large = &all(20)[0];
+        assert_eq!(small.name(), large.name());
+        let jobs = [small, large].map(|w| {
+            SessionJob::new(
+                w.clone(),
+                vec![w.watchpoint(WatchKind::Hot)],
+                BackendKind::dise_default(),
+                CpuConfig::default(),
+            )
+        });
+        assert_eq!(batch_session_jobs(&jobs).len(), 2);
+    }
+
+    #[test]
+    fn functionally_different_cells_stay_separate() {
+        let w = &all(10)[0];
+        let small_engine = CpuConfig {
+            engine: dise_engine::EngineConfig { pattern_entries: 8, replacement_entries: 64 },
+            ..CpuConfig::default()
+        };
+        let jobs = [
+            SessionJob::new(
+                w.clone(),
+                vec![w.watchpoint(WatchKind::Hot)],
+                BackendKind::dise_default(),
+                CpuConfig::default(),
+            ),
+            // Different watchpoint.
+            SessionJob::new(
+                w.clone(),
+                vec![w.watchpoint(WatchKind::Cold)],
+                BackendKind::dise_default(),
+                CpuConfig::default(),
+            ),
+            // Different engine capacity: functional, must not merge.
+            SessionJob::new(
+                w.clone(),
+                vec![w.watchpoint(WatchKind::Hot)],
+                BackendKind::dise_default(),
+                small_engine,
+            ),
+        ];
+        assert_eq!(batch_session_jobs(&jobs).len(), 3);
+    }
+
+    /// The acceptance bar: a grid containing batchable cells (a
+    /// transition-cost sweep plus an unsupported combination) produces
+    /// byte-identical overheads batched and unbatched, serial and
+    /// pooled.
+    #[test]
+    fn batched_overheads_match_unbatched_cell_for_cell() {
+        let w = &all(10)[0];
+        let mut jobs = Vec::new();
+        for (_, cpu) in transition_cost_sweep(CpuConfig::default()) {
+            for backend in [BackendKind::hw4(), BackendKind::dise_default()] {
+                jobs.push(SessionJob::new(
+                    w.clone(),
+                    vec![w.watchpoint(WatchKind::Warm1)],
+                    backend,
+                    cpu,
+                ));
+            }
+        }
+        // An unsupported cell: INDIRECT under virtual memory.
+        jobs.push(SessionJob::new(
+            w.clone(),
+            vec![w.watchpoint(WatchKind::Indirect)],
+            BackendKind::VirtualMemory,
+            CpuConfig::default(),
+        ));
+        assert_eq!(batch_session_jobs(&jobs).len(), 3, "two sweeps of three, one singleton");
+
+        let baselines = BaselineCache::new();
+        let unbatched = run_overhead_grid(&jobs, 1, &baselines, false);
+        for workers in [1, 4] {
+            let batched = run_overhead_grid(&jobs, workers, &baselines, true);
+            assert_eq!(batched, unbatched, "workers={workers}");
+        }
+        assert_eq!(unbatched[6], None, "unsupported cell renders the no-experiment bar");
+    }
 
     #[test]
     fn results_come_back_in_job_order() {

@@ -16,16 +16,24 @@
 //! [`SessionJob`] grid cells and run on a [`grid`] worker pool sized by
 //! the `DISE_JOBS` environment variable (default: available
 //! parallelism), with results reassembled in cell order so output is
-//! byte-identical for any worker count.
+//! byte-identical for any worker count. Cells that differ only in
+//! timing configuration are first grouped into [`SessionBatch`]es and
+//! share a single functional pass
+//! ([`dise_debug::run_session_batch`]) — also byte-identical to the
+//! unbatched path, enforced by the grid determinism tests.
 
 mod experiments;
 pub mod grid;
 pub mod paper;
 
 pub use experiments::{
-    baseline_table, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, Experiment,
+    baseline_table, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sensitivity, table1, table2,
+    Experiment,
 };
-pub use grid::{configured_workers, run_grid, run_grid_with, SessionJob};
+pub use grid::{
+    batch_session_jobs, configured_workers, run_grid, run_grid_with, run_overhead_grid,
+    SessionBatch, SessionJob,
+};
 
 /// Render one figure/table section with a heading.
 pub fn section(title: &str, body: &str) -> String {

@@ -27,6 +27,21 @@ fn assert_deterministic(experiments: &[(&str, Render)]) {
     }
 }
 
+fn assert_batching_invisible(experiments: &[(&str, Render)]) {
+    // Worker count intentionally comes from `DISE_JOBS` (CI runs this
+    // under both 1 and 4), so the batched/unbatched comparison covers
+    // the serial and pooled grid paths.
+    let batched = Experiment::new(10, CpuConfig::default());
+    let unbatched = Experiment::new(10, CpuConfig::default()).with_batching(false);
+    for (name, render) in experiments {
+        assert_eq!(
+            render(&batched),
+            render(&unbatched),
+            "{name} output depends on multi-config batching"
+        );
+    }
+}
+
 /// A cheap slice of the sweep, always on: one table, one per-workload
 /// report grid, one session grid.
 #[test]
@@ -35,6 +50,20 @@ fn light_experiments_are_deterministic_across_worker_counts() {
         ("table1", dise_bench::table1),
         ("fig9", dise_bench::fig9),
         ("baseline_table", dise_bench::baseline_table),
+    ]);
+}
+
+/// Single-pass multi-config replay must be invisible in the output:
+/// the experiments with batchable cells (fig8's multithreading pair
+/// shares a functional pass; every sensitivity row batches its three
+/// transition costs) render byte-identically with batching disabled.
+/// Cheap enough to stay on everywhere: batching itself removes the
+/// redundant functional passes this test re-adds.
+#[test]
+fn batched_and_unbatched_experiments_are_byte_identical() {
+    assert_batching_invisible(&[
+        ("fig8", dise_bench::fig8),
+        ("sensitivity", dise_bench::sensitivity),
     ]);
 }
 
@@ -53,7 +82,25 @@ fn all_experiments_are_deterministic_across_worker_counts() {
         ("fig7", dise_bench::fig7),
         ("fig8", dise_bench::fig8),
         ("fig9", dise_bench::fig9),
+        ("sensitivity", dise_bench::sensitivity),
         ("baseline_table", dise_bench::baseline_table),
+    ]);
+}
+
+/// The full batched-vs-unbatched sweep over every overhead experiment
+/// (tables have no session cells; they are covered by the worker-count
+/// sweep above).
+#[test]
+#[ignore = "simulates every figure twice (~3 min dev profile); CI runs it with --include-ignored"]
+fn all_experiments_are_batching_invariant() {
+    assert_batching_invisible(&[
+        ("fig3", dise_bench::fig3),
+        ("fig4", dise_bench::fig4),
+        ("fig6", dise_bench::fig6),
+        ("fig7", dise_bench::fig7),
+        ("fig8", dise_bench::fig8),
+        ("fig9", dise_bench::fig9),
+        ("sensitivity", dise_bench::sensitivity),
     ]);
 }
 

@@ -5,7 +5,7 @@ use dise_asm::{Asm, AsmError, Layout, Program};
 /// An application handed to the debugger *before* layout, so that
 /// backends that statically transform code (binary rewriting) can
 /// re-assemble it, while the others just use the assembled image.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Application {
     asm: Asm,
     layout: Layout,

@@ -61,6 +61,11 @@ struct Cells {
     cond: Option<u64>,
     target: Option<u64>,
     shadow_abs: Option<u64>,
+    /// Byte masks clipping a boundary-quad comparison to the watched
+    /// bytes of an unaligned range (region offsets; too wide for
+    /// `load_const`).
+    mask_lo: Option<u64>,
+    mask_hi: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -252,8 +257,17 @@ impl BackendImpl for DiseBackend {
                     cells[i].prev = rb.quad(image.read_u(target, width.bytes()));
                     cells[i].target = Some(rb.quad(target));
                 }
-                WatchExpr::Range { .. } => {
+                WatchExpr::Range { base, len } => {
                     cells[i].prev = rb.quad(0); // unused; shadow carries state
+                    let end = base + len;
+                    let lo_pad = base % 8;
+                    let hi_pad = ((end - 1) & !7) + 8 - end;
+                    if lo_pad > 0 {
+                        cells[i].mask_lo = Some(rb.quad(u64::MAX << (8 * lo_pad)));
+                    }
+                    if hi_pad > 0 {
+                        cells[i].mask_hi = Some(rb.quad(u64::MAX >> (8 * hi_pad)));
+                    }
                 }
             }
             if let Some(c) = w.condition {
@@ -567,7 +581,9 @@ impl BackendImpl for DiseBackend {
     }
 
     fn cpu_config(&self, mut base: dise_cpu::CpuConfig) -> dise_cpu::CpuConfig {
-        base.multithreaded_dise_calls = self.strategy.multithreaded_calls;
+        // OR rather than overwrite: `split_timing` may already have
+        // folded the strategy's flag into the base configuration.
+        base.multithreaded_dise_calls |= self.strategy.multithreaded_calls;
         base
     }
 }
@@ -730,18 +746,85 @@ fn generate_handler(wps: &[Watchpoint], cells: &[Cells], base: u64) -> Asm {
                 a.load_const(r2, lo + len);
                 a.inst(alu(AluOp::CmpUlt, r2, r1, Operand::Reg(r2)));
                 a.cond_br(Cond::Eq, r2, &next); // at/above the range
+                                                // An in-range store of up to 8 bytes can touch the quad
+                                                // holding its first byte *and* the next one, and the
+                                                // first/last quads of an unaligned range also hold bytes
+                                                // outside [lo, lo+len). Check every watched quad the
+                                                // store can reach, clip each difference down to the
+                                                // watched bytes (boundary masks live in the debugger
+                                                // data region), update the shadows, and take a single
+                                                // conditional trap if any watched byte changed — so a
+                                                // store straddling the range end (or an interior quad
+                                                // boundary) neither raises a false transition nor
+                                                // escapes a real one. (A store *starting* below `lo`
+                                                // that overlaps in is not matched by the replacement
+                                                // sequence at all; the paper's sequences match the
+                                                // store's base address.)
+                let first_quad = lo & !7;
+                let end = lo + len;
+                let last_quad = (end - 1) & !7;
                 a.inst(alu(AluOp::Bic, r2, r1, Operand::Imm(7)));
-                a.inst(Instr::Load { width: Width::Q, rd: r3, base: r2, disp: 0 });
-                // Shadow slot for this quad.
-                a.load_const(r4, lo & !7);
-                a.inst(alu(AluOp::Sub, r4, r2, Operand::Reg(r4)));
-                a.load_const(r5, shadow);
-                a.inst(alu(AluOp::Add, r4, r4, Operand::Reg(r5)));
-                a.inst(Instr::Load { width: Width::Q, rd: r5, base: r4, disp: 0 });
-                a.inst(alu(AluOp::CmpEq, r5, r5, Operand::Reg(r3)));
-                a.cond_br(Cond::Ne, r5, "__done");
-                a.inst(Instr::Store { width: Width::Q, rs: r3, base: r4, disp: 0 });
-                a.inst(Instr::Trap);
+                a.inst(Instr::DMtr { dr: T_ACC, rs: Reg::ZERO }); // no pending trap
+                let check_quad = |a: &mut Asm, pass: usize| {
+                    a.inst(Instr::Load { width: Width::Q, rd: r3, base: r2, disp: 0 });
+                    // Shadow slot for this quad.
+                    a.load_const(r4, first_quad);
+                    a.inst(alu(AluOp::Sub, r4, r2, Operand::Reg(r4)));
+                    a.load_const(r5, shadow);
+                    a.inst(alu(AluOp::Add, r4, r4, Operand::Reg(r5)));
+                    a.inst(Instr::Load { width: Width::Q, rd: r5, base: r4, disp: 0 });
+                    a.inst(alu(AluOp::Xor, r5, r5, Operand::Reg(r3)));
+                    let masked = c.mask_lo.is_some() || c.mask_hi.is_some();
+                    if masked {
+                        // Free r3 for mask work; the handler may use
+                        // DISE scratch registers through d_mtr/d_mfr,
+                        // and the replacement sequence is past reading
+                        // T_TMP.
+                        a.inst(Instr::DMtr { dr: T_TMP, rs: r3 });
+                        let clip = |a: &mut Asm, which: &str, quad: u64, mask_off: u64| {
+                            let skip = format!("__mask_{which}_{pass}_{i}");
+                            a.load_const(r3, quad);
+                            a.inst(alu(AluOp::CmpEq, r3, r2, Operand::Reg(r3)));
+                            a.cond_br(Cond::Eq, r3, &skip);
+                            a.inst(Instr::Load {
+                                width: Width::Q,
+                                rd: r3,
+                                base: r6,
+                                disp: mask_off as i16,
+                            });
+                            a.inst(alu(AluOp::And, r5, r5, Operand::Reg(r3)));
+                            a.label(&skip);
+                        };
+                        if let Some(off) = c.mask_lo {
+                            clip(a, "lo", first_quad, off);
+                        }
+                        if let Some(off) = c.mask_hi {
+                            clip(a, "hi", last_quad, off);
+                        }
+                    }
+                    let clean = format!("__quad_clean_{pass}_{i}");
+                    a.cond_br(Cond::Eq, r5, &clean); // no watched byte changed
+                    if masked {
+                        a.inst(Instr::DMfr { rd: r3, dr: T_TMP });
+                    }
+                    a.inst(Instr::Store { width: Width::Q, rs: r3, base: r4, disp: 0 });
+                    a.inst(Instr::DMtr { dr: T_ACC, rs: r5 }); // nonzero: trap below
+                    a.label(&clean);
+                };
+                check_quad(&mut a, 0);
+                if first_quad < last_quad {
+                    // The store may spill into the next quad; skip when
+                    // that quad is past the watched span.
+                    let skip = format!("__quad_skip_{i}");
+                    a.inst(alu(AluOp::Add, r2, r2, Operand::Imm(8)));
+                    a.load_const(r3, last_quad);
+                    a.inst(alu(AluOp::CmpUlt, r3, r3, Operand::Reg(r2)));
+                    a.cond_br(Cond::Ne, r3, &skip);
+                    check_quad(&mut a, 1);
+                    a.label(&skip);
+                }
+                a.inst(Instr::DMfr { rd: r3, dr: T_ACC });
+                a.inst(Instr::CTrap { cond: Cond::Ne, rs: r3 });
                 a.br("__done");
                 a.label(&next);
             }

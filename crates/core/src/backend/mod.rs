@@ -45,6 +45,29 @@ impl BackendKind {
         BackendKind::HardwareRegisters { registers: 4 }
     }
 
+    /// Split this backend into its *functional* core and the timing
+    /// knobs folded into `cpu`, for single-pass multi-config replay
+    /// ([`crate::run_session_batch`]): two cells whose split backends
+    /// are equal produce identical functional instruction streams and
+    /// may share one functional pass.
+    ///
+    /// The only timing-only backend knob today is the DISE strategy's
+    /// `multithreaded_calls` flag (Fig. 8), which the timing model
+    /// already consumes via
+    /// [`CpuConfig::multithreaded_dise_calls`]; everything else a
+    /// backend does (productions, handlers, page protection, rewriting)
+    /// changes the executed stream.
+    pub fn split_timing(self, mut cpu: CpuConfig) -> (BackendKind, CpuConfig) {
+        match self {
+            BackendKind::Dise(mut strategy) => {
+                cpu.multithreaded_dise_calls |= strategy.multithreaded_calls;
+                strategy.multithreaded_calls = false;
+                (BackendKind::Dise(strategy), cpu)
+            }
+            other => (other, cpu),
+        }
+    }
+
     pub(crate) fn instantiate(self) -> Box<dyn BackendImpl> {
         match self {
             BackendKind::SingleStep => Box::new(single_step::SingleStep::default()),

@@ -61,7 +61,9 @@ pub use backend::BackendKind;
 pub use breakpoint::{Breakpoint, BreakpointBackend, BreakpointReport, BreakpointSession};
 pub use iwatcher::{Monitor, MonitoredRegion};
 pub use region::DebugRegion;
-pub use session::{run_baseline, run_session, BaselineCache, DebugError, Session, SessionReport};
+pub use session::{
+    run_baseline, run_session, run_session_batch, BaselineCache, DebugError, Session, SessionReport,
+};
 pub use stats::{Transition, TransitionStats};
 pub use strategy::{CheckKind, DiseStrategy, MultiMatch};
 pub use watch::{Condition, WatchExpr, WatchState, WatchValue, Watchpoint};

@@ -6,11 +6,11 @@ use std::fmt;
 use std::sync::Mutex;
 
 use dise_asm::AsmError;
-use dise_cpu::{CpuConfig, Event, ExecError, Executor, Machine, RunStats, Timing};
+use dise_cpu::{CpuConfig, Event, ExecError, Executor, Machine, RunStats, TimingBatch};
 use dise_engine::EngineError;
 
 use crate::backend::BackendImpl;
-use crate::{Application, BackendKind, TransitionStats, WatchState, Watchpoint};
+use crate::{Application, BackendKind, TransitionStats, WatchExpr, WatchState, Watchpoint};
 
 /// Errors establishing or running a debugging session.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -28,6 +28,14 @@ pub enum DebugError {
         /// Why.
         reason: String,
     },
+    /// The watchpoint specification itself is ill-formed under *every*
+    /// backend — e.g. a conditional `Range` watchpoint, whose non-scalar
+    /// value has no defined comparison against the predicate constant.
+    /// Rejected up front so the session cannot silently never fire.
+    InvalidWatchpoint {
+        /// Why.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DebugError {
@@ -37,6 +45,9 @@ impl fmt::Display for DebugError {
             DebugError::Engine(e) => write!(f, "production installation failed: {e}"),
             DebugError::Unsupported { backend, reason } => {
                 write!(f, "{backend} cannot implement the watchpoints: {reason}")
+            }
+            DebugError::InvalidWatchpoint { reason } => {
+                write!(f, "invalid watchpoint: {reason}")
             }
         }
     }
@@ -100,6 +111,123 @@ pub fn run_session(
     Ok(Session::with_config(app, watchpoints, backend, cpu)?.run())
 }
 
+/// Run one functional pass under `backend` and account it against *all*
+/// of `cpus` at once — the single-pass multi-config replay that lets
+/// sensitivity sweeps stop paying functional execution per grid cell.
+///
+/// The functional instruction stream depends only on the application,
+/// the watchpoints, the backend and the DISE engine capacities, so
+/// every configuration in the batch must agree on
+/// [`CpuConfig::engine`]; everything else (widths, windows, cache
+/// geometry, penalties, transition costs) is free to vary per entry.
+/// Timing-only backend knobs can be folded into the configuration first
+/// with [`BackendKind::split_timing`].
+///
+/// Reports come back in `cpus` order; entry `i` is byte-identical to
+/// `run_session(app, watchpoints, backend, cpus[i])` run on its own
+/// (enforced by tests and by the batched-vs-unbatched experiment
+/// determinism suite in `dise-bench`).
+///
+/// # Errors
+///
+/// As [`Session::with_config`]; the error applies to the batch as a
+/// whole (support and validity do not depend on timing configuration).
+///
+/// # Panics
+///
+/// Panics when the configurations disagree on the DISE engine
+/// capacities — such cells are functionally different and must not be
+/// batched.
+pub fn run_session_batch(
+    app: &Application,
+    watchpoints: Vec<Watchpoint>,
+    backend: BackendKind,
+    cpus: &[CpuConfig],
+) -> Result<Vec<SessionReport>, DebugError> {
+    validate_watchpoints(&watchpoints)?;
+    let mut backend = backend.instantiate();
+    let prog = backend.build_program(app, &watchpoints)?;
+    let cfgs: Vec<CpuConfig> = cpus.iter().map(|&c| backend.cpu_config(c)).collect();
+    let Some((first, rest)) = cfgs.split_first() else {
+        return Ok(Vec::new());
+    };
+    assert!(
+        rest.iter().all(|c| c.engine == first.engine),
+        "batched sessions must agree on the functional (DISE engine) configuration"
+    );
+    let mut exec = Executor::from_program(&prog, *first);
+    backend.configure(&mut exec, &watchpoints)?;
+    let mut watch = WatchState::new(&watchpoints, exec.mem());
+    let mut timings = TimingBatch::new(&cfgs);
+    let mut stats = TransitionStats::default();
+    let error = drive(&mut exec, &mut timings, backend.as_mut(), &mut watch, &mut stats, u64::MAX);
+    let text_bytes = prog.text_bytes();
+    Ok(timings
+        .finish()
+        .into_iter()
+        .map(|run| SessionReport { run, transitions: stats, error, text_bytes })
+        .collect())
+}
+
+/// Reject watchpoint specifications that no backend can give meaning
+/// to, so they fail loudly at session setup instead of silently never
+/// firing (`Condition` compares scalars; a `Range` value is a byte
+/// snapshot).
+fn validate_watchpoints(wps: &[Watchpoint]) -> Result<(), DebugError> {
+    for w in wps {
+        if w.condition.is_some() && matches!(w.expr, WatchExpr::Range { .. }) {
+            return Err(DebugError::InvalidWatchpoint {
+                reason: "a conditional watchpoint needs a scalar expression; a range's value \
+                         is a byte snapshot with no defined comparison against the predicate \
+                         constant (watch a scalar element instead)"
+                    .to_string(),
+            });
+        }
+        if matches!(w.expr, WatchExpr::Range { len: 0, .. }) {
+            return Err(DebugError::InvalidWatchpoint {
+                reason: "a range watchpoint watches no bytes (len == 0) and could never fire"
+                    .to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The session loop shared by [`Session`] and [`run_session_batch`]:
+/// one functional pass through `exec` and `backend`, fanned out to
+/// every timing model in `timings`. Returns the terminal execution
+/// error, if any.
+fn drive(
+    exec: &mut Executor,
+    timings: &mut TimingBatch,
+    backend: &mut dyn BackendImpl,
+    watch: &mut WatchState,
+    stats: &mut TransitionStats,
+    max_instructions: u64,
+) -> Option<ExecError> {
+    let mut error = None;
+    let mut n = 0u64;
+    while !exec.is_halted() && n < max_instructions {
+        let e = exec.step();
+        n += 1;
+        timings.consume(&e);
+        if let Some(t) = backend.observe(&e, exec, watch, stats) {
+            stats.count(t);
+            if t.is_spurious() {
+                // A spurious transition is a full application→debugger→
+                // application round trip perceived as latency; user
+                // transitions are masked (zero cost). Each model charges
+                // its own configured cost.
+                timings.debugger_stall();
+            }
+        }
+        if let Some(Event::Error(err)) = e.event {
+            error = Some(err);
+        }
+    }
+    error
+}
+
 /// A shared, lock-guarded cache of undebugged baseline runs, so
 /// concurrent experiment jobs can all normalise against the same
 /// denominator without re-running it or serialising on `&mut self`.
@@ -159,13 +287,17 @@ impl BaselineCache {
 
 /// An interactive debugging session: an application, a set of
 /// watchpoints, and a backend implementing them.
+///
+/// Internally this is exactly a [`run_session_batch`] of size one: the
+/// same loop drives the functional machine and a [`TimingBatch`]
+/// holding a single model, so batched and unbatched runs cannot drift
+/// apart.
 pub struct Session {
     exec: Executor,
-    timing: Timing,
+    timings: TimingBatch,
     backend: Box<dyn BackendImpl>,
     watch: WatchState,
     stats: TransitionStats,
-    transition_cost: u64,
     text_bytes: u64,
 }
 
@@ -196,6 +328,7 @@ impl Session {
         backend: BackendKind,
         cpu: CpuConfig,
     ) -> Result<Session, DebugError> {
+        validate_watchpoints(&watchpoints)?;
         let mut backend = backend.instantiate();
         let prog = backend.build_program(app, &watchpoints)?;
         let cfg = backend.cpu_config(cpu);
@@ -204,11 +337,10 @@ impl Session {
         let watch = WatchState::new(&watchpoints, exec.mem());
         Ok(Session {
             exec,
-            timing: Timing::new(cfg),
+            timings: TimingBatch::new(&[cfg]),
             backend,
             watch,
             stats: TransitionStats::default(),
-            transition_cost: cfg.debugger_transition_cost,
             text_bytes: prog.text_bytes(),
         })
     }
@@ -226,44 +358,28 @@ impl Session {
     /// Run to completion and also hand back the final machine, so
     /// callers can inspect architectural state (used to verify that
     /// debugging does not perturb the application).
-    pub fn run_with_state(mut self) -> (SessionReport, Executor) {
-        let report = self.drive(u64::MAX);
-        (report, self.exec)
+    pub fn run_with_state(self) -> (SessionReport, Executor) {
+        self.finish(u64::MAX)
     }
 
     /// Run at most `max_instructions` dynamic instructions.
-    pub fn run_limit(mut self, max_instructions: u64) -> SessionReport {
-        self.drive(max_instructions)
+    pub fn run_limit(self, max_instructions: u64) -> SessionReport {
+        self.finish(max_instructions).0
     }
 
-    fn drive(&mut self, max_instructions: u64) -> SessionReport {
-        let mut error = None;
-        let mut n = 0u64;
-        while !self.exec.is_halted() && n < max_instructions {
-            let e = self.exec.step();
-            n += 1;
-            self.timing.consume(&e);
-            if let Some(t) =
-                self.backend.observe(&e, &mut self.exec, &mut self.watch, &mut self.stats)
-            {
-                self.stats.count(t);
-                if t.is_spurious() {
-                    // A spurious transition is a full application→
-                    // debugger→application round trip perceived as
-                    // latency; user transitions are masked (zero cost).
-                    self.timing.debugger_stall(self.transition_cost);
-                }
-            }
-            if let Some(Event::Error(err)) = e.event {
-                error = Some(err);
-            }
-        }
-        SessionReport {
-            run: self.timing.finish(),
-            transitions: self.stats,
-            error,
-            text_bytes: self.text_bytes,
-        }
+    fn finish(mut self, max_instructions: u64) -> (SessionReport, Executor) {
+        let error = drive(
+            &mut self.exec,
+            &mut self.timings,
+            self.backend.as_mut(),
+            &mut self.watch,
+            &mut self.stats,
+            max_instructions,
+        );
+        let run = self.timings.finish().pop().expect("session batch holds one model");
+        let report =
+            SessionReport { run, transitions: self.stats, error, text_bytes: self.text_bytes };
+        (report, self.exec)
     }
 }
 
@@ -543,6 +659,84 @@ mod tests {
         assert_eq!(r.transitions.spurious_total(), 0);
     }
 
+    /// Regression: an 8-byte store that starts on the *last byte* of a
+    /// range watchpoint straddles the range end — its quad also holds
+    /// unwatched tail bytes. Changing only those tail bytes must not
+    /// surface as a user transition, and changing the last watched byte
+    /// still must.
+    #[test]
+    fn range_end_straddling_store_is_not_a_false_transition() {
+        // Range [arr, arr+28): the last quad (arr+24) holds 4 unwatched
+        // tail bytes (arr+28..arr+32). Both stq's start at arr+27 — the
+        // last watched byte — and spill 7 bytes past the end.
+        let src = "start:  la r1, arr
+                           la r2, tailpat
+                           ldq r3, 0(r2)
+                           stq r3, 27(r1)   # only unwatched tail bytes change
+                           la r2, change
+                           ldq r3, 0(r2)
+                           stq r3, 27(r1)   # now the last watched byte changes
+                           halt
+                   .data
+                   arr:     .space 32
+                   spill:   .space 8
+                   tailpat: .quad 0x2B2B2B2B2B2B2B00
+                   change:  .quad 0x2B2B2B2B2B2B2B11
+                  ";
+        let a = Application::new(parse_asm(src).unwrap(), Layout::default());
+        let base = a.program().unwrap().symbol("arr").unwrap();
+        assert_eq!(base % 8, 0, "test assumes a quad-aligned array base");
+        let wp = Watchpoint::new(WatchExpr::Range { base, len: 28 });
+
+        let dise = Session::new(&a, vec![wp], BackendKind::dise_default()).unwrap().run();
+        assert_eq!(dise.error, None);
+        assert_eq!(
+            dise.transitions.user, 1,
+            "only the second store changes a watched byte: {:?}",
+            dise.transitions
+        );
+        assert_eq!(dise.transitions.spurious_total(), 0);
+
+        // Virtual memory agrees on what the user sees; its extra
+        // classification work confirms the first store was a same-page
+        // write that left the watched bytes alone.
+        let vm = Session::new(&a, vec![wp], BackendKind::VirtualMemory).unwrap().run();
+        assert_eq!(vm.transitions.user, 1);
+        assert_eq!(vm.transitions.spurious_value, 1, "{:?}", vm.transitions);
+    }
+
+    /// Regression: an unaligned 8-byte store can span *two* quads of a
+    /// range; a change that lands only in the second quad must still be
+    /// reported (the handler used to inspect only the quad holding the
+    /// store's first byte).
+    #[test]
+    fn range_interior_straddling_store_is_detected() {
+        // Quad-aligned range [arr, arr+16). The stq at arr+4 writes
+        // zeros over arr+4..arr+8 (silent) and 0x11s over
+        // arr+8..arr+12 — the change is entirely in the second quad.
+        let src = "start:  la r1, arr
+                           la r2, pat
+                           ldq r3, 0(r2)
+                           stq r3, 4(r1)
+                           halt
+                   .data
+                   arr:     .space 32
+                   pat:     .quad 0x1111111100000000
+                  ";
+        let a = Application::new(parse_asm(src).unwrap(), Layout::default());
+        let base = a.program().unwrap().symbol("arr").unwrap();
+        assert_eq!(base % 8, 0, "test assumes a quad-aligned array base");
+        let wp = Watchpoint::new(WatchExpr::Range { base, len: 16 });
+
+        let dise = Session::new(&a, vec![wp], BackendKind::dise_default()).unwrap().run();
+        assert_eq!(dise.error, None);
+        assert_eq!(dise.transitions.user, 1, "{:?}", dise.transitions);
+        assert_eq!(dise.transitions.spurious_total(), 0);
+
+        let vm = Session::new(&a, vec![wp], BackendKind::VirtualMemory).unwrap().run();
+        assert_eq!(vm.transitions.user, 1, "VM agrees: {:?}", vm.transitions);
+    }
+
     #[test]
     fn multiple_watchpoints_serial_and_bloom() {
         let a = app(6);
@@ -588,6 +782,151 @@ mod tests {
         assert_eq!(r.error, None);
         assert_eq!(r.transitions.user, 1);
         assert_eq!(r.transitions.protection_violations, 0, "no wild stores here");
+    }
+
+    #[test]
+    fn conditional_range_watchpoints_are_rejected_up_front() {
+        // `Condition::holds` is false for every byte-snapshot value, so
+        // `watch arr if arr == k` could never fire under any backend —
+        // reject it loudly at setup instead (on every backend, batched
+        // or not).
+        let a = app(5);
+        let base = a.program().unwrap().symbol("watched").unwrap();
+        let wp = Watchpoint::conditional(WatchExpr::Range { base, len: 16 }, Condition::equals(3));
+        for kind in [
+            BackendKind::dise_default(),
+            BackendKind::VirtualMemory,
+            BackendKind::hw4(),
+            BackendKind::SingleStep,
+            BackendKind::BinaryRewrite,
+        ] {
+            assert!(
+                matches!(
+                    Session::new(&a, vec![wp], kind),
+                    Err(DebugError::InvalidWatchpoint { .. })
+                ),
+                "{kind:?} must reject a conditional range watchpoint"
+            );
+        }
+        assert!(matches!(
+            run_session_batch(&a, vec![wp], BackendKind::dise_default(), &[CpuConfig::default()]),
+            Err(DebugError::InvalidWatchpoint { .. })
+        ));
+        // An unconditional range is still fine.
+        let plain = Watchpoint::new(WatchExpr::Range { base, len: 16 });
+        assert!(Session::new(&a, vec![plain], BackendKind::dise_default()).is_ok());
+    }
+
+    #[test]
+    fn zero_length_range_watchpoints_are_rejected_up_front() {
+        // A `len == 0` range watches no bytes; before validation it
+        // reached the DISE backend's boundary-mask arithmetic (a shift
+        // by 64) instead of failing cleanly.
+        let a = app(5);
+        let base = a.program().unwrap().symbol("watched").unwrap();
+        let wp = Watchpoint::new(WatchExpr::Range { base, len: 0 });
+        for kind in [BackendKind::dise_default(), BackendKind::VirtualMemory] {
+            assert!(
+                matches!(
+                    Session::new(&a, vec![wp], kind),
+                    Err(DebugError::InvalidWatchpoint { .. })
+                ),
+                "{kind:?} must reject a zero-length range watchpoint"
+            );
+        }
+    }
+
+    /// A batch of size one must be indistinguishable from the unbatched
+    /// session, report for report, across backends with and without
+    /// spurious transitions.
+    #[test]
+    fn batch_of_one_matches_unbatched_session() {
+        let a = app(8);
+        let cpu = CpuConfig::default();
+        for (kind, backend) in [
+            ("watched", BackendKind::dise_default()),
+            ("watched", BackendKind::VirtualMemory),
+            ("silent", BackendKind::hw4()),
+            ("watched", BackendKind::SingleStep),
+        ] {
+            let wp = scalar_wp(&a, kind);
+            let lone = run_session(&a, vec![wp], backend, cpu).unwrap();
+            let batch = run_session_batch(&a, vec![wp], backend, &[cpu]).unwrap();
+            assert_eq!(batch.len(), 1);
+            assert_eq!(batch[0].run, lone.run, "{backend:?}");
+            assert_eq!(batch[0].transitions, lone.transitions, "{backend:?}");
+            assert_eq!(batch[0].error, lone.error, "{backend:?}");
+            assert_eq!(batch[0].text_bytes, lone.text_bytes, "{backend:?}");
+        }
+    }
+
+    /// Every batch entry must equal its own unbatched run: per-config
+    /// predictor, cache and window state is fully isolated, and each
+    /// entry pays its own transition cost.
+    #[test]
+    fn batch_entries_match_their_unbatched_runs_and_stay_isolated() {
+        let a = app(8);
+        let wp = scalar_wp(&a, "watched");
+        let cheap = CpuConfig { debugger_transition_cost: 5_000, ..CpuConfig::default() };
+        let narrow = CpuConfig { width: 1, commit_width: 1, ..CpuConfig::default() };
+        let cpus = [CpuConfig::default(), cheap, narrow, CpuConfig::default()];
+        // Virtual memory: plenty of spurious transitions to charge.
+        let batch = run_session_batch(&a, vec![wp], BackendKind::VirtualMemory, &cpus).unwrap();
+        assert_eq!(batch.len(), cpus.len());
+        for (cpu, got) in cpus.iter().zip(&batch) {
+            let lone = run_session(&a, vec![wp], BackendKind::VirtualMemory, *cpu).unwrap();
+            assert_eq!(got.run, lone.run, "batch entry diverged for {cpu:?}");
+        }
+        assert_eq!(batch[0].run, batch[3].run, "identical configs agree despite neighbours");
+        assert!(batch[1].run.cycles < batch[0].run.cycles, "cheaper transitions are visible");
+        assert!(batch[2].run.cycles > batch[0].run.cycles, "narrow machine is slower");
+    }
+
+    /// Fig. 8's two cells (multithreaded DISE calls on/off) differ only
+    /// in timing: after `split_timing` they share one functional pass.
+    #[test]
+    fn split_timing_folds_multithreading_into_the_batch() {
+        let a = app(8);
+        let wp = scalar_wp(&a, "watched");
+        let cpu = CpuConfig::default();
+        let mt = BackendKind::Dise(DiseStrategy {
+            multithreaded_calls: true,
+            ..DiseStrategy::default()
+        });
+        let (plain_split, plain_cpu) = BackendKind::dise_default().split_timing(cpu);
+        let (mt_split, mt_cpu) = mt.split_timing(cpu);
+        assert_eq!(plain_split, mt_split, "only the timing knob differed");
+        assert!(mt_cpu.multithreaded_dise_calls && !plain_cpu.multithreaded_dise_calls);
+
+        let batch = run_session_batch(&a, vec![wp], plain_split, &[plain_cpu, mt_cpu]).unwrap();
+        let plain = run_session(&a, vec![wp], BackendKind::dise_default(), cpu).unwrap();
+        let with_mt = run_session(&a, vec![wp], mt, cpu).unwrap();
+        assert_eq!(batch[0].run, plain.run);
+        assert_eq!(batch[1].run, with_mt.run);
+        assert!(with_mt.run.dise_flushes < plain.run.dise_flushes);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let a = app(5);
+        let wp = scalar_wp(&a, "watched");
+        let out = run_session_batch(&a, vec![wp], BackendKind::dise_default(), &[]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "agree on the functional")]
+    fn batch_rejects_mismatched_engine_configs() {
+        let a = app(5);
+        let wp = scalar_wp(&a, "watched");
+        let mut small = CpuConfig::default();
+        small.engine.replacement_entries = 64;
+        let _ = run_session_batch(
+            &a,
+            vec![wp],
+            BackendKind::dise_default(),
+            &[CpuConfig::default(), small],
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::predictor::BpredConfig;
 /// reservation stations, 8K hybrid predictor, 2K BTB, the `dise-mem`
 /// hierarchy, a modestly configured DISE engine, and the 100,000-cycle
 /// spurious-debugger-transition cost used throughout the evaluation.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct CpuConfig {
     /// Instructions fetched/decoded/dispatched per cycle.
     pub width: u64,

@@ -1048,6 +1048,41 @@ mod tests {
         assert_eq!(m.reg(Reg::gpr(5)), 77, "stale decode served after self-modification");
     }
 
+    /// Regression for the store-overlap boundary audit: an unaligned
+    /// 8-byte store that *starts in the word before* a cached
+    /// instruction and straddles into it (and one byte beyond) must
+    /// invalidate the cached decode — the invalidation walks every
+    /// instruction word the store's byte range overlaps, up to three.
+    #[test]
+    fn straddling_store_invalidates_decoded_cache_across_word_boundaries() {
+        let nop = dise_isa::encode(&Instr::Nop) as u64;
+        let patched =
+            dise_isa::encode(&Instr::Lda { rd: Reg::gpr(5), base: Reg::ZERO, disp: 77 }) as u64;
+        // The stq at `slot - 3` rewrites: the last 3 bytes of the nop
+        // word before `slot` (with their original bytes), all 4 bytes of
+        // `slot`, and the first byte of the nop word after it (also with
+        // its original byte). Only `slot` actually changes.
+        let value = (nop >> 8) | (patched << 24) | ((nop & 0xff) << 56);
+        let mut m = machine(&format!(
+            "start: la r1, slot
+                    la r3, patch
+                    ldq r2, 0(r3)
+                    lda r9, 2(zero)
+             loop:  nop
+             slot:  lda r5, 111(zero)
+                    nop
+                    subq r9, 1, r9
+                    beq r9, done
+                    stq r2, -3(r1)     # straddles into slot's word
+                    br loop
+             done:  halt
+             .data
+             patch: .quad {value}"
+        ));
+        run(&mut m, 100);
+        assert_eq!(m.reg(Reg::gpr(5)), 77, "stale decode served after boundary-straddling store");
+    }
+
     #[test]
     fn mem_mut_drops_decoded_cache() {
         let mut m = machine(

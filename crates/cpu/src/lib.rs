@@ -51,7 +51,7 @@ mod timing;
 pub use config::CpuConfig;
 pub use exec::{Branch, BranchKind, Event, Exec, ExecError, Executor, FlushKind, MemOp, NUM_REGS};
 pub use predictor::{BpredConfig, Predictor};
-pub use timing::{RunStats, Timing};
+pub use timing::{RunStats, Timing, TimingBatch};
 
 use dise_asm::Program;
 

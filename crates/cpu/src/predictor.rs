@@ -2,7 +2,7 @@
 
 /// Predictor geometry. Defaults are the paper's: an 8K-entry hybrid
 /// predictor and a 2K-entry BTB (plus a conventional 16-deep RAS).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct BpredConfig {
     /// Entries in the bimodal table.
     pub bimodal_entries: usize,

@@ -24,12 +24,76 @@
 //!   [`CpuConfig::debugger_transition_cost`] cycles.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::BuildHasherDefault;
 
 use dise_isa::Instr;
-use dise_mem::MemSystem;
+use dise_mem::{AddrHasher, MemSystem};
 
 use crate::exec::{BranchKind, Exec, FlushKind};
 use crate::{CpuConfig, Predictor};
+
+/// Store-dependence map keyed by quadword address, with `dise-mem`'s
+/// multiply-fold hasher — SipHash shows up at the top of session
+/// profiles and simulator addresses need spread, not DoS resistance.
+type AddrMap = HashMap<u64, u64, BuildHasherDefault<AddrHasher>>;
+
+/// Slots in a [`UseTable`] window. Must exceed the widest possible span
+/// between the front end's current cycle and the farthest-out
+/// reservation, which is bounded by the in-flight window (ROB entries ×
+/// worst-case memory latency ≈ 13K cycles); 128K slots leave an order
+/// of magnitude of slack, enforced by an assert on slot reuse.
+const USE_SLOTS: usize = 1 << 17;
+
+/// Per-cycle resource-usage counters, held in a direct-mapped,
+/// cycle-tagged sliding window instead of a `HashMap` — `reserve` is
+/// executed once or twice per instruction and dominated session
+/// profiles under hashing.
+///
+/// A slot whose tag differs from the probed cycle belongs to a cycle
+/// the pipeline has already drained past (every future probe starts at
+/// or after the front end's cycle, which only advances), so it is
+/// reclaimed by overwriting.
+#[derive(Clone, Debug)]
+struct UseTable {
+    /// Cycle owning each slot (`u64::MAX` = never used).
+    tags: Vec<u64>,
+    /// Reservations taken in the owning cycle.
+    counts: Vec<u64>,
+}
+
+impl UseTable {
+    fn new() -> UseTable {
+        UseTable { tags: vec![u64::MAX; USE_SLOTS], counts: vec![0; USE_SLOTS] }
+    }
+
+    /// Find the earliest cycle ≥ `ready` with a free slot (capacity
+    /// `cap` per cycle) and reserve it. `live_floor` is a lower bound on
+    /// every future `ready`; reclaiming a slot tagged at or above it
+    /// would corrupt a reservation that can still be probed.
+    #[inline]
+    fn reserve(&mut self, cap: u64, ready: u64, live_floor: u64) -> u64 {
+        let mut c = ready;
+        loop {
+            let slot = (c as usize) & (USE_SLOTS - 1);
+            if self.tags[slot] == c {
+                if self.counts[slot] < cap {
+                    self.counts[slot] += 1;
+                    return c;
+                }
+                c += 1;
+                continue;
+            }
+            assert!(
+                self.tags[slot] == u64::MAX || self.tags[slot] < live_floor,
+                "usage window wrapped onto a live cycle: slot cycle {} vs floor {live_floor}",
+                self.tags[slot],
+            );
+            self.tags[slot] = c;
+            self.counts[slot] = 1;
+            return c;
+        }
+    }
+}
 
 /// Aggregate results of a timed run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -83,7 +147,7 @@ pub struct Timing {
     /// Per-register ready cycle (latest in-flight definition).
     reg_ready: [u64; crate::NUM_REGS],
     /// Per-quadword ready cycle of the latest store (memory dependence).
-    store_ready: HashMap<u64, u64>,
+    store_ready: AddrMap,
 
     /// Commit cycles of in-flight instructions (ROB occupancy).
     rob: VecDeque<u64>,
@@ -91,9 +155,9 @@ pub struct Timing {
     rs: VecDeque<u64>,
 
     /// Issue-port usage per cycle.
-    issue_use: HashMap<u64, u64>,
+    issue_use: UseTable,
     /// Memory-port usage per cycle.
-    mem_use: HashMap<u64, u64>,
+    mem_use: UseTable,
 
     /// In-order commit frontier.
     commit_cycle: u64,
@@ -101,7 +165,6 @@ pub struct Timing {
     last_commit: u64,
 
     stats: RunStats,
-    prune_mark: u64,
 }
 
 impl Timing {
@@ -115,16 +178,15 @@ impl Timing {
             front_slots: cfg.width,
             cur_line: u64::MAX,
             reg_ready: [0; crate::NUM_REGS],
-            store_ready: HashMap::new(),
+            store_ready: AddrMap::default(),
             rob: VecDeque::new(),
             rs: VecDeque::new(),
-            issue_use: HashMap::new(),
-            mem_use: HashMap::new(),
+            issue_use: UseTable::new(),
+            mem_use: UseTable::new(),
             commit_cycle: 0,
             commit_slots: cfg.commit_width,
             last_commit: 0,
             stats: RunStats::default(),
-            prune_mark: 0,
         }
     }
 
@@ -147,20 +209,6 @@ impl Timing {
         self.front_cycle = self.front_cycle.max(resume_at);
         self.front_slots = self.cfg.width;
         self.cur_line = u64::MAX; // refetch charges the I-cache
-    }
-
-    /// Find the earliest cycle ≥ `ready` with a free slot in `table`
-    /// (capacity `cap` per cycle) and reserve it.
-    fn reserve(table: &mut HashMap<u64, u64>, cap: u64, ready: u64) -> u64 {
-        let mut c = ready;
-        loop {
-            let used = table.entry(c).or_insert(0);
-            if *used < cap {
-                *used += 1;
-                return c;
-            }
-            c += 1;
-        }
     }
 
     /// Account one instruction; returns its commit cycle.
@@ -222,10 +270,14 @@ impl Timing {
         }
 
         // ---- Issue -------------------------------------------------------
+        // `ready > front_cycle` here, and the front only advances, so
+        // `front_cycle + 1` lower-bounds every future probe: slots tagged
+        // below it are reclaimable.
+        let live_floor = self.front_cycle + 1;
         let issue = {
-            let c = Self::reserve(&mut self.issue_use, self.cfg.width, ready);
+            let c = self.issue_use.reserve(self.cfg.width, ready, live_floor);
             if e.mem.is_some() {
-                Self::reserve(&mut self.mem_use, self.cfg.mem_ports, c)
+                self.mem_use.reserve(self.cfg.mem_ports, c, live_floor)
             } else {
                 c
             }
@@ -301,14 +353,6 @@ impl Timing {
             }
         }
 
-        // ---- Housekeeping ---------------------------------------------------
-        if self.stats.instructions.is_multiple_of(65_536) {
-            let keep = self.prune_mark;
-            self.issue_use.retain(|&c, _| c >= keep);
-            self.mem_use.retain(|&c, _| c >= keep);
-            self.prune_mark = self.last_commit;
-        }
-
         commit
     }
 
@@ -328,6 +372,62 @@ impl Timing {
     pub fn finish(&mut self) -> RunStats {
         self.stats.cycles = self.last_commit;
         self.stats
+    }
+}
+
+/// A batch of timing models replaying one functional record stream —
+/// the single-pass multi-config engine behind the sensitivity sweeps:
+/// the [`Executor`](crate::Executor) produces its program-order
+/// [`Exec`] stream once, and every model in the batch accounts it under
+/// its own [`CpuConfig`].
+///
+/// Per-model state (memory hierarchy, branch predictor, windows) is
+/// fully isolated; only the *functional* stream is shared, so a batch
+/// of one is cycle-identical to driving a lone [`Timing`].
+#[derive(Clone, Debug)]
+pub struct TimingBatch {
+    models: Vec<Timing>,
+}
+
+impl TimingBatch {
+    /// One fresh model per configuration, in the given order.
+    pub fn new(cfgs: &[CpuConfig]) -> TimingBatch {
+        TimingBatch { models: cfgs.iter().map(|c| Timing::new(*c)).collect() }
+    }
+
+    /// Number of models in the batch.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when the batch holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The models, in construction order.
+    pub fn models(&self) -> &[Timing] {
+        &self.models
+    }
+
+    /// Account one instruction in every model.
+    pub fn consume(&mut self, e: &Exec) {
+        for t in &mut self.models {
+            t.consume(e);
+        }
+    }
+
+    /// Charge every model a spurious debugger transition at its own
+    /// configured [`CpuConfig::debugger_transition_cost`].
+    pub fn debugger_stall(&mut self) {
+        for t in &mut self.models {
+            t.debugger_stall(t.cfg.debugger_transition_cost);
+        }
+    }
+
+    /// Close out the run: per-model statistics in construction order.
+    pub fn finish(mut self) -> Vec<RunStats> {
+        self.models.iter_mut().map(Timing::finish).collect()
     }
 }
 
@@ -533,6 +633,112 @@ mod tests {
         }
         let (l1i, ..) = t.mem_system().stats();
         assert_eq!(l1i.accesses, 0);
+    }
+
+    /// The sliding-window reservation tables must reproduce the sparse
+    /// map they replaced: same earliest-free-cycle answers under a
+    /// pseudo-random mix of ready cycles, capacities and frontier jumps.
+    #[test]
+    fn use_table_matches_sparse_reference() {
+        use std::collections::HashMap;
+        fn reference(table: &mut HashMap<u64, u64>, cap: u64, ready: u64) -> u64 {
+            let mut c = ready;
+            loop {
+                let used = table.entry(c).or_insert(0);
+                if *used < cap {
+                    *used += 1;
+                    return c;
+                }
+                c += 1;
+            }
+        }
+        let mut fast = UseTable::new();
+        let mut slow = HashMap::new();
+        let mut frontier = 0u64;
+        let mut lcg = 1u64;
+        for i in 0..200_000u64 {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Mostly near-frontier readies; occasional operand stalls up
+            // to ~200 cycles out; rare 100K debugger-stall jumps.
+            let jump = if lcg.is_multiple_of(997) { 100_000 } else { i % 3 };
+            frontier += jump;
+            let ready = frontier + 1 + (lcg >> 32) % 200;
+            let cap = 1 + lcg % 4;
+            assert_eq!(
+                fast.reserve(cap, ready, frontier + 1),
+                reference(&mut slow, cap, ready),
+                "diverged at step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_of_one_is_cycle_identical_to_lone_model() {
+        let stream: Vec<Exec> = (0..3000u64)
+            .map(|i| {
+                let mut e = plain_alu(0x10_0000 + (i % 64) * 4, (i % 8) as u8, (i % 3) as u8);
+                if i % 50 == 0 {
+                    e.flush = Some(FlushKind::DiseBranch);
+                }
+                e
+            })
+            .collect();
+        let mut lone = Timing::new(cfg());
+        let mut batch = TimingBatch::new(&[cfg()]);
+        for (i, e) in stream.iter().enumerate() {
+            lone.consume(e);
+            batch.consume(e);
+            if i % 100 == 0 {
+                lone.debugger_stall(cfg().debugger_transition_cost);
+                batch.debugger_stall();
+            }
+        }
+        assert_eq!(batch.finish(), vec![lone.finish()]);
+    }
+
+    #[test]
+    fn batch_models_are_isolated_and_pay_their_own_costs() {
+        let mut cheap = cfg();
+        cheap.debugger_transition_cost = 1_000;
+        let mut slow_mem = cfg();
+        slow_mem.mem.mem_latency = 400;
+        // [default, cheap-transition, slow-memory, default]: the two
+        // default models must agree exactly (no cross-model leakage
+        // through predictor, caches or windows), and the odd ones must
+        // differ in the expected direction.
+        let mut batch = TimingBatch::new(&[cfg(), cheap, slow_mem, cfg()]);
+        let mut lone = Timing::new(cfg());
+        for i in 0..2000u64 {
+            let mut e = plain_alu(0x10_0000 + i * 4, (i % 8) as u8, 20);
+            if i % 7 == 0 {
+                e.instr = Instr::Load {
+                    width: dise_isa::Width::Q,
+                    rd: Reg::gpr((i % 8) as u8),
+                    base: Reg::gpr(20),
+                    disp: 0,
+                };
+                e.mem = Some(MemOp {
+                    addr: 0x2000 + (i % 512) * 8,
+                    width: 8,
+                    is_store: false,
+                    old_value: 0,
+                    new_value: 0,
+                });
+            }
+            lone.consume(&e);
+            batch.consume(&e);
+            if i % 400 == 0 {
+                lone.debugger_stall(cfg().debugger_transition_cost);
+                batch.debugger_stall();
+            }
+        }
+        let lone = lone.finish();
+        let all = batch.finish();
+        assert_eq!(all[0], lone, "first default model matches the lone run");
+        assert_eq!(all[3], lone, "second default model is untouched by its neighbours");
+        assert!(all[1].cycles < all[0].cycles, "cheaper transitions finish sooner");
+        assert_eq!(all[1].debugger_stall_cycles, 1_000 * all[1].debugger_stalls);
+        assert!(all[2].cycles > all[0].cycles, "slower memory finishes later");
     }
 
     #[test]

@@ -1,6 +1,36 @@
 //! Sparse paged memory with per-page write protection.
 
 use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiply-fold hasher for `u64` address-like keys (page numbers
+/// here, store-dependence quads in `dise-cpu`). Every simulated memory
+/// access resolves at least one page, and the default SipHash dominates
+/// the functional simulator's profile; simulator addresses need spread,
+/// not DoS resistance.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+}
+
+type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE as usize]>, BuildHasherDefault<AddrHasher>>;
+type PageSet = HashSet<u64, BuildHasherDefault<AddrHasher>>;
 
 /// Page size in bytes (4 KB, "on the small end for real systems" per the
 /// paper's virtual-memory discussion).
@@ -33,8 +63,8 @@ impl std::error::Error for ProtFault {}
 /// debugger's own accesses use the latter).
 #[derive(Clone, Debug, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
-    write_protected: HashSet<u64>,
+    pages: PageMap,
+    write_protected: PageSet,
 }
 
 impl Memory {
@@ -80,6 +110,20 @@ impl Memory {
     /// Panics if `width` is not 1, 2, 4 or 8.
     pub fn read_u(&self, addr: u64, width: u64) -> u64 {
         assert!(matches!(width, 1 | 2 | 4 | 8), "bad access width {width}");
+        let off = (addr % PAGE_SIZE) as usize;
+        // Fast path: the access lies within one page, resolved once.
+        if off + width as usize <= PAGE_SIZE as usize {
+            return match self.pages.get(&Self::page_of(addr)) {
+                Some(p) => {
+                    let mut v = 0u64;
+                    for i in 0..width as usize {
+                        v |= (p[off + i] as u64) << (8 * i);
+                    }
+                    v
+                }
+                None => 0,
+            };
+        }
         let mut v = 0u64;
         for i in 0..width {
             v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
@@ -95,6 +139,18 @@ impl Memory {
     /// Panics if `width` is not 1, 2, 4 or 8.
     pub fn write_u(&mut self, addr: u64, width: u64, val: u64) {
         assert!(matches!(width, 1 | 2 | 4 | 8), "bad access width {width}");
+        let off = (addr % PAGE_SIZE) as usize;
+        // Fast path: the access lies within one page, resolved once.
+        if off + width as usize <= PAGE_SIZE as usize {
+            let page = self
+                .pages
+                .entry(Self::page_of(addr))
+                .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+            for i in 0..width as usize {
+                page[off + i] = (val >> (8 * i)) as u8;
+            }
+            return;
+        }
         for i in 0..width {
             self.write_u8(addr.wrapping_add(i), (val >> (8 * i)) as u8);
         }
@@ -107,10 +163,18 @@ impl Memory {
     /// Returns [`ProtFault`] — without performing any part of the write —
     /// if any byte of the access lies on a write-protected page.
     pub fn write_checked(&mut self, addr: u64, width: u64, val: u64) -> Result<(), ProtFault> {
-        for i in 0..width {
-            let a = addr.wrapping_add(i);
-            if self.write_protected.contains(&Self::page_of(a)) {
-                return Err(ProtFault { addr: a });
+        // Protection is per-page and accesses are ≤ 8 bytes, so at most
+        // two pages need probing; the common no-protection case pays
+        // only the emptiness check.
+        if !self.write_protected.is_empty() {
+            if self.write_protected.contains(&Self::page_of(addr)) {
+                return Err(ProtFault { addr });
+            }
+            let last = addr.wrapping_add(width - 1);
+            if Self::page_of(last) != Self::page_of(addr)
+                && self.write_protected.contains(&Self::page_of(last))
+            {
+                return Err(ProtFault { addr: Self::page_base(last) });
             }
         }
         self.write_u(addr, width, val);
@@ -119,7 +183,9 @@ impl Memory {
 
     /// True if a `width`-byte write at `addr` would fault.
     pub fn write_would_fault(&self, addr: u64, width: u64) -> bool {
-        (0..width).any(|i| self.write_protected.contains(&Self::page_of(addr.wrapping_add(i))))
+        !self.write_protected.is_empty()
+            && (0..width)
+                .any(|i| self.write_protected.contains(&Self::page_of(addr.wrapping_add(i))))
     }
 
     /// Set or clear write protection on the page containing `addr`
@@ -151,7 +217,20 @@ impl Memory {
 
     /// Read `len` bytes into a fresh vector.
     pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
-        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+        let mut out = Vec::with_capacity(len);
+        let mut a = addr;
+        let end = addr + len as u64;
+        // Per-page chunks: one lookup per page instead of one per byte.
+        while a < end {
+            let off = (a % PAGE_SIZE) as usize;
+            let take = ((PAGE_SIZE as usize - off) as u64).min(end - a) as usize;
+            match self.pages.get(&Self::page_of(a)) {
+                Some(p) => out.extend_from_slice(&p[off..off + take]),
+                None => out.resize(out.len() + take, 0),
+            }
+            a += take as u64;
+        }
+        out
     }
 
     /// Number of distinct pages that have been touched by writes.

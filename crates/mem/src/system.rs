@@ -7,7 +7,7 @@ use crate::{Cache, CacheConfig, CacheStats, Tlb};
 /// Defaults reproduce the paper's simulated machine: 32 KB 2-way L1
 /// instruction and data caches, a 1 MB 4-way unified L2, 64-entry 4-way
 /// I/D TLBs and 100-cycle main memory.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct MemConfig {
     /// L1 instruction cache geometry.
     pub l1i: CacheConfig,

@@ -36,8 +36,10 @@
 //! ```
 
 mod kernels;
+mod sweeps;
 mod workload;
 
+pub use sweeps::transition_cost_sweep;
 pub use workload::{WatchKind, Workload};
 
 /// Default iteration count giving tens of thousands of dynamic

@@ -1,0 +1,49 @@
+//! Declarative machine-configuration batches for sensitivity sweeps.
+//!
+//! The paper's sensitivity figures re-run the *same* workload under
+//! many machine configurations. A sweep declared here is a batch of
+//! [`CpuConfig`]s that differ only in timing parameters, so the grid
+//! runner in `dise-bench` can drive all of them from **one** functional
+//! pass per cell (`dise_debug::run_session_batch`) instead of paying
+//! functional replay per grid cell.
+
+use dise_cpu::CpuConfig;
+
+/// The debugger-transition-cost sensitivity batch.
+///
+/// The paper measures the application→debugger→application round trip
+/// at ~290K cycles under gdb and ~513K under Visual Studio, then
+/// conservatively models 100K throughout the evaluation (§5). This
+/// sweep re-runs an experiment under all three costs; every other
+/// machine parameter — and therefore the functional instruction
+/// stream — is shared, so the three cells of a grid batch into a
+/// single functional pass.
+pub fn transition_cost_sweep(base: CpuConfig) -> Vec<(&'static str, CpuConfig)> {
+    [("100K", 100_000), ("290K", 290_000), ("513K", 513_000)]
+        .into_iter()
+        .map(|(label, cost)| {
+            let mut cpu = base;
+            cpu.debugger_transition_cost = cost;
+            (label, cpu)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_varies_only_the_transition_cost() {
+        let base = CpuConfig::default();
+        let sweep = transition_cost_sweep(base);
+        assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep[0].1, base, "the paper's 100K model is the baseline configuration");
+        for (_, cpu) in &sweep {
+            let mut normalized = *cpu;
+            normalized.debugger_transition_cost = base.debugger_transition_cost;
+            assert_eq!(normalized, base, "only the transition cost may vary");
+            assert_eq!(cpu.engine, base.engine, "functional parameters are shared");
+        }
+    }
+}

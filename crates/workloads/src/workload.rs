@@ -49,7 +49,7 @@ impl WatchKind {
 }
 
 /// One benchmark kernel, ready to debug.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Workload {
     pub(crate) name: &'static str,
     pub(crate) function: &'static str,
