@@ -35,7 +35,7 @@ fn stack_heavy_app(iters: u32) -> Application {
 }
 
 fn main() {
-    let iters: u32 = std::env::var("DISE_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let iters: u32 = dise_bench::env_number("DISE_ITERS", 2000);
     let app = stack_heavy_app(iters);
     let g = app.program().expect("assembles").symbol("g").unwrap();
     let wp = Watchpoint::new(WatchExpr::Scalar { addr: g, width: Width::Q });

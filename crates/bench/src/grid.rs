@@ -14,8 +14,8 @@ use std::sync::Mutex;
 
 use dise_cpu::CpuConfig;
 use dise_debug::{
-    run_session, run_session_batch, BackendKind, BaselineCache, DebugError, SessionReport,
-    Watchpoint,
+    run_session, run_session_batch, BackendKind, BaselineCache, DebugError, ObserverBatch,
+    SessionReport, Watchpoint,
 };
 use dise_workloads::Workload;
 
@@ -130,45 +130,216 @@ impl SessionBatch {
     }
 }
 
-/// Group grid cells into [`SessionBatch`]es: cells agreeing on kernel
-/// (full workload identity, not just its name — two scales of the same
-/// kernel are different programs), watchpoints, functional backend and
-/// DISE engine capacities share one batch (and therefore one functional
-/// pass), in first-appearance order; members keep cell order. Grouping
-/// looks only at the jobs, so the partition — and with it the
-/// reassembled output — is identical for any worker count.
-pub fn batch_session_jobs(jobs: &[SessionJob]) -> Vec<SessionBatch> {
-    let mut batches: Vec<SessionBatch> = Vec::new();
-    for (i, job) in jobs.iter().enumerate() {
-        let (backend, cpu) = job.backend.split_timing(job.cpu);
-        let existing = batches.iter_mut().find(|b| {
-            b.backend == backend
-                && b.workload == job.workload
-                && b.watchpoints == job.watchpoints
-                && b.cpus[0].engine == cpu.engine
-        });
-        match existing {
-            Some(b) => {
-                b.cpus.push(cpu);
-                b.cells.push(i);
-            }
-            None => batches.push(SessionBatch {
-                workload: job.workload.clone(),
-                watchpoints: job.watchpoints.clone(),
-                backend,
-                cpus: vec![cpu],
-                cells: vec![i],
-            }),
-        }
-    }
-    batches
+/// One member of an [`ObserverGroup`]: an observing backend, the
+/// effective timing configurations of its cells, and the original cell
+/// indices they scatter back to.
+#[derive(Clone, Debug)]
+pub struct ObserverMember {
+    /// The observing backend (see [`BackendKind::observation_only`]).
+    pub backend: BackendKind,
+    /// Per-cell effective machine configurations, in member order.
+    pub cpus: Vec<CpuConfig>,
+    /// Original grid-cell index of each configuration, parallel to
+    /// `cpus`.
+    pub cells: Vec<usize>,
 }
 
-/// Run a whole overhead grid on `workers` threads, batching cells that
-/// differ only in timing configuration into single functional passes
-/// (`batching: false` runs every cell independently — the reference
-/// path the determinism suite compares against). Results come back in
-/// cell order either way, byte-identical to the serial unbatched map.
+/// A group of grid cells that share one functional execution **across
+/// backends**: same kernel and watchpoints, every backend observing
+/// (never perturbing) — so a single pass of the unmodified application
+/// feeds all members' transition detectors and timing models via
+/// [`dise_debug::ObserverBatch`]. Unlike [`SessionBatch`], members need
+/// not agree on DISE engine capacities: observers install no
+/// productions, so the engine is functionally inert.
+#[derive(Clone, Debug)]
+pub struct ObserverGroup {
+    /// The kernel to debug.
+    pub workload: Workload,
+    /// The watchpoints to plant.
+    pub watchpoints: Vec<Watchpoint>,
+    /// The observing backends sharing the pass, in first-appearance
+    /// order.
+    pub members: Vec<ObserverMember>,
+}
+
+impl ObserverGroup {
+    /// Per-cell overheads, tagged with their original cell index —
+    /// entry for cell `c` is byte-identical to
+    /// `jobs[c].overhead(baselines)`.
+    ///
+    /// # Panics
+    ///
+    /// As [`SessionJob::overhead`].
+    pub fn overheads(&self, baselines: &BaselineCache) -> Vec<(usize, Option<f64>)> {
+        let base = baselines
+            .get_or_run(self.workload.name(), self.workload.app(), self.members[0].cpus[0])
+            .expect("kernel assembles");
+        let mut batch = ObserverBatch::new(self.workload.app(), self.watchpoints.clone());
+        for m in &self.members {
+            batch.member(m.backend, m.cpus.clone());
+        }
+        let results = match batch.run() {
+            Ok(results) => results,
+            Err(DebugError::InvalidWatchpoint { .. }) => {
+                // Ill-formed for every backend: all cells render the
+                // "no experiment" bar, as they do when run alone.
+                return self
+                    .members
+                    .iter()
+                    .flat_map(|m| m.cells.iter().map(|&c| (c, None)))
+                    .collect();
+            }
+            Err(e) => panic!("{}: {e}", self.workload.name()),
+        };
+        let mut out = Vec::new();
+        for (m, result) in self.members.iter().zip(results) {
+            match result {
+                Ok(reports) => {
+                    for (&cell, r) in m.cells.iter().zip(&reports) {
+                        assert_eq!(
+                            r.error,
+                            None,
+                            "{}: session must run clean",
+                            self.workload.name()
+                        );
+                        out.push((cell, Some(r.overhead_vs(&base))));
+                    }
+                }
+                Err(DebugError::Unsupported { .. } | DebugError::InvalidWatchpoint { .. }) => {
+                    out.extend(m.cells.iter().map(|&c| (c, None)));
+                }
+                Err(e) => panic!("{}: {e}", self.workload.name()),
+            }
+        }
+        out
+    }
+}
+
+/// A grid group sharing one functional pass: either a single perturbing
+/// backend replayed under many timing configurations
+/// ([`SessionBatch`]), or many observing backends fanned off one pass
+/// of the unmodified application ([`ObserverGroup`]).
+#[derive(Clone, Debug)]
+pub enum CellGroup {
+    /// A perturbing backend's private replay (timing-only batching).
+    Replay(SessionBatch),
+    /// Observing backends sharing the application's own pass.
+    Observe(ObserverGroup),
+}
+
+impl CellGroup {
+    /// Per-cell overheads tagged with original cell indices.
+    ///
+    /// # Panics
+    ///
+    /// As [`SessionJob::overhead`].
+    pub fn overheads(&self, baselines: &BaselineCache) -> Vec<(usize, Option<f64>)> {
+        match self {
+            CellGroup::Replay(b) => b.cells.iter().copied().zip(b.overheads(baselines)).collect(),
+            CellGroup::Observe(g) => g.overheads(baselines),
+        }
+    }
+
+    /// Original cell indices covered by this group.
+    pub fn cells(&self) -> Vec<usize> {
+        match self {
+            CellGroup::Replay(b) => b.cells.clone(),
+            CellGroup::Observe(g) => g.members.iter().flat_map(|m| m.cells.clone()).collect(),
+        }
+    }
+}
+
+/// Group grid cells for single-pass execution — the cell-key lattice
+/// generalising [`BackendKind::split_timing`] across backends:
+///
+/// * every cell's backend is first split into its functional core and
+///   folded timing knobs;
+/// * cells whose functional core **observes** (virtual memory, hardware
+///   registers) group by (kernel, watchpoints) alone into an
+///   [`ObserverGroup`] — one pass of the unmodified application serves
+///   every observing backend and every timing configuration at once;
+/// * cells whose functional core **perturbs** (single-stepping,
+///   rewriting, DISE) group by (kernel, watchpoints, backend, DISE
+///   engine capacities) into a [`SessionBatch`] — one private pass per
+///   distinct functional stream, replayed under each member's timing
+///   configuration.
+///
+/// Kernel identity is the full workload (not just its name — two scales
+/// of the same kernel are different programs). Groups appear in
+/// first-appearance order and members keep cell order; grouping looks
+/// only at the jobs, so the partition — and with it the reassembled
+/// output — is identical for any worker count.
+pub fn batch_session_jobs(jobs: &[SessionJob]) -> Vec<CellGroup> {
+    let mut groups: Vec<CellGroup> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        let (backend, cpu) = job.backend.split_timing(job.cpu);
+        if backend.observation_only() {
+            let existing = groups.iter_mut().find_map(|g| match g {
+                CellGroup::Observe(o)
+                    if o.workload == job.workload && o.watchpoints == job.watchpoints =>
+                {
+                    Some(o)
+                }
+                _ => None,
+            });
+            let group = match existing {
+                Some(o) => o,
+                None => {
+                    groups.push(CellGroup::Observe(ObserverGroup {
+                        workload: job.workload.clone(),
+                        watchpoints: job.watchpoints.clone(),
+                        members: Vec::new(),
+                    }));
+                    let Some(CellGroup::Observe(o)) = groups.last_mut() else { unreachable!() };
+                    o
+                }
+            };
+            match group.members.iter_mut().find(|m| m.backend == backend) {
+                Some(m) => {
+                    m.cpus.push(cpu);
+                    m.cells.push(i);
+                }
+                None => {
+                    group.members.push(ObserverMember { backend, cpus: vec![cpu], cells: vec![i] })
+                }
+            }
+        } else {
+            let existing = groups.iter_mut().find_map(|g| match g {
+                CellGroup::Replay(b)
+                    if b.backend == backend
+                        && b.workload == job.workload
+                        && b.watchpoints == job.watchpoints
+                        && b.cpus[0].engine == cpu.engine =>
+                {
+                    Some(b)
+                }
+                _ => None,
+            });
+            match existing {
+                Some(b) => {
+                    b.cpus.push(cpu);
+                    b.cells.push(i);
+                }
+                None => groups.push(CellGroup::Replay(SessionBatch {
+                    workload: job.workload.clone(),
+                    watchpoints: job.watchpoints.clone(),
+                    backend,
+                    cpus: vec![cpu],
+                    cells: vec![i],
+                })),
+            }
+        }
+    }
+    groups
+}
+
+/// Run a whole overhead grid on `workers` threads, grouping cells into
+/// single functional passes wherever the lattice allows — across timing
+/// configurations for perturbing backends, and across backend × timing
+/// simultaneously for observing ones (`batching: false` runs every cell
+/// independently — the reference path the determinism suite compares
+/// against). Results come back in cell order either way, byte-identical
+/// to the serial unbatched map.
 pub fn run_overhead_grid(
     cells: &[SessionJob],
     workers: usize,
@@ -178,20 +349,26 @@ pub fn run_overhead_grid(
     if !batching {
         return run_grid_with(cells, workers, |job| job.overhead(baselines));
     }
-    let batches = batch_session_jobs(cells);
-    let grouped = run_grid_with(&batches, workers, |b| b.overheads(baselines));
+    let groups = batch_session_jobs(cells);
+    let grouped = run_grid_with(&groups, workers, |g| g.overheads(baselines));
     let mut out = vec![None; cells.len()];
-    for (batch, overheads) in batches.iter().zip(grouped) {
-        for (&cell, o) in batch.cells.iter().zip(overheads) {
+    for tagged in grouped {
+        for (cell, o) in tagged {
             out[cell] = o;
         }
     }
     out
 }
 
-/// Parse a numeric environment knob, `default` when unset. A typo must
-/// fail loudly, not silently fall back.
-pub(crate) fn env_number<T: std::str::FromStr>(name: &str, default: T) -> T
+/// Parse a numeric environment knob (`DISE_ITERS`, `DISE_JOBS`, …),
+/// `default` when unset — the one shared parser for every binary and
+/// harness, so a typo always fails loudly instead of silently falling
+/// back to the default.
+///
+/// # Panics
+///
+/// Panics on an unparsable (or non-unicode) value.
+pub fn env_number<T: std::str::FromStr>(name: &str, default: T) -> T
 where
     T::Err: std::fmt::Display,
 {
@@ -307,11 +484,65 @@ mod tests {
         .into_iter()
         .map(|(b, c)| SessionJob::new(w.clone(), wp.clone(), b, c))
         .collect();
-        let batches = batch_session_jobs(&jobs);
-        assert_eq!(batches.len(), 2, "the two DISE cells differ only in timing");
-        assert_eq!(batches[0].cells, vec![0, 1]);
-        assert!(batches[0].cpus[1].multithreaded_dise_calls, "mt knob folded into the config");
-        assert_eq!(batches[1].cells, vec![2]);
+        let groups = batch_session_jobs(&jobs);
+        assert_eq!(groups.len(), 2, "the two DISE cells differ only in timing");
+        let CellGroup::Replay(dise) = &groups[0] else {
+            panic!("DISE perturbs: must be a private replay")
+        };
+        assert_eq!(dise.cells, vec![0, 1]);
+        assert!(dise.cpus[1].multithreaded_dise_calls, "mt knob folded into the config");
+        assert_eq!(groups[1].cells(), vec![2]);
+    }
+
+    /// The lattice's new axis: cells that differ in *backend* — as long
+    /// as every backend observes — share one group, and therefore one
+    /// functional pass, alongside their timing spread.
+    #[test]
+    fn observing_backends_group_across_backend_and_timing() {
+        let w = &all(10)[0];
+        let wp = vec![w.watchpoint(WatchKind::Warm1)];
+        let mut jobs = Vec::new();
+        for (_, cpu) in transition_cost_sweep(CpuConfig::default()) {
+            for backend in [BackendKind::VirtualMemory, BackendKind::hw4(), BackendKind::SingleStep]
+            {
+                jobs.push(SessionJob::new(w.clone(), wp.clone(), backend, cpu));
+            }
+        }
+        let groups = batch_session_jobs(&jobs);
+        assert_eq!(groups.len(), 2, "VM+HW share a pass; single-stepping replays privately");
+        let CellGroup::Observe(o) = &groups[0] else { panic!("first group must observe") };
+        assert_eq!(o.members.len(), 2);
+        assert_eq!(o.members[0].backend, BackendKind::VirtualMemory);
+        assert_eq!(o.members[0].cells, vec![0, 3, 6]);
+        assert_eq!(o.members[1].backend, BackendKind::hw4());
+        assert_eq!(o.members[1].cells, vec![1, 4, 7]);
+        let CellGroup::Replay(ss) = &groups[1] else { panic!("single-step must replay") };
+        assert_eq!(ss.cells, vec![2, 5, 8]);
+    }
+
+    /// Observer groups ignore DISE engine capacities (observers install
+    /// no productions), so engine-divergent cells still merge — while
+    /// the perturbing replay path keeps them apart.
+    #[test]
+    fn observer_groups_merge_across_engine_configs() {
+        let w = &all(10)[0];
+        let wp = vec![w.watchpoint(WatchKind::Warm1)];
+        let small_engine = CpuConfig {
+            engine: dise_engine::EngineConfig { pattern_entries: 8, replacement_entries: 64 },
+            ..CpuConfig::default()
+        };
+        let jobs = [
+            SessionJob::new(
+                w.clone(),
+                wp.clone(),
+                BackendKind::VirtualMemory,
+                CpuConfig::default(),
+            ),
+            SessionJob::new(w.clone(), wp.clone(), BackendKind::VirtualMemory, small_engine),
+        ];
+        let groups = batch_session_jobs(&jobs);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].cells(), vec![0, 1]);
     }
 
     #[test]
@@ -389,7 +620,11 @@ mod tests {
             BackendKind::VirtualMemory,
             CpuConfig::default(),
         ));
-        assert_eq!(batch_session_jobs(&jobs).len(), 3, "two sweeps of three, one singleton");
+        assert_eq!(
+            batch_session_jobs(&jobs).len(),
+            3,
+            "one observer sweep, one DISE sweep, one unsupported singleton"
+        );
 
         let baselines = BaselineCache::new();
         let unbatched = run_overhead_grid(&jobs, 1, &baselines, false);
@@ -398,6 +633,27 @@ mod tests {
             assert_eq!(batched, unbatched, "workers={workers}");
         }
         assert_eq!(unbatched[6], None, "unsupported cell renders the no-experiment bar");
+    }
+
+    // Each env test owns a uniquely named variable: the process
+    // environment is shared across test threads, so reusing names would
+    // race.
+    #[test]
+    fn env_number_parses_and_defaults() {
+        assert_eq!(env_number("DISE_TEST_UNSET_KNOB", 42u32), 42);
+        std::env::set_var("DISE_TEST_SET_KNOB", "17");
+        assert_eq!(env_number("DISE_TEST_SET_KNOB", 42u32), 17);
+        std::env::set_var("DISE_TEST_PADDED_KNOB", " 8 ");
+        assert_eq!(env_number("DISE_TEST_PADDED_KNOB", 1usize), 8, "whitespace is trimmed");
+    }
+
+    #[test]
+    fn env_number_typo_fails_loudly() {
+        std::env::set_var("DISE_TEST_TYPO_KNOB", "4O0"); // letter O
+        let err = catch_unwind(|| env_number("DISE_TEST_TYPO_KNOB", 400u32)).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("DISE_TEST_TYPO_KNOB"), "panic names the knob: {msg}");
+        assert!(msg.contains("4O0"), "panic shows the bad value: {msg}");
     }
 
     #[test]

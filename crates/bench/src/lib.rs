@@ -16,11 +16,16 @@
 //! [`SessionJob`] grid cells and run on a [`grid`] worker pool sized by
 //! the `DISE_JOBS` environment variable (default: available
 //! parallelism), with results reassembled in cell order so output is
-//! byte-identical for any worker count. Cells that differ only in
-//! timing configuration are first grouped into [`SessionBatch`]es and
-//! share a single functional pass
-//! ([`dise_debug::run_session_batch`]) — also byte-identical to the
-//! unbatched path, enforced by the grid determinism tests.
+//! byte-identical for any worker count. Cells are first grouped into
+//! single-functional-pass [`CellGroup`]s: a [`SessionBatch`] when they
+//! differ only in timing configuration
+//! ([`dise_debug::run_session_batch`]), or an [`ObserverGroup`] when
+//! their backends all *observe* without perturbing execution — one
+//! shared pass of the unmodified application across backend × timing
+//! simultaneously ([`dise_debug::ObserverBatch`]). Both are
+//! byte-identical to the unbatched path, enforced by the grid
+//! determinism tests, and the pass savings are pinned by
+//! execution-count assertions (`tests/execution_counts.rs`).
 
 mod experiments;
 pub mod grid;
@@ -31,8 +36,8 @@ pub use experiments::{
     Experiment,
 };
 pub use grid::{
-    batch_session_jobs, configured_workers, run_grid, run_grid_with, run_overhead_grid,
-    SessionBatch, SessionJob,
+    batch_session_jobs, configured_workers, env_number, run_grid, run_grid_with, run_overhead_grid,
+    CellGroup, ObserverGroup, ObserverMember, SessionBatch, SessionJob,
 };
 
 /// Render one figure/table section with a heading.

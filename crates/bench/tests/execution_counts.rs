@@ -1,0 +1,80 @@
+//! The acceptance bar for observer batching, argued the only way that
+//! is meaningful on a single-core CI container: **execution-count
+//! assertions**, not timings. `dise_debug::functional_passes()` counts
+//! every driven functional pass; a grid over one scenario must pay one
+//! pass per *functional stream* (one shared pass for all observing
+//! backends × timing configs, one private replay per perturbing
+//! backend), not one per cell.
+//!
+//! This file deliberately holds a single `#[test]`: the counter is
+//! process-global, and sibling tests in the same binary would race the
+//! deltas.
+
+use dise_bench::{run_overhead_grid, SessionJob};
+use dise_cpu::CpuConfig;
+use dise_debug::{functional_passes, BackendKind, BaselineCache, DiseStrategy};
+use dise_workloads::{all, transition_cost_sweep, WatchKind};
+
+#[test]
+fn grids_execute_once_per_functional_stream_not_once_per_cell() {
+    let w = &all(10)[0];
+    let wp = vec![w.watchpoint(WatchKind::Warm1)];
+
+    // One scenario, the paper's four standard backends, three
+    // transition costs: 12 cells.
+    let mut cells = Vec::new();
+    for (_, cpu) in transition_cost_sweep(CpuConfig::default()) {
+        for backend in [
+            BackendKind::SingleStep,
+            BackendKind::VirtualMemory,
+            BackendKind::hw4(),
+            BackendKind::dise_default(),
+        ] {
+            cells.push(SessionJob::new(w.clone(), wp.clone(), backend, cpu));
+        }
+    }
+    assert_eq!(cells.len(), 12);
+
+    // Unbatched reference: every cell replays the workload privately.
+    let baselines = BaselineCache::new();
+    let before = functional_passes();
+    let unbatched = run_overhead_grid(&cells, 1, &baselines, false);
+    assert_eq!(functional_passes() - before, 12, "unbatched: one pass per cell");
+
+    // Batched: VM and HW share a single pass of the unmodified
+    // application across both backends and all three timing configs;
+    // single-stepping and DISE each keep one private replay. 12 cells,
+    // 3 functional executions.
+    let before = functional_passes();
+    let batched = run_overhead_grid(&cells, 1, &baselines, true);
+    assert_eq!(
+        functional_passes() - before,
+        3,
+        "batched: one observer pass (VM+HW x 3 costs) + two private replays"
+    );
+    assert_eq!(batched, unbatched, "sharing passes must not change a single byte");
+
+    // The fig8 shape: two DISE cells differing only in the
+    // multithreading timing knob still collapse to one pass.
+    let mt = BackendKind::Dise(DiseStrategy { multithreaded_calls: true, ..Default::default() });
+    let pair = [
+        SessionJob::new(w.clone(), wp.clone(), BackendKind::dise_default(), CpuConfig::default()),
+        SessionJob::new(w.clone(), wp.clone(), mt, CpuConfig::default()),
+    ];
+    let before = functional_passes();
+    run_overhead_grid(&pair, 1, &baselines, true);
+    assert_eq!(functional_passes() - before, 1, "timing-only DISE pair shares one pass");
+
+    // An unsupported observer member (INDIRECT under virtual memory)
+    // must not charge a pass when no member survives.
+    let lone = [SessionJob::new(
+        w.clone(),
+        vec![w.watchpoint(WatchKind::Indirect)],
+        BackendKind::VirtualMemory,
+        CpuConfig::default(),
+    )];
+    let before = functional_passes();
+    let out = run_overhead_grid(&lone, 1, &baselines, true);
+    assert_eq!(out, vec![None], "the no-experiment bar");
+    assert_eq!(functional_passes() - before, 0, "nothing observable, nothing executed");
+}

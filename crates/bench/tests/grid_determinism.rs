@@ -53,12 +53,13 @@ fn light_experiments_are_deterministic_across_worker_counts() {
     ]);
 }
 
-/// Single-pass multi-config replay must be invisible in the output:
-/// the experiments with batchable cells (fig8's multithreading pair
-/// shares a functional pass; every sensitivity row batches its three
-/// transition costs) render byte-identically with batching disabled.
-/// Cheap enough to stay on everywhere: batching itself removes the
-/// redundant functional passes this test re-adds.
+/// Single-pass batching must be invisible in the output: the
+/// experiments with batchable cells (fig8's multithreading pair shares
+/// a functional pass; the sensitivity grid batches its three transition
+/// costs per row *and* fans one observer pass across its VM and HW
+/// backends) render byte-identically with batching disabled. Cheap
+/// enough to stay on everywhere: batching itself removes the redundant
+/// functional passes this test re-adds.
 #[test]
 fn batched_and_unbatched_experiments_are_byte_identical() {
     assert_batching_invisible(&[
@@ -89,7 +90,10 @@ fn all_experiments_are_deterministic_across_worker_counts() {
 
 /// The full batched-vs-unbatched sweep over every overhead experiment
 /// (tables have no session cells; they are covered by the worker-count
-/// sweep above).
+/// sweep above). With observer batching, fig3/fig4's virtual-memory and
+/// hardware-register columns now share one functional pass per
+/// (kernel, watchpoint) scenario — this sweep is the byte-identity bar
+/// for that sharing across every table and figure.
 #[test]
 #[ignore = "simulates every figure twice (~3 min dev profile); CI runs it with --include-ignored"]
 fn all_experiments_are_batching_invariant() {

@@ -3,24 +3,79 @@
 //! harnessed" for watchpoints beyond the register count.
 
 use dise_asm::Program;
-use dise_cpu::{Event, Exec, Executor};
+use dise_cpu::{Event, Exec, Executor, MemOp};
+use dise_mem::Memory;
 
-use crate::backend::{classify, virtual_mem::watched_pages, BackendImpl};
+use crate::backend::{
+    classify,
+    virtual_mem::{store_would_fault, watched_pages},
+    BackendImpl, ObserverImpl,
+};
 use crate::session::DebugError;
 use crate::{Application, Transition, TransitionStats, WatchExpr, WatchState, Watchpoint};
+
+/// How a register budget covers a watchpoint set: the quad-aligned
+/// addresses loaded into the comparators, and the pages protected for
+/// the watchpoints that overflowed the registers (the Fig. 6 hybrid).
+///
+/// Both the live session backend ([`HwRegs`]) and the replayable
+/// observer ([`HwObserver`]) are built from this one plan, so their trap
+/// sets cannot drift apart.
+fn plan(registers: usize, wps: &[Watchpoint]) -> Result<(Vec<u64>, Vec<u64>), DebugError> {
+    // Hardware registers watch scalars; indirect and non-scalar
+    // expressions have no experiment in the paper ("real debuggers
+    // resort to using virtual memory or single-stepping").
+    let mut quads = Vec::new();
+    let mut overflow = Vec::new();
+    for w in wps {
+        match w.expr {
+            WatchExpr::Scalar { addr, width } => {
+                let mut q = addr & !7;
+                let mut span = Vec::new();
+                while q < addr + width.bytes() {
+                    span.push(q);
+                    q += 8;
+                }
+                if quads.len() + span.len() <= registers {
+                    quads.extend(span);
+                } else {
+                    overflow.push(*w);
+                }
+            }
+            WatchExpr::Indirect { .. } => {
+                return Err(DebugError::Unsupported {
+                    backend: "hardware-registers",
+                    reason: "indirect watchpoints are not statically addressable".to_string(),
+                })
+            }
+            WatchExpr::Range { .. } => {
+                return Err(DebugError::Unsupported {
+                    backend: "hardware-registers",
+                    reason: "non-scalar watchpoints exceed register granularity".to_string(),
+                })
+            }
+        }
+    }
+    Ok((quads, watched_pages(&overflow)?))
+}
+
+/// Does a store's quad-aligned footprint cover a loaded comparator?
+fn comparator_hit(quads: &[u64], m: &MemOp) -> bool {
+    let lo = m.addr & !7;
+    let hi = (m.addr + m.width - 1) & !7;
+    quads.iter().any(|&q| q >= lo && q <= hi)
+}
 
 #[derive(Debug)]
 pub(crate) struct HwRegs {
     registers: usize,
     /// Quad-aligned addresses loaded into the comparators.
     quads: Vec<u64>,
-    /// True when some watchpoints overflowed to page protection.
-    vm_fallback: bool,
 }
 
 impl HwRegs {
     pub fn new(registers: usize) -> HwRegs {
-        HwRegs { registers, quads: Vec::new(), vm_fallback: false }
+        HwRegs { registers, quads: Vec::new() }
     }
 }
 
@@ -34,44 +89,10 @@ impl BackendImpl for HwRegs {
     }
 
     fn configure(&mut self, exec: &mut Executor, wps: &[Watchpoint]) -> Result<(), DebugError> {
-        // Hardware registers watch scalars; indirect and non-scalar
-        // expressions have no experiment in the paper ("real debuggers
-        // resort to using virtual memory or single-stepping").
-        let mut overflow = Vec::new();
-        for w in wps {
-            match w.expr {
-                WatchExpr::Scalar { addr, width } => {
-                    let mut q = addr & !7;
-                    let mut quads = Vec::new();
-                    while q < addr + width.bytes() {
-                        quads.push(q);
-                        q += 8;
-                    }
-                    if self.quads.len() + quads.len() <= self.registers {
-                        self.quads.extend(quads);
-                    } else {
-                        overflow.push(*w);
-                    }
-                }
-                WatchExpr::Indirect { .. } => {
-                    return Err(DebugError::Unsupported {
-                        backend: "hardware-registers",
-                        reason: "indirect watchpoints are not statically addressable".to_string(),
-                    })
-                }
-                WatchExpr::Range { .. } => {
-                    return Err(DebugError::Unsupported {
-                        backend: "hardware-registers",
-                        reason: "non-scalar watchpoints exceed register granularity".to_string(),
-                    })
-                }
-            }
-        }
-        if !overflow.is_empty() {
-            self.vm_fallback = true;
-            for page in watched_pages(&overflow)? {
-                exec.mem_mut().protect_page(page, true);
-            }
+        let (quads, fallback_pages) = plan(self.registers, wps)?;
+        self.quads = quads;
+        for page in fallback_pages {
+            exec.mem_mut().protect_page(page, true);
         }
         Ok(())
     }
@@ -87,9 +108,7 @@ impl BackendImpl for HwRegs {
         // covers a watched quad.
         if let Some(m) = e.mem {
             if m.is_store {
-                let lo = m.addr & !7;
-                let hi = (m.addr + m.width - 1) & !7;
-                let hw_hit = self.quads.iter().any(|&q| q >= lo && q <= hi);
+                let hw_hit = comparator_hit(&self.quads, &m);
                 let vm_hit = matches!(e.event, Some(Event::ProtFault { .. }));
                 if hw_hit || vm_hit {
                     let wrote = watch.store_overlaps(exec.mem(), m.addr, m.width);
@@ -97,6 +116,45 @@ impl BackendImpl for HwRegs {
                     return Some(classify(changed, pred_ok, wrote));
                 }
             }
+        }
+        None
+    }
+}
+
+/// The replayable detector for hardware watchpoint registers: the same
+/// comparator plan as the live backend, with the virtual-memory
+/// fallback's faults computed from the page set instead of raised by a
+/// protected machine.
+pub(crate) struct HwObserver {
+    quads: Vec<u64>,
+    fallback_pages: Vec<u64>,
+}
+
+impl HwObserver {
+    pub fn new(registers: usize, wps: &[Watchpoint]) -> Result<HwObserver, DebugError> {
+        let (quads, fallback_pages) = plan(registers, wps)?;
+        Ok(HwObserver { quads, fallback_pages })
+    }
+}
+
+impl ObserverImpl for HwObserver {
+    fn observe(
+        &mut self,
+        e: &Exec,
+        mem: &Memory,
+        watch: &mut WatchState,
+        _stats: &mut TransitionStats,
+    ) -> Option<Transition> {
+        let m = e.mem?;
+        if !m.is_store {
+            return None;
+        }
+        let hw_hit = comparator_hit(&self.quads, &m);
+        let vm_hit = store_would_fault(&self.fallback_pages, m.addr, m.width);
+        if hw_hit || vm_hit {
+            let wrote = watch.store_overlaps(mem, m.addr, m.width);
+            let (changed, pred_ok) = watch.reevaluate(mem);
+            return Some(classify(changed, pred_ok, wrote));
         }
         None
     }

@@ -8,6 +8,7 @@ mod virtual_mem;
 
 use dise_asm::Program;
 use dise_cpu::{CpuConfig, Exec, Executor};
+use dise_mem::Memory;
 
 use crate::session::DebugError;
 use crate::{Application, DiseStrategy, Transition, TransitionStats, WatchState, Watchpoint};
@@ -65,6 +66,50 @@ impl BackendKind {
                 (BackendKind::Dise(strategy), cpu)
             }
             other => (other, cpu),
+        }
+    }
+
+    /// The observing/perturbing taxonomy behind
+    /// [`crate::ObserverBatch`]: an *observing* backend's watch logic
+    /// reads architectural state but never changes what the application
+    /// fetches or executes — page protection and hardware address
+    /// comparators trap to the debugger without altering the
+    /// instruction stream, so any number of observing backends can
+    /// share one functional pass of the unmodified application.
+    ///
+    /// *Perturbing* backends keep a private replay: statement
+    /// single-stepping (the debugger seizes control at every
+    /// statement), static binary rewriting (a different program runs),
+    /// and every current DISE strategy (productions inject replacement
+    /// instructions into the executed stream). A hypothetical DISE
+    /// organisation that only observed — e.g. pure RANGE-style address
+    /// comparison with no injected sequence — would classify as
+    /// observing, but all of Fig. 2's organisations expand stores.
+    pub fn observation_only(self) -> bool {
+        match self {
+            BackendKind::VirtualMemory | BackendKind::HardwareRegisters { .. } => true,
+            BackendKind::SingleStep | BackendKind::BinaryRewrite | BackendKind::Dise(_) => false,
+        }
+    }
+
+    /// Build the replayable transition detector for an observing
+    /// backend — the piece of the backend that can run against a shared
+    /// functional stream instead of a private machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is a perturbing backend (see
+    /// [`BackendKind::observation_only`]).
+    pub(crate) fn instantiate_observer(
+        self,
+        wps: &[Watchpoint],
+    ) -> Result<Box<dyn ObserverImpl>, DebugError> {
+        match self {
+            BackendKind::VirtualMemory => Ok(Box::new(virtual_mem::VmObserver::new(wps)?)),
+            BackendKind::HardwareRegisters { registers } => {
+                Ok(Box::new(hw_regs::HwObserver::new(registers, wps)?))
+            }
+            other => panic!("{other:?} perturbs execution and cannot join an observer batch"),
         }
     }
 
@@ -130,6 +175,27 @@ pub(crate) trait BackendImpl {
     }
 }
 
+/// The replayable half of an *observing* backend: a transition detector
+/// fed the shared functional stream. Unlike [`BackendImpl::observe`] it
+/// sees memory read-only and no `Executor`, so it cannot perturb the
+/// pass it shares with other observers — the compiler enforces what
+/// [`BackendKind::observation_only`] promises.
+///
+/// Implementations must report transitions bit-identically to their
+/// backend's private replay (the cross-backend conformance suite and
+/// the grid determinism tests hold them to it).
+pub(crate) trait ObserverImpl: Send {
+    /// Inspect one executed instruction of the shared stream; return
+    /// the debugger transition it caused, if any.
+    fn observe(
+        &mut self,
+        e: &Exec,
+        mem: &Memory,
+        watch: &mut WatchState,
+        stats: &mut TransitionStats,
+    ) -> Option<Transition>;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +206,97 @@ mod tests {
         assert_eq!(classify(true, false, true), Transition::SpuriousPredicate);
         assert_eq!(classify(false, false, true), Transition::SpuriousValue);
         assert_eq!(classify(false, false, false), Transition::SpuriousAddress);
+    }
+
+    fn every_kind() -> Vec<BackendKind> {
+        vec![
+            BackendKind::SingleStep,
+            BackendKind::VirtualMemory,
+            BackendKind::hw4(),
+            BackendKind::HardwareRegisters { registers: 0 },
+            BackendKind::BinaryRewrite,
+            BackendKind::dise_default(),
+            BackendKind::Dise(DiseStrategy {
+                multithreaded_calls: true,
+                ..DiseStrategy::default()
+            }),
+            BackendKind::Dise(DiseStrategy::bloom(true)),
+        ]
+    }
+
+    /// The taxonomy is exactly the paper's: page protection and address
+    /// comparators observe; statement stepping, rewriting and DISE
+    /// production injection perturb.
+    #[test]
+    fn observation_taxonomy() {
+        assert!(BackendKind::VirtualMemory.observation_only());
+        assert!(BackendKind::hw4().observation_only());
+        assert!(!BackendKind::SingleStep.observation_only());
+        assert!(!BackendKind::BinaryRewrite.observation_only());
+        for s in [
+            DiseStrategy::default(),
+            DiseStrategy::bloom(true),
+            DiseStrategy::evaluate_inline(false),
+            DiseStrategy { multithreaded_calls: true, ..DiseStrategy::default() },
+        ] {
+            assert!(!BackendKind::Dise(s).observation_only(), "{s:?} injects instructions");
+        }
+    }
+
+    /// `split_timing` round trip, structurally: the split backend is a
+    /// fixed point (splitting again changes nothing), the folded flag
+    /// lands in the configuration exactly when the strategy carried it,
+    /// and nothing else about the configuration moves.
+    #[test]
+    fn split_timing_is_idempotent_and_moves_only_the_mt_flag() {
+        let cpu = CpuConfig::default();
+        for kind in every_kind() {
+            let (split, folded) = kind.split_timing(cpu);
+            assert_eq!(split.split_timing(folded), (split, folded), "{kind:?} not a fixed point");
+            let mt = matches!(kind, BackendKind::Dise(s) if s.multithreaded_calls);
+            assert_eq!(folded.multithreaded_dise_calls, mt, "{kind:?}");
+            if let BackendKind::Dise(s) = split {
+                assert!(!s.multithreaded_calls, "{kind:?} kept the timing knob");
+            }
+            // Everything but the folded flag is untouched.
+            let mut check = folded;
+            check.multithreaded_dise_calls = cpu.multithreaded_dise_calls;
+            assert_eq!(check, cpu, "{kind:?} perturbed unrelated configuration");
+            // Splitting never changes the functional taxonomy.
+            assert_eq!(split.observation_only(), kind.observation_only(), "{kind:?}");
+        }
+    }
+
+    /// `split_timing` round trip, semantically: for every backend kind,
+    /// running the *split* backend under the *folded* configuration
+    /// reproduces the original (backend, config) session bit for bit —
+    /// the folding loses nothing.
+    #[test]
+    fn split_timing_preserves_session_semantics() {
+        use dise_asm::{parse_asm, Layout};
+        use dise_isa::Width;
+
+        let src = "start:  la r1, watched
+                           lda r4, 6(zero)
+                   loop:   .stmt
+                           stq r4, 0(r1)
+                           subq r4, 1, r4
+                           bgt r4, loop
+                           halt
+                   .data
+                   watched: .quad 0
+                  ";
+        let a = Application::new(parse_asm(src).unwrap(), Layout::default());
+        let addr = a.program().unwrap().symbol("watched").unwrap();
+        let wp = crate::Watchpoint::new(crate::WatchExpr::Scalar { addr, width: Width::Q });
+        let cpu = CpuConfig::default();
+        for kind in every_kind() {
+            let (split, folded) = kind.split_timing(cpu);
+            let original = crate::run_session(&a, vec![wp], kind, cpu).unwrap();
+            let refolded = crate::run_session(&a, vec![wp], split, folded).unwrap();
+            assert_eq!(original.run, refolded.run, "{kind:?}");
+            assert_eq!(original.transitions, refolded.transitions, "{kind:?}");
+            assert_eq!(original.text_bytes, refolded.text_bytes, "{kind:?}");
+        }
     }
 }

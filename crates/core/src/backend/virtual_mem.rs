@@ -4,9 +4,9 @@
 
 use dise_asm::Program;
 use dise_cpu::{Event, Exec, Executor};
-use dise_mem::PAGE_SIZE;
+use dise_mem::{Memory, PAGE_SIZE};
 
-use crate::backend::{classify, BackendImpl};
+use crate::backend::{classify, BackendImpl, ObserverImpl};
 use crate::session::DebugError;
 use crate::{Application, Transition, TransitionStats, WatchState, Watchpoint};
 
@@ -43,6 +43,53 @@ pub(crate) fn watched_pages(wps: &[Watchpoint]) -> Result<Vec<u64>, DebugError> 
         }
     }
     Ok(pages)
+}
+
+/// Would a `width`-byte store at `addr` fault if `pages` (page base
+/// addresses) were write-protected? Mirrors `Memory::write_checked`
+/// exactly: an access of at most 8 bytes touches at most two pages, and
+/// the fault fires when either is protected. Shared by the
+/// virtual-memory observer and the hardware-register observer's page
+/// fallback so both agree with the live-machine fault path bit for bit.
+pub(crate) fn store_would_fault(pages: &[u64], addr: u64, width: u64) -> bool {
+    let first = addr & !(PAGE_SIZE - 1);
+    let last = addr.wrapping_add(width.max(1) - 1) & !(PAGE_SIZE - 1);
+    pages.contains(&first) || (last != first && pages.contains(&last))
+}
+
+/// The replayable detector for virtual-memory watchpoints: instead of
+/// write-protecting pages in a private machine and waiting for
+/// [`Event::ProtFault`], it computes from the shared (unperturbed)
+/// stream which stores *would have* faulted. Classification is the same
+/// debugger-side logic either way, so batched-observer reports are
+/// bit-identical to the faulting replay.
+pub(crate) struct VmObserver {
+    /// Page base addresses covering every watched byte.
+    pages: Vec<u64>,
+}
+
+impl VmObserver {
+    pub fn new(wps: &[Watchpoint]) -> Result<VmObserver, DebugError> {
+        Ok(VmObserver { pages: watched_pages(wps)? })
+    }
+}
+
+impl ObserverImpl for VmObserver {
+    fn observe(
+        &mut self,
+        e: &Exec,
+        mem: &Memory,
+        watch: &mut WatchState,
+        _stats: &mut TransitionStats,
+    ) -> Option<Transition> {
+        let m = e.mem?;
+        if !m.is_store || !store_would_fault(&self.pages, m.addr, m.width) {
+            return None;
+        }
+        let wrote = watch.store_overlaps(mem, m.addr, m.width);
+        let (changed, pred_ok) = watch.reevaluate(mem);
+        Some(classify(changed, pred_ok, wrote))
+    }
 }
 
 impl BackendImpl for VirtualMemory {

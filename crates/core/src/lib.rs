@@ -23,6 +23,14 @@
 //! multi-watchpoint matching (Fig. 6), multithreaded DISE calls
 //! (Fig. 8), and debugger-structure protection (Fig. 2f / Fig. 9).
 //!
+//! Backends that *observe* without perturbing execution
+//! ([`BackendKind::observation_only`]: virtual memory and hardware
+//! registers) can share **one functional pass** of the unmodified
+//! application across any number of backends and timing configurations
+//! via [`ObserverBatch`] — bit-identical to their private replays,
+//! enforced by the cross-backend differential conformance suite
+//! (`tests/backend_conformance.rs`).
+//!
 //! ```
 //! use dise_asm::{parse_asm, Layout};
 //! use dise_debug::{Application, BackendKind, Session, WatchExpr, Watchpoint};
@@ -62,7 +70,8 @@ pub use breakpoint::{Breakpoint, BreakpointBackend, BreakpointReport, Breakpoint
 pub use iwatcher::{Monitor, MonitoredRegion};
 pub use region::DebugRegion;
 pub use session::{
-    run_baseline, run_session, run_session_batch, BaselineCache, DebugError, Session, SessionReport,
+    functional_passes, run_baseline, run_session, run_session_batch, BaselineCache, DebugError,
+    ObserverBatch, Session, SessionReport,
 };
 pub use stats::{Transition, TransitionStats};
 pub use strategy::{CheckKind, DiseStrategy, MultiMatch};

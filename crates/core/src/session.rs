@@ -3,14 +3,33 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use dise_asm::AsmError;
 use dise_cpu::{CpuConfig, Event, ExecError, Executor, Machine, RunStats, TimingBatch};
 use dise_engine::EngineError;
 
-use crate::backend::BackendImpl;
+use crate::backend::{BackendImpl, ObserverImpl};
 use crate::{Application, BackendKind, TransitionStats, WatchExpr, WatchState, Watchpoint};
+
+/// Functional session passes driven since process start (one per driven
+/// `Executor` run: lone sessions, timing batches, and shared observer
+/// passes each count once). See [`functional_passes`].
+static FUNCTIONAL_PASSES: AtomicU64 = AtomicU64::new(0);
+
+/// Total functional session passes executed by this process — one per
+/// [`Session`] run, one per [`run_session_batch`] (however many timing
+/// configurations it accounts), and one per [`ObserverBatch`] run
+/// (however many backends share it). Undebugged baselines are not
+/// counted.
+///
+/// This is instrumentation for the execution-count assertions that
+/// prove grids share functional passes instead of re-executing per
+/// cell; compare *deltas*, as the counter is process-global.
+pub fn functional_passes() -> u64 {
+    FUNCTIONAL_PASSES.load(Ordering::Relaxed)
+}
 
 /// Errors establishing or running a debugging session.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -193,6 +212,175 @@ fn validate_watchpoints(wps: &[Watchpoint]) -> Result<(), DebugError> {
     Ok(())
 }
 
+/// A session batch sharing **one functional pass across backends**: the
+/// generalisation of [`run_session_batch`] (one backend, N timing
+/// configurations) to N *observing* backends × M timing configurations
+/// each.
+///
+/// An observing backend (see [`BackendKind::observation_only`]) reads
+/// architectural state but never changes what the application fetches
+/// or executes, so its functional stream is exactly the unmodified
+/// application's — and therefore shareable. `ObserverBatch` runs the
+/// application once and fans every `Exec` record out to each member's
+/// replayable transition detector and timing models; member `i`'s entry
+/// `j` is bit-identical to
+/// `run_session(app, watchpoints, members[i], cpus[i][j])` run on its
+/// own (enforced by the cross-backend conformance suite and the grid
+/// determinism tests).
+///
+/// Perturbing backends (single-stepping, binary rewriting, DISE
+/// production injection) are refused at [`ObserverBatch::member`]; they
+/// keep their private replay through [`run_session_batch`].
+///
+/// ```
+/// use dise_asm::{parse_asm, Layout};
+/// use dise_cpu::CpuConfig;
+/// use dise_debug::{Application, BackendKind, ObserverBatch, WatchExpr, Watchpoint};
+/// use dise_isa::Width;
+///
+/// let app = Application::new(parse_asm("
+///     start:  la r1, x
+///             lda r2, 7(zero)
+///             stq r2, 0(r1)
+///             halt
+///     .data
+///     x: .quad 0
+/// ").unwrap(), Layout::default());
+/// let x = app.program()?.symbol("x").unwrap();
+/// let wp = Watchpoint::new(WatchExpr::Scalar { addr: x, width: Width::Q });
+///
+/// let mut batch = ObserverBatch::new(&app, vec![wp]);
+/// batch.member(BackendKind::VirtualMemory, vec![CpuConfig::default()]);
+/// batch.member(BackendKind::hw4(), vec![CpuConfig::default()]);
+/// let results = batch.run()?; // one functional execution, two backends
+/// assert_eq!(results.len(), 2);
+/// for member in results {
+///     assert_eq!(member.unwrap()[0].transitions.user, 1);
+/// }
+/// # Ok::<(), dise_debug::DebugError>(())
+/// ```
+pub struct ObserverBatch<'a> {
+    app: &'a Application,
+    watchpoints: Vec<Watchpoint>,
+    members: Vec<(BackendKind, Vec<CpuConfig>)>,
+}
+
+impl<'a> ObserverBatch<'a> {
+    /// An empty batch over one (application, watchpoint set) scenario.
+    pub fn new(app: &'a Application, watchpoints: Vec<Watchpoint>) -> ObserverBatch<'a> {
+        ObserverBatch { app, watchpoints, members: Vec::new() }
+    }
+
+    /// Add an observing backend, to be accounted under each of `cpus`.
+    ///
+    /// The DISE engine capacities in `cpus` are irrelevant here — no
+    /// member installs productions, so unlike [`run_session_batch`] the
+    /// configurations need not agree on [`CpuConfig::engine`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `backend` is perturbing: sharing a pass with a
+    /// backend that changes the executed stream would corrupt every
+    /// member's results.
+    pub fn member(&mut self, backend: BackendKind, cpus: Vec<CpuConfig>) -> &mut ObserverBatch<'a> {
+        assert!(
+            backend.observation_only(),
+            "{backend:?} perturbs the functional stream and must replay privately \
+             (run_session_batch)"
+        );
+        self.members.push((backend, cpus));
+        self
+    }
+
+    /// Number of member backends.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no members have been added.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Run the single shared functional pass and scatter it: one result
+    /// per member, in [`ObserverBatch::member`] order; a member's
+    /// reports are in its `cpus` order.
+    ///
+    /// # Errors
+    ///
+    /// The outer `Err` is scenario-wide (assembly failure, ill-formed
+    /// watchpoints) — no backend could run it. A per-member `Err`
+    /// (e.g. [`DebugError::Unsupported`] for INDIRECT under virtual
+    /// memory) leaves the other members' results intact, exactly as if
+    /// each had been run on its own.
+    pub fn run(self) -> Result<Vec<Result<Vec<SessionReport>, DebugError>>, DebugError> {
+        validate_watchpoints(&self.watchpoints)?;
+        let prog = self.app.program()?;
+
+        struct Live {
+            member: usize,
+            observer: Box<dyn ObserverImpl>,
+            watch: WatchState,
+            timings: TimingBatch,
+            stats: TransitionStats,
+        }
+
+        let mut results: Vec<Result<Vec<SessionReport>, DebugError>> =
+            self.members.iter().map(|_| Ok(Vec::new())).collect();
+        // The executor's configuration only matters functionally through
+        // its DISE engine capacities, and no observer installs
+        // productions; any member's configuration (or the default) loads
+        // the same machine.
+        let cfg =
+            self.members.iter().find_map(|(_, cpus)| cpus.first()).copied().unwrap_or_default();
+        let mut exec = Executor::from_program(&prog, cfg);
+        let mut live: Vec<Live> = Vec::new();
+        for (i, (backend, cpus)) in self.members.iter().enumerate() {
+            match backend.instantiate_observer(&self.watchpoints) {
+                Ok(observer) => live.push(Live {
+                    member: i,
+                    observer,
+                    watch: WatchState::new(&self.watchpoints, exec.mem()),
+                    timings: TimingBatch::new(cpus),
+                    stats: TransitionStats::default(),
+                }),
+                Err(e) => results[i] = Err(e),
+            }
+        }
+        if live.is_empty() {
+            return Ok(results);
+        }
+
+        FUNCTIONAL_PASSES.fetch_add(1, Ordering::Relaxed);
+        let mut error = None;
+        while !exec.is_halted() {
+            let e = exec.step();
+            for l in &mut live {
+                l.timings.consume(&e);
+                if let Some(t) = l.observer.observe(&e, exec.mem(), &mut l.watch, &mut l.stats) {
+                    l.stats.count(t);
+                    if t.is_spurious() {
+                        l.timings.debugger_stall();
+                    }
+                }
+            }
+            if let Some(Event::Error(err)) = e.event {
+                error = Some(err);
+            }
+        }
+        let text_bytes = prog.text_bytes();
+        for l in live {
+            results[l.member] = Ok(l
+                .timings
+                .finish()
+                .into_iter()
+                .map(|run| SessionReport { run, transitions: l.stats, error, text_bytes })
+                .collect());
+        }
+        Ok(results)
+    }
+}
+
 /// The session loop shared by [`Session`] and [`run_session_batch`]:
 /// one functional pass through `exec` and `backend`, fanned out to
 /// every timing model in `timings`. Returns the terminal execution
@@ -205,6 +393,7 @@ fn drive(
     stats: &mut TransitionStats,
     max_instructions: u64,
 ) -> Option<ExecError> {
+    FUNCTIONAL_PASSES.fetch_add(1, Ordering::Relaxed);
     let mut error = None;
     let mut n = 0u64;
     while !exec.is_halted() && n < max_instructions {
@@ -912,6 +1101,179 @@ mod tests {
         let wp = scalar_wp(&a, "watched");
         let out = run_session_batch(&a, vec![wp], BackendKind::dise_default(), &[]).unwrap();
         assert!(out.is_empty());
+    }
+
+    /// The tentpole contract: an observer batch fanning one functional
+    /// pass out to both observing backends × several timing
+    /// configurations reproduces every per-backend, per-config replay
+    /// bit for bit — while executing once instead of six times.
+    #[test]
+    fn observer_batch_matches_private_replays_bit_for_bit() {
+        let a = app(8);
+        let wp = scalar_wp(&a, "watched");
+        let cheap = CpuConfig { debugger_transition_cost: 5_000, ..CpuConfig::default() };
+        let narrow = CpuConfig { width: 1, commit_width: 1, ..CpuConfig::default() };
+        let cpus = vec![CpuConfig::default(), cheap, narrow];
+
+        // (Exact functional-pass counts are asserted by the dedicated
+        // execution-count test in `dise-bench`, where the process-global
+        // counter is not racing other tests.)
+        let mut batch = ObserverBatch::new(&a, vec![wp]);
+        batch.member(BackendKind::VirtualMemory, cpus.clone());
+        batch.member(BackendKind::hw4(), cpus.clone());
+        assert_eq!(batch.len(), 2);
+        let results = batch.run().unwrap();
+
+        for (backend, member) in
+            [BackendKind::VirtualMemory, BackendKind::hw4()].into_iter().zip(results)
+        {
+            let reports = member.unwrap();
+            assert_eq!(reports.len(), cpus.len());
+            for (cpu, got) in cpus.iter().zip(reports) {
+                let lone = run_session(&a, vec![wp], backend, *cpu).unwrap();
+                assert_eq!(got.run, lone.run, "{backend:?} diverged for {cpu:?}");
+                assert_eq!(got.transitions, lone.transitions, "{backend:?}");
+                assert_eq!(got.error, lone.error, "{backend:?}");
+                assert_eq!(got.text_bytes, lone.text_bytes, "{backend:?}");
+            }
+        }
+    }
+
+    /// An unsupported member (INDIRECT under virtual memory) fails
+    /// alone; the rest of the batch still runs and still matches its
+    /// private replay.
+    #[test]
+    fn observer_batch_isolates_unsupported_members() {
+        let src = "start:  la r1, p
+                           ldq r2, 0(r1)
+                           lda r3, 5(zero)
+                           stq r3, 0(r2)
+                           halt
+                   .data
+                   target: .quad 1
+                   p:      .quad 0x01000000
+                  ";
+        let a = Application::new(parse_asm(src).unwrap(), Layout::default());
+        let p = a.program().unwrap().symbol("p").unwrap();
+        let target = a.program().unwrap().symbol("target").unwrap();
+        let indirect = Watchpoint::new(WatchExpr::Indirect { ptr: p, width: Width::Q });
+        let scalar = Watchpoint::new(WatchExpr::Scalar { addr: target, width: Width::Q });
+
+        // Both members decline indirect watchpoints.
+        let mut batch = ObserverBatch::new(&a, vec![indirect]);
+        batch.member(BackendKind::VirtualMemory, vec![CpuConfig::default()]);
+        batch.member(BackendKind::hw4(), vec![CpuConfig::default()]);
+        let results = batch.run().unwrap();
+        assert!(results.iter().all(|r| matches!(r, Err(DebugError::Unsupported { .. }))));
+
+        // A watchable scalar keeps the supported members alive: a
+        // four-register backend takes it, a zero-register backend's
+        // overflow falls back to page protection and agrees with its
+        // own private replay.
+        let mut batch = ObserverBatch::new(&a, vec![scalar]);
+        batch.member(BackendKind::HardwareRegisters { registers: 0 }, vec![CpuConfig::default()]);
+        batch.member(BackendKind::hw4(), vec![CpuConfig::default()]);
+        let results = batch.run().unwrap();
+        for (backend, member) in
+            [BackendKind::HardwareRegisters { registers: 0 }, BackendKind::hw4()]
+                .into_iter()
+                .zip(results)
+        {
+            let lone = run_session(&a, vec![scalar], backend, CpuConfig::default()).unwrap();
+            let got = &member.unwrap()[0];
+            assert_eq!(got.run, lone.run, "{backend:?}");
+            assert_eq!(got.transitions, lone.transitions, "{backend:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "perturbs the functional stream")]
+    fn observer_batch_refuses_perturbing_backends() {
+        let a = app(5);
+        let wp = scalar_wp(&a, "watched");
+        let mut batch = ObserverBatch::new(&a, vec![wp]);
+        batch.member(BackendKind::dise_default(), vec![CpuConfig::default()]);
+    }
+
+    #[test]
+    fn observer_batch_with_no_members_is_empty() {
+        let a = app(5);
+        let wp = scalar_wp(&a, "watched");
+        let batch = ObserverBatch::new(&a, vec![wp]);
+        assert!(batch.is_empty());
+        assert!(batch.run().unwrap().is_empty());
+    }
+
+    /// Unlike `run_session_batch`, observer members need not agree on
+    /// DISE engine capacities: no member installs productions, so the
+    /// engine is functionally inert and cells differing only in engine
+    /// configuration may still share the pass.
+    #[test]
+    fn observer_batch_tolerates_mismatched_engine_configs() {
+        let a = app(6);
+        let wp = scalar_wp(&a, "watched");
+        let mut small = CpuConfig::default();
+        small.engine.replacement_entries = 64;
+        let mut batch = ObserverBatch::new(&a, vec![wp]);
+        batch.member(BackendKind::VirtualMemory, vec![CpuConfig::default(), small]);
+        let reports = batch.run().unwrap().pop().unwrap().unwrap();
+        let lone = run_session(&a, vec![wp], BackendKind::VirtualMemory, small).unwrap();
+        assert_eq!(reports[1].run, lone.run);
+    }
+
+    /// Every `DebugError::InvalidWatchpoint` rejection path, through
+    /// every session construction surface: a conditional range (no
+    /// defined scalar comparison) and a zero-length range (watches no
+    /// bytes) must be rejected by `Session::with_config`, `run_session`,
+    /// `run_session_batch` and `ObserverBatch::run` alike, before any
+    /// backend work happens.
+    #[test]
+    fn invalid_watchpoints_rejected_on_every_entry_point() {
+        let a = app(5);
+        let base = a.program().unwrap().symbol("watched").unwrap();
+        let invalid = [
+            ("conditional range", {
+                Watchpoint::conditional(WatchExpr::Range { base, len: 16 }, Condition::equals(3))
+            }),
+            ("zero-length range", Watchpoint::new(WatchExpr::Range { base, len: 0 })),
+        ];
+        for (what, wp) in invalid {
+            for kind in [
+                BackendKind::dise_default(),
+                BackendKind::VirtualMemory,
+                BackendKind::hw4(),
+                BackendKind::SingleStep,
+                BackendKind::BinaryRewrite,
+            ] {
+                assert!(
+                    matches!(
+                        Session::with_config(&a, vec![wp], kind, CpuConfig::default()),
+                        Err(DebugError::InvalidWatchpoint { .. })
+                    ),
+                    "{what}: Session::with_config under {kind:?}"
+                );
+                assert!(
+                    matches!(
+                        run_session(&a, vec![wp], kind, CpuConfig::default()),
+                        Err(DebugError::InvalidWatchpoint { .. })
+                    ),
+                    "{what}: run_session under {kind:?}"
+                );
+                assert!(
+                    matches!(
+                        run_session_batch(&a, vec![wp], kind, &[CpuConfig::default()]),
+                        Err(DebugError::InvalidWatchpoint { .. })
+                    ),
+                    "{what}: run_session_batch under {kind:?}"
+                );
+            }
+            let mut batch = ObserverBatch::new(&a, vec![wp]);
+            batch.member(BackendKind::VirtualMemory, vec![CpuConfig::default()]);
+            assert!(
+                matches!(batch.run(), Err(DebugError::InvalidWatchpoint { .. })),
+                "{what}: ObserverBatch::run rejects the whole scenario"
+            );
+        }
     }
 
     #[test]

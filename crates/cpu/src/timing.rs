@@ -752,4 +752,43 @@ mod tests {
         assert_eq!(s.debugger_stalls, 0);
         assert!(s.cycles < 500, "only cold-miss latency, no stall: {}", s.cycles);
     }
+
+    /// The invariant observer batching (`dise-debug`'s `ObserverBatch`)
+    /// rests on: two streams identical except for their `event` fields
+    /// cost exactly the same cycles. A protected virtual-memory run and
+    /// the shared unprotected pass differ only in `ProtFault`
+    /// annotations, so their timing must be bit-identical — debugger
+    /// cost enters exclusively through [`Timing::debugger_stall`].
+    #[test]
+    fn event_annotations_never_change_cycle_accounting() {
+        let run = |annotate: bool| {
+            let mut t = Timing::new(cfg());
+            for i in 0..2000u64 {
+                let mut e = plain_alu(0x10_0000 + (i % 64) * 4, (i % 8) as u8, 20);
+                if i % 7 == 0 {
+                    e.instr = Instr::Store {
+                        width: dise_isa::Width::Q,
+                        rs: Reg::gpr(1),
+                        base: Reg::gpr(20),
+                        disp: 0,
+                    };
+                    e.mem = Some(MemOp {
+                        addr: 0x2000 + (i % 128) * 8,
+                        width: 8,
+                        is_store: true,
+                        old_value: 0,
+                        new_value: 1,
+                    });
+                    if annotate {
+                        e.event = Some(Event::ProtFault { addr: 0x2000 });
+                    }
+                } else if annotate && i % 11 == 0 {
+                    e.event = Some(Event::Trap);
+                }
+                t.consume(&e);
+            }
+            t.finish()
+        };
+        assert_eq!(run(false), run(true), "events are functional annotations, not costs");
+    }
 }

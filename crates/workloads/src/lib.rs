@@ -37,6 +37,7 @@
 
 mod kernels;
 mod sweeps;
+pub mod synthetic;
 mod workload;
 
 pub use sweeps::transition_cost_sweep;

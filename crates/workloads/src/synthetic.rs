@@ -1,0 +1,285 @@
+//! Randomized synthetic debugging scenarios — the input space of the
+//! cross-backend differential conformance suite
+//! (`crates/core/tests/backend_conformance.rs`).
+//!
+//! A scenario is a counted loop over a block of [`SLOTS`] watchable
+//! quadwords, executing a caller-chosen sequence of stores each
+//! iteration, plus a watchpoint set over the slots. Every store is
+//! **quad-wide and quad-aligned**: that is the granularity all five
+//! backends implement with identical semantics, which is what a
+//! differential suite must pin down. (A store that *starts below* a
+//! watched range and straddles into it is caught by page protection
+//! but — by the paper's design — not by DISE's base-address pattern
+//! match, so unaligned straddles are a legitimate cross-backend
+//! difference; DISE's own unaligned-boundary behaviour is covered by
+//! dedicated regression tests in `dise-debug`.)
+//!
+//! Generation is fully deterministic in the spec, so a shrunk failing
+//! spec reproduces its program exactly.
+
+use dise_asm::{parse_asm, Layout};
+use dise_debug::{Application, Condition, WatchExpr, Watchpoint};
+use dise_isa::Width;
+use std::fmt::Write as _;
+
+/// Watchable quadwords in the scenario's data block (one 64-byte,
+/// single-page region — page sharing is part of the point: it exercises
+/// the virtual-memory backend's spurious address transitions).
+pub const SLOTS: u8 = 8;
+
+/// One store in the scenario's loop body (always `stq`, quad-aligned).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StoreOp {
+    /// `slots[slot] = iteration counter` — changes every iteration.
+    Counter {
+        /// Target slot index.
+        slot: u8,
+    },
+    /// `slots[slot] = k` — a silent store once the slot holds `k`.
+    Constant {
+        /// Target slot index.
+        slot: u8,
+        /// The constant stored.
+        k: u8,
+    },
+    /// `slots[slot] = 0` — silent until another store disturbs the
+    /// slot (slots start zeroed).
+    Zero {
+        /// Target slot index.
+        slot: u8,
+    },
+    /// `scratch[slot] = iteration counter` — the scratch block lives on
+    /// a *different page* than the slots, and no watchpoint ever covers
+    /// it: these stores are true negatives that every backend
+    /// (including the virtual-memory page filter) must stay silent on.
+    Scratch {
+        /// Target scratch-block slot index.
+        slot: u8,
+    },
+}
+
+impl StoreOp {
+    /// The slot this store writes (in its own block).
+    pub fn slot(&self) -> u8 {
+        match *self {
+            StoreOp::Counter { slot }
+            | StoreOp::Constant { slot, .. }
+            | StoreOp::Zero { slot }
+            | StoreOp::Scratch { slot } => slot,
+        }
+    }
+}
+
+/// One watchpoint over the scenario's slots.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WatchSpec {
+    /// `watch slots[slot]` (quad scalar).
+    Scalar {
+        /// Watched slot.
+        slot: u8,
+    },
+    /// `watch slots[slot] if slots[slot] == k`.
+    Conditional {
+        /// Watched slot.
+        slot: u8,
+        /// Predicate constant.
+        k: u8,
+    },
+    /// `watch` the byte range `[slots + 8*first, slots + 8*first + len)`
+    /// — quad-aligned base, arbitrary length (a non-multiple-of-8 `len`
+    /// leaves unwatched tail bytes in the final quad, exercising the
+    /// backends' boundary handling).
+    Range {
+        /// First slot of the range.
+        first: u8,
+        /// Length in bytes (clamped to the slot block).
+        len: u8,
+    },
+    /// `watch *p` where the pointer cell `p` holds `&slots[slot]`.
+    /// Statically unaddressable: virtual memory and hardware registers
+    /// must decline it.
+    Indirect {
+        /// Slot the pointer targets.
+        slot: u8,
+    },
+}
+
+/// Build a scenario: the application (a counted loop of `iters`
+/// iterations running `ops` in order, one statement marker per
+/// iteration) and the watchpoints resolved against its assembled image.
+///
+/// Slot indices are taken modulo [`SLOTS`] and range lengths are
+/// clamped to the block, so arbitrary (e.g. shrunk) specs are always
+/// valid.
+///
+/// # Panics
+///
+/// Panics on more than one [`WatchSpec::Indirect`] (the scenario image
+/// carries a single pointer cell — and DISE's serial matcher likewise
+/// supports one indirect watchpoint, which must come first), or if the
+/// generated program fails to assemble (a bug in this generator, not in
+/// the spec).
+pub fn scenario(iters: u8, ops: &[StoreOp], specs: &[WatchSpec]) -> (Application, Vec<Watchpoint>) {
+    assert!(
+        specs.iter().filter(|s| matches!(s, WatchSpec::Indirect { .. })).count() <= 1,
+        "a scenario has one pointer cell: at most one indirect watchpoint"
+    );
+    // The pointer cell for an indirect watchpoint needs the watched
+    // slot's absolute address in its initialiser: generate once with a
+    // placeholder, read the symbol, and regenerate. Assembly is
+    // deterministic, so the second image's layout equals the first's.
+    let probe = Application::new(parse_asm(&source(iters, ops, 0)).expect("parses"), layout());
+    let slots = probe.program().expect("assembles").symbol("slots").expect("slots exists");
+    let indirect_target = specs.iter().find_map(|s| match s {
+        WatchSpec::Indirect { slot } => Some(slots + 8 * u64::from(slot % SLOTS)),
+        _ => None,
+    });
+    let app = Application::new(
+        parse_asm(&source(iters, ops, indirect_target.unwrap_or(0))).expect("parses"),
+        layout(),
+    );
+    let prog = app.program().expect("assembles");
+    assert_eq!(prog.symbol("slots"), Some(slots), "two-pass layout must agree");
+
+    let ptr = prog.symbol("ptr").expect("ptr exists");
+    let wps = specs
+        .iter()
+        .map(|spec| match *spec {
+            WatchSpec::Scalar { slot } => Watchpoint::new(WatchExpr::Scalar {
+                addr: slots + 8 * u64::from(slot % SLOTS),
+                width: Width::Q,
+            }),
+            WatchSpec::Conditional { slot, k } => Watchpoint::conditional(
+                WatchExpr::Scalar { addr: slots + 8 * u64::from(slot % SLOTS), width: Width::Q },
+                Condition::equals(u64::from(k)),
+            ),
+            WatchSpec::Range { first, len } => {
+                let first = u64::from(first % SLOTS);
+                let max_len = 8 * (u64::from(SLOTS) - first);
+                let len = u64::from(len).clamp(1, max_len);
+                Watchpoint::new(WatchExpr::Range { base: slots + 8 * first, len })
+            }
+            WatchSpec::Indirect { .. } => {
+                Watchpoint::new(WatchExpr::Indirect { ptr, width: Width::Q })
+            }
+        })
+        .collect();
+    (app, wps)
+}
+
+fn layout() -> Layout {
+    Layout::default()
+}
+
+fn source(iters: u8, ops: &[StoreOp], indirect_target: u64) -> String {
+    let iters = iters.max(1);
+    let mut src = String::new();
+    let _ = writeln!(src, "start:  la r20, slots");
+    let _ = writeln!(src, "        la r21, scratch");
+    let _ = writeln!(src, "        lda r9, {iters}(zero)");
+    let _ = writeln!(src, "loop:   .stmt");
+    for op in ops {
+        let disp = 8 * u64::from(op.slot() % SLOTS);
+        match *op {
+            StoreOp::Counter { .. } => {
+                let _ = writeln!(src, "        stq r9, {disp}(r20)");
+            }
+            StoreOp::Constant { k, .. } => {
+                let _ = writeln!(src, "        lda r1, {k}(zero)");
+                let _ = writeln!(src, "        stq r1, {disp}(r20)");
+            }
+            StoreOp::Zero { .. } => {
+                let _ = writeln!(src, "        stq r31, {disp}(r20)");
+            }
+            StoreOp::Scratch { .. } => {
+                let _ = writeln!(src, "        stq r9, {disp}(r21)");
+            }
+        }
+    }
+    let _ = writeln!(src, "        subq r9, 1, r9");
+    let _ = writeln!(src, "        bgt r9, loop");
+    let _ = writeln!(src, "        halt");
+    let _ = writeln!(src, ".data");
+    let _ = writeln!(src, "slots:  .space {}", 8 * u64::from(SLOTS));
+    let _ = writeln!(src, "ptr:    .quad {indirect_target:#x}");
+    // Pad the scratch block onto its own page: its stores must never
+    // look watched, not even through page-granularity protection.
+    let _ = writeln!(src, "        .space 4096");
+    let _ = writeln!(src, "scratch: .space {}", 8 * u64::from(SLOTS));
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_cpu::{CpuConfig, Executor};
+
+    #[test]
+    fn scratch_block_sits_on_its_own_page() {
+        let (app, _) =
+            scenario(2, &[StoreOp::Scratch { slot: 0 }], &[WatchSpec::Scalar { slot: 0 }]);
+        let prog = app.program().unwrap();
+        let slots = prog.symbol("slots").unwrap();
+        let scratch = prog.symbol("scratch").unwrap();
+        assert_ne!(slots / 4096, scratch / 4096, "scratch shares no page with the slots");
+    }
+
+    #[test]
+    fn scenarios_assemble_run_and_halt() {
+        let ops = [
+            StoreOp::Counter { slot: 0 },
+            StoreOp::Constant { slot: 3, k: 7 },
+            StoreOp::Zero { slot: 5 },
+            StoreOp::Counter { slot: 9 }, // wraps to slot 1
+        ];
+        let specs = [WatchSpec::Scalar { slot: 0 }, WatchSpec::Range { first: 6, len: 13 }];
+        let (app, wps) = scenario(5, &ops, &specs);
+        assert_eq!(wps.len(), 2);
+        let prog = app.program().unwrap();
+        let mut exec = Executor::from_program(&prog, CpuConfig::default());
+        let mut n = 0;
+        while !exec.is_halted() {
+            exec.step();
+            n += 1;
+            assert!(n < 10_000, "scenario must halt");
+        }
+        let slots = prog.symbol("slots").unwrap();
+        // Final values: counter slots hold the last counter value (1),
+        // the constant slot holds 7, the zero slot 0.
+        assert_eq!(exec.mem().read_u(slots, 8), 1);
+        assert_eq!(exec.mem().read_u(slots + 24, 8), 7);
+        assert_eq!(exec.mem().read_u(slots + 40, 8), 0);
+        assert_eq!(exec.mem().read_u(slots + 8, 8), 1, "slot index wraps modulo SLOTS");
+    }
+
+    #[test]
+    fn indirect_pointer_targets_its_slot() {
+        let (app, wps) =
+            scenario(3, &[StoreOp::Counter { slot: 2 }], &[WatchSpec::Indirect { slot: 2 }]);
+        let prog = app.program().unwrap();
+        let mut mem = dise_mem::Memory::new();
+        prog.load(&mut mem);
+        let slots = prog.symbol("slots").unwrap();
+        let ptr = prog.symbol("ptr").unwrap();
+        assert_eq!(mem.read_u(ptr, 8), slots + 16, "ptr holds &slots[2]");
+        assert!(matches!(wps[0].expr, WatchExpr::Indirect { .. }));
+    }
+
+    #[test]
+    fn range_lengths_clamp_to_the_block() {
+        let (_, wps) =
+            scenario(2, &[StoreOp::Zero { slot: 0 }], &[WatchSpec::Range { first: 7, len: 200 }]);
+        let WatchExpr::Range { len, .. } = wps[0].expr else { panic!("range") };
+        assert_eq!(len, 8, "one slot left at the end of the block");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let ops = [StoreOp::Constant { slot: 1, k: 42 }];
+        let specs = [WatchSpec::Conditional { slot: 1, k: 42 }];
+        let (a, w) = scenario(4, &ops, &specs);
+        let (b, w2) = scenario(4, &ops, &specs);
+        assert_eq!(a, b);
+        assert_eq!(w, w2);
+    }
+}

@@ -12,8 +12,17 @@
 //!
 //! Inputs are generated from a deterministic SplitMix64 stream (override
 //! the seed with `PROPTEST_SEED`), each case is checked, and the first
-//! failure panics with the case number and seed. **No shrinking** is
-//! performed — failures report the generated inputs via `Debug` instead.
+//! failure panics with the case number and seed.
+//!
+//! **Shrinking:** on failure, the runner repeatedly asks the strategy
+//! for smaller candidate inputs ([`strategy::Strategy::shrink`]) and
+//! greedily re-runs the body, keeping any candidate that still fails,
+//! until no candidate fails or a step budget runs out; the panic then
+//! reports the minimised inputs. Integer ranges shrink toward their
+//! lower bound, `any::<int>()` toward zero, vectors by dropping
+//! elements and shrinking survivors, and tuples component-wise.
+//! Opaque strategies (`prop_map`, `prop_oneof!`) do not shrink — their
+//! failures report the originally generated inputs.
 
 pub mod strategy {
     use crate::test_runner::TestRng;
@@ -26,6 +35,16 @@ pub mod strategy {
 
         /// Produce one value from the random stream.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Propose strictly smaller candidates derived from a failing
+        /// `value`, most aggressive first. The runner re-checks each
+        /// candidate and greedily descends into any that still fails.
+        /// The default — for strategies whose values are opaque, like
+        /// [`Map`] and [`Union`] — proposes nothing, which disables
+        /// shrinking but never misreports.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         /// Transform generated values.
         fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -68,6 +87,9 @@ pub mod strategy {
         type Value = V;
         fn generate(&self, rng: &mut TestRng) -> V {
             self.0.generate(rng)
+        }
+        fn shrink(&self, value: &V) -> Vec<V> {
+            self.0.shrink(value)
         }
     }
 
@@ -115,6 +137,13 @@ pub mod strategy {
             }
             panic!("prop_filter({}) rejected 1000 consecutive draws", self.whence);
         }
+        fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            // Shrunk candidates must still satisfy the predicate, or the
+            // minimised input would lie outside the strategy.
+            let mut out = self.inner.shrink(value);
+            out.retain(|v| (self.f)(v));
+            out
+        }
     }
 
     /// Uniform choice between boxed arms; built by [`crate::prop_oneof!`].
@@ -137,6 +166,25 @@ pub mod strategy {
         }
     }
 
+    /// Shrink candidates for an integer toward `lo`: the bound itself
+    /// (most aggressive), then a halving ladder approaching `v` from
+    /// below (`v - gap/2`, `v - gap/4`, …, `v - 1`). The greedy runner
+    /// takes the first candidate that still fails, so the failing
+    /// region's boundary is found by binary search, not a linear walk.
+    pub(crate) fn int_candidates(lo: i128, v: i128) -> Vec<i128> {
+        if v <= lo {
+            return Vec::new();
+        }
+        let mut out = vec![lo];
+        let mut delta = (v - lo) / 2;
+        while delta > 0 {
+            out.push(v - delta);
+            delta /= 2;
+        }
+        out.dedup();
+        out
+    }
+
     macro_rules! impl_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for core::ops::Range<$t> {
@@ -146,6 +194,12 @@ pub mod strategy {
                     let span = (self.end as i128 - self.start as i128) as u128;
                     let v = ((rng.next_u64() as u128) % span) as i128;
                     (self.start as i128 + v) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_candidates(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
                 }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
@@ -157,6 +211,12 @@ pub mod strategy {
                     let v = ((rng.next_u64() as u128) % span) as i128;
                     (start as i128 + v) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_candidates(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
+                }
             }
         )*};
     }
@@ -164,24 +224,150 @@ pub mod strategy {
     impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
     macro_rules! impl_tuple_strategy {
-        ($($s:ident/$v:ident),+) => {
-            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        ($(($s:ident, $idx:tt)),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone),+
+            {
                 type Value = ($($s::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                    #[allow(non_snake_case)]
-                    let ($($s,)+) = self;
-                    ($($s.generate(rng),)+)
+                    ($(self.$idx.generate(rng),)+)
+                }
+                /// Component-wise: each candidate shrinks exactly one
+                /// component and clones the rest.
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         };
     }
 
-    impl_tuple_strategy!(A / a);
-    impl_tuple_strategy!(A / a, B / b);
-    impl_tuple_strategy!(A / a, B / b, C / c);
-    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
-    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
-    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+    impl_tuple_strategy!((A, 0));
+    impl_tuple_strategy!((A, 0), (B, 1));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+
+    /// Greedy shrink descent, used by the [`crate::proptest!`] runner:
+    /// starting from a failing `value`, repeatedly take the first
+    /// shrink candidate that still fails `check` (`Some(message)` =
+    /// failure) until none fails or the step budget is exhausted.
+    /// Returns the minimised value, its failure message, and the number
+    /// of candidates tried.
+    pub fn shrink_failure<S, F>(
+        strategy: &S,
+        mut value: S::Value,
+        mut message: String,
+        check: F,
+    ) -> (S::Value, String, u32)
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> Option<String>,
+    {
+        const MAX_STEPS: u32 = 500;
+        let mut steps = 0;
+        'descend: loop {
+            for cand in strategy.shrink(&value) {
+                if steps >= MAX_STEPS {
+                    break 'descend;
+                }
+                steps += 1;
+                if let Some(m) = check(&cand) {
+                    value = cand;
+                    message = m;
+                    continue 'descend;
+                }
+            }
+            break;
+        }
+        (value, message, steps)
+    }
+
+    /// Best-effort text of a caught panic payload (the runner treats
+    /// body panics like `prop_assert!` failures so they shrink too).
+    pub fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = p.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = p.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "test body panicked".to_string()
+        }
+    }
+
+    thread_local! {
+        /// True while *this thread's* shrink descent is re-running
+        /// failing bodies: the process-wide hook below stays silent for
+        /// it, without touching other test threads.
+        static SUPPRESS_PANIC_OUTPUT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    }
+
+    /// Chain a quiet-aware hook in front of whatever hook is current —
+    /// once per process, so concurrent failing proptests cannot race a
+    /// per-failure take/restore pair (which could leave a silent hook
+    /// installed forever).
+    fn install_quiet_capable_hook() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if !SUPPRESS_PANIC_OUTPUT.with(std::cell::Cell::get) {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    /// Clears the suppression flag even if the descent itself panics.
+    struct QuietGuard;
+    impl Drop for QuietGuard {
+        fn drop(&mut self) {
+            SUPPRESS_PANIC_OUTPUT.with(|f| f.set(false));
+        }
+    }
+
+    /// One [`crate::proptest!`] case: generate an input tuple, run the
+    /// body, and on failure (a `prop_assert*` `Err` *or* a panic)
+    /// shrink greedily before panicking with the minimised input.
+    pub fn run_case<S, F>(strategy: &S, rng: &mut TestRng, case: u32, pats: &str, body: F)
+    where
+        S: Strategy,
+        S::Value: Clone + core::fmt::Debug,
+        F: Fn(S::Value) -> Result<(), crate::test_runner::TestCaseError>,
+    {
+        let vals = strategy.generate(rng);
+        let check = |v: &S::Value| -> Option<String> {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(v.clone()))) {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(e.message),
+                Err(p) => Some(panic_message(p)),
+            }
+        };
+        if let Some(msg) = check(&vals) {
+            // The descent re-runs failing bodies up to MAX_STEPS times;
+            // stay quiet meanwhile (on this thread only) so hundreds of
+            // candidate panics don't bury the minimised report below.
+            install_quiet_capable_hook();
+            let (vals, msg, steps) = {
+                let _quiet = QuietGuard;
+                SUPPRESS_PANIC_OUTPUT.with(|f| f.set(true));
+                shrink_failure(strategy, vals, msg, check)
+            };
+            panic!(
+                "proptest case {case} failed: {msg}\nminimal failing input ({steps} shrink \
+                 steps):\n  {pats} = {vals:?}\n(set PROPTEST_SEED to vary inputs)"
+            );
+        }
+    }
 }
 
 pub mod arbitrary {
@@ -191,6 +377,12 @@ pub mod arbitrary {
     /// Types with a canonical "any value" strategy.
     pub trait Arbitrary: Sized {
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Shrink candidates for a failing value (toward the type's
+        /// natural zero); default: none.
+        fn shrink(_value: &Self) -> Vec<Self> {
+            Vec::new()
+        }
     }
 
     macro_rules! impl_arbitrary_int {
@@ -198,6 +390,15 @@ pub mod arbitrary {
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut TestRng) -> $t {
                     rng.next_u64() as $t
+                }
+                fn shrink(value: &$t) -> Vec<$t> {
+                    let v = *value as i128;
+                    let toward_zero = if v >= 0 {
+                        crate::strategy::int_candidates(0, v)
+                    } else {
+                        crate::strategy::int_candidates(0, -v).into_iter().map(|c| -c).collect()
+                    };
+                    toward_zero.into_iter().map(|c| c as $t).collect()
                 }
             }
         )*};
@@ -208,6 +409,13 @@ pub mod arbitrary {
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink(value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -254,6 +462,9 @@ pub mod arbitrary {
         fn generate(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::shrink(value)
+        }
     }
 
     /// The canonical strategy for `T`.
@@ -273,13 +484,40 @@ pub mod collection {
         len: Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             assert!(self.len.start < self.len.end, "empty length range");
             let span = (self.len.end - self.len.start) as u64;
             let n = self.len.start + (rng.next_u64() % span) as usize;
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        /// Shorter first (drop the back half, then single elements, never
+        /// below the minimum length), then element-wise shrinks.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.len.start;
+            let mut out = Vec::new();
+            if value.len() / 2 >= min && value.len() / 2 < value.len() {
+                out.push(value[..value.len() / 2].to_vec());
+            }
+            if value.len() > min {
+                for i in 0..value.len() {
+                    let mut next = value.clone();
+                    next.remove(i);
+                    out.push(next);
+                }
+            }
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 
@@ -472,27 +710,21 @@ macro_rules! __proptest_fns {
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_case {
-    // Done: run one case.
+    // Done: run one case, shrinking greedily on failure.
     (rng = $rng:ident; case = $case:ident; body = $body:block;
      binds = [$(($pat:pat, $strat:expr))*];
-    ) => {{
-        let mut __inputs: Vec<String> = Vec::new();
-        $(
-            let __value = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
-            __inputs.push(format!("  {} = {:?}", stringify!($pat), &__value));
-            let $pat = __value;
-        )*
-        let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-            (|| { $body ::core::result::Result::Ok(()) })();
-        if let ::core::result::Result::Err(e) = outcome {
-            panic!(
-                "proptest case {} failed: {}\ninputs:\n{}\n(set PROPTEST_SEED to vary inputs)",
-                $case,
-                e,
-                __inputs.join("\n")
-            );
-        }
-    }};
+    ) => {
+        $crate::strategy::run_case(
+            &($($strat,)*),
+            &mut $rng,
+            $case,
+            stringify!(($($pat),*)),
+            |($($pat,)*)| {
+                $body
+                ::core::result::Result::Ok(())
+            },
+        )
+    };
     // `pattern in strategy` (last parameter, optional trailing comma).
     (rng = $rng:ident; case = $case:ident; body = $body:block;
      binds = [$($done:tt)*];
@@ -610,5 +842,110 @@ mod tests {
         for _ in 0..100 {
             assert!(s.generate(&mut rng) % 2 == 0);
         }
+    }
+
+    /// Drive the shrink descent directly: a failure predicate of
+    /// `x >= k` over an integer range must minimise to exactly `k`
+    /// (binary-search convergence, well under the step budget).
+    #[test]
+    fn shrink_minimises_integer_ranges() {
+        let s = 0u64..100_000;
+        for threshold in [1u64, 57, 4_096, 99_999] {
+            let check = |v: &u64| if *v >= threshold { Some(format!("{v} too big")) } else { None };
+            let (min, msg, steps) =
+                crate::strategy::shrink_failure(&s, 99_999, check(&99_999).unwrap(), check);
+            assert_eq!(min, threshold, "minimal counterexample");
+            assert!(msg.contains(&threshold.to_string()));
+            assert!(steps < 200, "binary descent, not a linear walk: {steps} steps");
+        }
+    }
+
+    #[test]
+    fn shrink_respects_range_lower_bound() {
+        let s = 10u8..20;
+        // Everything fails: the minimum must still be in-range.
+        let (min, _, _) =
+            crate::strategy::shrink_failure(&s, 19, "fail".into(), |_| Some("fail".into()));
+        assert_eq!(min, 10);
+        assert!(s.shrink(&10).is_empty(), "the lower bound has nowhere to go");
+    }
+
+    #[test]
+    fn shrink_minimises_vectors_to_shortest_failing() {
+        let s = prop::collection::vec(0u64..100, 1..30);
+        // Fails iff the vector has >= 4 elements; elements shrink to 0.
+        let check = |v: &Vec<u64>| if v.len() >= 4 { Some("long".into()) } else { None };
+        let start: Vec<u64> = (1..=20).collect();
+        let (min, _, _) = crate::strategy::shrink_failure(&s, start, "long".into(), check);
+        assert_eq!(min, vec![0, 0, 0, 0], "shortest failing length, zeroed elements");
+    }
+
+    #[test]
+    fn vec_shrink_never_goes_below_min_length() {
+        let s = prop::collection::vec(0u64..100, 3..10);
+        for cand in s.shrink(&vec![7, 8, 9]) {
+            assert!(cand.len() >= 3, "candidate {cand:?} under the minimum length");
+        }
+    }
+
+    #[test]
+    fn tuple_shrink_changes_one_component_at_a_time() {
+        let s = (0u8..50, 0u8..50);
+        let v = (10u8, 20u8);
+        let cands = s.shrink(&v);
+        assert!(!cands.is_empty());
+        for (a, b) in cands {
+            assert!(
+                (a, b) != v && (a == v.0 || b == v.1),
+                "({a}, {b}) changed both components at once"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_shrink_keeps_the_predicate() {
+        let s = (0u8..100).prop_filter("even", |v| v % 2 == 0);
+        for cand in s.shrink(&88) {
+            assert!(cand % 2 == 0, "shrunk {cand} escaped the filter");
+        }
+    }
+
+    #[test]
+    fn any_int_shrinks_toward_zero_from_both_signs() {
+        for v in [100i32, -100] {
+            let cands = crate::arbitrary::Arbitrary::shrink(&v);
+            assert!(cands.contains(&0));
+            assert!(cands.iter().all(|c| c.abs() < v.abs()));
+        }
+        assert!(crate::arbitrary::Arbitrary::shrink(&0i32).is_empty());
+    }
+
+    /// End to end: a failing property's panic reports the *minimised*
+    /// input, not whatever the stream happened to generate first.
+    #[test]
+    fn failing_property_reports_shrunk_inputs() {
+        proptest! {
+            /// Not a #[test]: invoked below under catch_unwind.
+            fn fails_at_57_and_up(x in 0u64..100_000) {
+                prop_assert!(x < 57, "x = {} crossed the line", x);
+            }
+        }
+        let err = std::panic::catch_unwind(fails_at_57_and_up).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("(x) = (57,)"), "panic must carry the minimal input:\n{msg}");
+        assert!(msg.contains("shrink steps"), "{msg}");
+    }
+
+    /// Body panics (not just prop_assert failures) also shrink.
+    #[test]
+    fn panicking_bodies_shrink_too() {
+        proptest! {
+            fn panics_when_long(v in prop::collection::vec(any::<u8>(), 1..50)) {
+                assert!(v.len() < 3, "too long");
+            }
+        }
+        let err = std::panic::catch_unwind(panics_when_long).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("[0, 0, 0]"), "minimal vector is three zeros:\n{msg}");
     }
 }
