@@ -90,6 +90,23 @@ fn main() {
     )
     .unwrap();
 
+    eprintln!("running watchpoint-set sweep ...");
+    let sets = dise_bench::watchpoint_sets(&ctx);
+    doc.push_str(&section(
+        "Watchpoint-set sweep — HOT / WARM1+COLD / RANGE per kernel (measured)",
+        &code(&sets),
+    ));
+    writeln!(
+        doc,
+        "**Expected shape:** every observing column (VirtMem, HwRegs, DISE-Cmp) \
+         of one kernel — across all three watchpoint sets — is produced from a \
+         single functional pass of the unmodified application; only the DISE \
+         column replays per set. DISE-Cmp tracks DISE closely (no spurious \
+         address transitions) while HwRegs shows `--` on RANGE (non-scalar) \
+         and VirtMem pays page-sharing costs.\n"
+    )
+    .unwrap();
+
     writeln!(
         doc,
         "## Known calibration gaps\n\n\

@@ -7,7 +7,7 @@
 
 use dise_cpu::{CpuConfig, Executor, Machine, RunStats};
 use dise_debug::{BackendKind, BaselineCache, DebugError, DiseStrategy, SessionReport};
-use dise_workloads::{all, transition_cost_sweep, WatchKind, Workload};
+use dise_workloads::{all, transition_cost_sweep, watchpoint_set_sweep, WatchKind, Workload};
 
 use crate::grid::{self, run_grid_with, run_overhead_grid, SessionJob};
 
@@ -141,13 +141,17 @@ fn fmt_over(o: Option<f64>) -> String {
     }
 }
 
-/// The four implementations compared in Figs. 3 and 4.
-fn standard_backends() -> [(&'static str, BackendKind); 4] {
+/// The four implementations compared in Figs. 3 and 4, plus the
+/// pure-observation DISE comparator organisation as a fifth column (it
+/// joins the per-workload observer batch, so the extra column costs no
+/// extra functional execution).
+fn standard_backends() -> [(&'static str, BackendKind); 5] {
     [
         ("Single-Stepping", BackendKind::SingleStep),
         ("Virtual-Memory", BackendKind::VirtualMemory),
         ("Hardware", BackendKind::hw4()),
         ("DISE", BackendKind::dise_default()),
+        ("DISE-Cmp", BackendKind::DiseComparators),
     ]
 }
 
@@ -244,8 +248,8 @@ fn watchpoint_grid(ctx: &Experiment, conditional: bool) -> String {
     let overheads = ctx.grid_overheads(&cells);
 
     let mut out = format!(
-        "{:<10} {:<9}{:>9}{:>9}{:>9}{:>9}\n",
-        "benchmark", "watch", "SingleStep", " VirtMem", " HwRegs", "  DISE"
+        "{:<10} {:<9}{:>9}{:>9}{:>9}{:>9}{:>9}\n",
+        "benchmark", "watch", "SingleStep", " VirtMem", " HwRegs", "  DISE", " DISE-Cmp"
     );
     let mut next = overheads.into_iter();
     for w in ctx.workloads() {
@@ -452,6 +456,7 @@ pub fn sensitivity(ctx: &Experiment) -> String {
     let backends = [
         ("VirtMem", BackendKind::VirtualMemory),
         ("HwRegs", BackendKind::hw4()),
+        ("DISE-Cmp", BackendKind::DiseComparators),
         ("DISE", BackendKind::dise_default()),
     ];
     let mut cells = Vec::new();
@@ -486,6 +491,50 @@ pub fn sensitivity(ctx: &Experiment) -> String {
             }
             out.push('\n');
         }
+    }
+    out
+}
+
+/// **Watchpoint-set sweep** (beyond the paper's figures): three
+/// qualitatively different watchpoint sets per kernel
+/// ([`watchpoint_set_sweep`]) under every observing backend plus DISE.
+/// The observing cells of one kernel — every set × VirtMem/HwRegs/
+/// DISE-Cmp — batch into a **single** functional pass of the unmodified
+/// application (`ObserverBatch` members each carry their own set);
+/// only the DISE column pays a private replay per set. HwRegs renders
+/// `--` on the RANGE set (non-scalars exceed register granularity)
+/// without costing its co-members the shared pass.
+pub fn watchpoint_sets(ctx: &Experiment) -> String {
+    let backends = [
+        ("VirtMem", BackendKind::VirtualMemory),
+        ("HwRegs", BackendKind::hw4()),
+        ("DISE-Cmp", BackendKind::DiseComparators),
+        ("DISE", BackendKind::dise_default()),
+    ];
+    let mut cells = Vec::new();
+    let mut labels = Vec::new();
+    for w in ctx.workloads() {
+        for (label, wps) in watchpoint_set_sweep(w) {
+            labels.push((w.name(), label));
+            for (_, backend) in backends {
+                cells.push(ctx.job(w, wps.clone(), backend));
+            }
+        }
+    }
+    let overheads = ctx.grid_overheads(&cells);
+
+    let mut out = format!("{:<10}{:<12}", "benchmark", "watchpoints");
+    for (label, _) in backends {
+        out.push_str(&format!("{label:>10}"));
+    }
+    out.push('\n');
+    let mut next = overheads.into_iter();
+    for (kernel, set) in labels {
+        out.push_str(&format!("{kernel:<10}{set:<12}"));
+        for _ in backends {
+            out.push_str(&format!("  {}", fmt_over(next.next().expect("one overhead per cell"))));
+        }
+        out.push('\n');
     }
     out
 }

@@ -130,13 +130,16 @@ impl SessionBatch {
     }
 }
 
-/// One member of an [`ObserverGroup`]: an observing backend, the
-/// effective timing configurations of its cells, and the original cell
-/// indices they scatter back to.
+/// One member of an [`ObserverGroup`]: an observing backend with its
+/// own watchpoint set, the effective timing configurations of its
+/// cells, and the original cell indices they scatter back to.
 #[derive(Clone, Debug)]
 pub struct ObserverMember {
     /// The observing backend (see [`BackendKind::observation_only`]).
     pub backend: BackendKind,
+    /// The member's own watchpoints — members of one group may watch
+    /// entirely different things.
+    pub watchpoints: Vec<Watchpoint>,
     /// Per-cell effective machine configurations, in member order.
     pub cpus: Vec<CpuConfig>,
     /// Original grid-cell index of each configuration, parallel to
@@ -145,20 +148,21 @@ pub struct ObserverMember {
 }
 
 /// A group of grid cells that share one functional execution **across
-/// backends**: same kernel and watchpoints, every backend observing
+/// watchpoint sets and backends**: same kernel, every backend observing
 /// (never perturbing) — so a single pass of the unmodified application
 /// feeds all members' transition detectors and timing models via
-/// [`dise_debug::ObserverBatch`]. Unlike [`SessionBatch`], members need
-/// not agree on DISE engine capacities: observers install no
+/// [`dise_debug::ObserverBatch`]. The group key is the *workload
+/// alone*: observers' watchpoints steer only what the debugger traps
+/// on, never what the application executes, so cells that differ in
+/// watchpoint set still merge. Unlike [`SessionBatch`], members need
+/// not agree on DISE engine capacities either: observers install no
 /// productions, so the engine is functionally inert.
 #[derive(Clone, Debug)]
 pub struct ObserverGroup {
     /// The kernel to debug.
     pub workload: Workload,
-    /// The watchpoints to plant.
-    pub watchpoints: Vec<Watchpoint>,
-    /// The observing backends sharing the pass, in first-appearance
-    /// order.
+    /// The observing (backend, watchpoint-set) members sharing the
+    /// pass, in first-appearance order.
     pub members: Vec<ObserverMember>,
 }
 
@@ -174,23 +178,14 @@ impl ObserverGroup {
         let base = baselines
             .get_or_run(self.workload.name(), self.workload.app(), self.members[0].cpus[0])
             .expect("kernel assembles");
-        let mut batch = ObserverBatch::new(self.workload.app(), self.watchpoints.clone());
+        let mut batch = ObserverBatch::new(self.workload.app());
         for m in &self.members {
-            batch.member(m.backend, m.cpus.clone());
+            batch.member(m.backend, m.watchpoints.clone(), m.cpus.clone());
         }
-        let results = match batch.run() {
-            Ok(results) => results,
-            Err(DebugError::InvalidWatchpoint { .. }) => {
-                // Ill-formed for every backend: all cells render the
-                // "no experiment" bar, as they do when run alone.
-                return self
-                    .members
-                    .iter()
-                    .flat_map(|m| m.cells.iter().map(|&c| (c, None)))
-                    .collect();
-            }
-            Err(e) => panic!("{}: {e}", self.workload.name()),
-        };
+        // The outer error is an assembly failure; watchpoint problems
+        // (ill-formed, unsupported) come back per member below, exactly
+        // as when each cell runs alone.
+        let results = batch.run().unwrap_or_else(|e| panic!("{}: {e}", self.workload.name()));
         let mut out = Vec::new();
         for (m, result) in self.members.iter().zip(results) {
             match result {
@@ -250,19 +245,22 @@ impl CellGroup {
 }
 
 /// Group grid cells for single-pass execution — the cell-key lattice
-/// generalising [`BackendKind::split_timing`] across backends:
+/// generalising [`BackendKind::split_timing`] across watchpoint sets
+/// and backends:
 ///
 /// * every cell's backend is first split into its functional core and
 ///   folded timing knobs;
 /// * cells whose functional core **observes** (virtual memory, hardware
-///   registers) group by (kernel, watchpoints) alone into an
+///   registers, DISE comparators) group by (kernel) alone into an
 ///   [`ObserverGroup`] — one pass of the unmodified application serves
-///   every observing backend and every timing configuration at once;
+///   every watchpoint set, every observing backend and every timing
+///   configuration at once; within a group, cells sharing a
+///   (backend, watchpoints) pair share one member (and one detector);
 /// * cells whose functional core **perturbs** (single-stepping,
-///   rewriting, DISE) group by (kernel, watchpoints, backend, DISE
-///   engine capacities) into a [`SessionBatch`] — one private pass per
-///   distinct functional stream, replayed under each member's timing
-///   configuration.
+///   rewriting, DISE production injection) group by (kernel,
+///   watchpoints, backend, DISE engine capacities) into a
+///   [`SessionBatch`] — one private pass per distinct functional
+///   stream, replayed under each member's timing configuration.
 ///
 /// Kernel identity is the full workload (not just its name — two scales
 /// of the same kernel are different programs). Groups appear in
@@ -275,11 +273,7 @@ pub fn batch_session_jobs(jobs: &[SessionJob]) -> Vec<CellGroup> {
         let (backend, cpu) = job.backend.split_timing(job.cpu);
         if backend.observation_only() {
             let existing = groups.iter_mut().find_map(|g| match g {
-                CellGroup::Observe(o)
-                    if o.workload == job.workload && o.watchpoints == job.watchpoints =>
-                {
-                    Some(o)
-                }
+                CellGroup::Observe(o) if o.workload == job.workload => Some(o),
                 _ => None,
             });
             let group = match existing {
@@ -287,21 +281,27 @@ pub fn batch_session_jobs(jobs: &[SessionJob]) -> Vec<CellGroup> {
                 None => {
                     groups.push(CellGroup::Observe(ObserverGroup {
                         workload: job.workload.clone(),
-                        watchpoints: job.watchpoints.clone(),
                         members: Vec::new(),
                     }));
                     let Some(CellGroup::Observe(o)) = groups.last_mut() else { unreachable!() };
                     o
                 }
             };
-            match group.members.iter_mut().find(|m| m.backend == backend) {
+            match group
+                .members
+                .iter_mut()
+                .find(|m| m.backend == backend && m.watchpoints == job.watchpoints)
+            {
                 Some(m) => {
                     m.cpus.push(cpu);
                     m.cells.push(i);
                 }
-                None => {
-                    group.members.push(ObserverMember { backend, cpus: vec![cpu], cells: vec![i] })
-                }
+                None => group.members.push(ObserverMember {
+                    backend,
+                    watchpoints: job.watchpoints.clone(),
+                    cpus: vec![cpu],
+                    cells: vec![i],
+                }),
             }
         } else {
             let existing = groups.iter_mut().find_map(|g| match g {
@@ -520,6 +520,50 @@ mod tests {
         assert_eq!(ss.cells, vec![2, 5, 8]);
     }
 
+    /// The lattice's final axis: observing cells that differ in
+    /// *watchpoint set* — and in backend, and in timing — all collapse
+    /// into one per-workload group, one member per distinct
+    /// (backend, watchpoints) pair. A perturbing cell never joins.
+    #[test]
+    fn observing_backends_group_across_watchpoint_sets() {
+        let w = &all(10)[0];
+        let sets = [
+            vec![w.watchpoint(WatchKind::Hot)],
+            vec![w.watchpoint(WatchKind::Warm1), w.watchpoint(WatchKind::Cold)],
+            vec![w.watchpoint(WatchKind::Range)],
+        ];
+        let mut jobs = Vec::new();
+        for set in &sets {
+            for backend in
+                [BackendKind::VirtualMemory, BackendKind::DiseComparators, BackendKind::hw4()]
+            {
+                for (_, cpu) in transition_cost_sweep(CpuConfig::default()).into_iter().take(2) {
+                    jobs.push(SessionJob::new(w.clone(), set.clone(), backend, cpu));
+                }
+            }
+            jobs.push(SessionJob::new(
+                w.clone(),
+                set.clone(),
+                BackendKind::dise_default(),
+                CpuConfig::default(),
+            ));
+        }
+        let groups = batch_session_jobs(&jobs);
+        // One observer group for the whole workload; DISE replays
+        // privately, one batch per watchpoint set.
+        assert_eq!(groups.len(), 1 + sets.len(), "{groups:#?}");
+        let CellGroup::Observe(o) = &groups[0] else { panic!("first group must observe") };
+        assert_eq!(o.members.len(), 9, "3 sets x 3 observing backends");
+        for m in &o.members {
+            assert_eq!(m.cpus.len(), 2, "each member carries its two timing configs");
+        }
+        assert!(sets.iter().all(|s| o.members.iter().any(|m| &m.watchpoints == s)));
+        for g in &groups[1..] {
+            let CellGroup::Replay(b) = g else { panic!("DISE must replay privately") };
+            assert_eq!(b.backend, BackendKind::dise_default());
+        }
+    }
+
     /// Observer groups ignore DISE engine capacities (observers install
     /// no productions), so engine-divergent cells still merge — while
     /// the perturbing replay path keeps them apart.
@@ -613,7 +657,9 @@ mod tests {
                 ));
             }
         }
-        // An unsupported cell: INDIRECT under virtual memory.
+        // An unsupported cell: INDIRECT under virtual memory. It merges
+        // into the workload's observer group (the group key no longer
+        // carries watchpoints) and fails there per-member.
         jobs.push(SessionJob::new(
             w.clone(),
             vec![w.watchpoint(WatchKind::Indirect)],
@@ -622,8 +668,8 @@ mod tests {
         ));
         assert_eq!(
             batch_session_jobs(&jobs).len(),
-            3,
-            "one observer sweep, one DISE sweep, one unsupported singleton"
+            2,
+            "one per-workload observer group (incl. the unsupported member), one DISE sweep"
         );
 
         let baselines = BaselineCache::new();

@@ -33,7 +33,7 @@ pub mod paper;
 
 pub use experiments::{
     baseline_table, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sensitivity, table1, table2,
-    Experiment,
+    watchpoint_sets, Experiment,
 };
 pub use grid::{
     batch_session_jobs, configured_workers, env_number, run_grid, run_grid_with, run_overhead_grid,

@@ -1,10 +1,11 @@
 //! The acceptance bar for observer batching, argued the only way that
 //! is meaningful on a single-core CI container: **execution-count
 //! assertions**, not timings. `dise_debug::functional_passes()` counts
-//! every driven functional pass; a grid over one scenario must pay one
-//! pass per *functional stream* (one shared pass for all observing
-//! backends × timing configs, one private replay per perturbing
-//! backend), not one per cell.
+//! every driven functional pass; a grid over one workload must pay one
+//! pass per *functional stream* — one shared pass for **all watchpoint
+//! sets × observing backends × timing configs** of that workload, one
+//! private replay per perturbing (backend, watchpoints, engine) stream
+//! — not one per cell.
 //!
 //! This file deliberately holds a single `#[test]`: the counter is
 //! process-global, and sibling tests in the same binary would race the
@@ -13,15 +14,16 @@
 use dise_bench::{run_overhead_grid, SessionJob};
 use dise_cpu::CpuConfig;
 use dise_debug::{functional_passes, BackendKind, BaselineCache, DiseStrategy};
-use dise_workloads::{all, transition_cost_sweep, WatchKind};
+use dise_workloads::{all, transition_cost_sweep, watchpoint_set_sweep, WatchKind};
 
 #[test]
 fn grids_execute_once_per_functional_stream_not_once_per_cell() {
     let w = &all(10)[0];
     let wp = vec![w.watchpoint(WatchKind::Warm1)];
 
-    // One scenario, the paper's four standard backends, three
-    // transition costs: 12 cells.
+    // One scenario, the paper's four standard backends plus the
+    // pure-observation DISE comparators, three transition costs:
+    // 15 cells.
     let mut cells = Vec::new();
     for (_, cpu) in transition_cost_sweep(CpuConfig::default()) {
         for backend in [
@@ -29,30 +31,92 @@ fn grids_execute_once_per_functional_stream_not_once_per_cell() {
             BackendKind::VirtualMemory,
             BackendKind::hw4(),
             BackendKind::dise_default(),
+            BackendKind::DiseComparators,
         ] {
             cells.push(SessionJob::new(w.clone(), wp.clone(), backend, cpu));
         }
     }
-    assert_eq!(cells.len(), 12);
+    assert_eq!(cells.len(), 15);
 
     // Unbatched reference: every cell replays the workload privately.
     let baselines = BaselineCache::new();
     let before = functional_passes();
     let unbatched = run_overhead_grid(&cells, 1, &baselines, false);
-    assert_eq!(functional_passes() - before, 12, "unbatched: one pass per cell");
+    assert_eq!(functional_passes() - before, 15, "unbatched: one pass per cell");
 
-    // Batched: VM and HW share a single pass of the unmodified
-    // application across both backends and all three timing configs;
-    // single-stepping and DISE each keep one private replay. 12 cells,
-    // 3 functional executions.
+    // Batched: VM, HW and the DISE comparators share a single pass of
+    // the unmodified application across all three backends and all
+    // three timing configs; single-stepping and production-injecting
+    // DISE each keep one private replay. 15 cells, 3 functional
+    // executions — the comparator column is literally free.
     let before = functional_passes();
     let batched = run_overhead_grid(&cells, 1, &baselines, true);
     assert_eq!(
         functional_passes() - before,
         3,
-        "batched: one observer pass (VM+HW x 3 costs) + two private replays"
+        "batched: one observer pass (VM+HW+Cmp x 3 costs) + two private replays"
     );
     assert_eq!(batched, unbatched, "sharing passes must not change a single byte");
+
+    // The tentpole: the watchpoint axis. Three watchpoint *sets* x two
+    // observing backends x two timing configs = 12 cells over one
+    // workload. Per-(workload, watchpoints) batching (the previous
+    // lattice) would pay one pass per set — 3; the per-workload batch
+    // pays exactly 1.
+    let sets = watchpoint_set_sweep(w);
+    assert_eq!(sets.len(), 3);
+    let costs: Vec<CpuConfig> =
+        transition_cost_sweep(CpuConfig::default()).into_iter().take(2).map(|(_, c)| c).collect();
+    let mut observer_cells = Vec::new();
+    for (_, wps) in &sets {
+        for backend in [BackendKind::VirtualMemory, BackendKind::DiseComparators] {
+            for cpu in &costs {
+                observer_cells.push(SessionJob::new(w.clone(), wps.clone(), backend, *cpu));
+            }
+        }
+    }
+    assert_eq!(observer_cells.len(), 12);
+    let before = functional_passes();
+    let unbatched = run_overhead_grid(&observer_cells, 1, &baselines, false);
+    assert_eq!(functional_passes() - before, 12, "unbatched watchpoint axis: one pass per cell");
+    let before = functional_passes();
+    let batched = run_overhead_grid(&observer_cells, 1, &baselines, true);
+    assert_eq!(
+        functional_passes() - before,
+        1,
+        "batched: ONE pass per workload across watchpoint sets x backends x timing"
+    );
+    assert_eq!(batched, unbatched, "the watchpoint axis must not change a single byte");
+
+    // Perturbing cells are unchanged by the new axis: adding a DISE
+    // cell per watchpoint set costs exactly one private replay per set
+    // on top of the single observer pass (12 + 3 cells -> 1 + 3
+    // passes), and an unsupported observing cell (RANGE under hardware
+    // registers, in set 3) joins the group without costing anything.
+    let mut mixed = observer_cells.clone();
+    for (_, wps) in &sets {
+        mixed.push(SessionJob::new(
+            w.clone(),
+            wps.clone(),
+            BackendKind::dise_default(),
+            CpuConfig::default(),
+        ));
+    }
+    mixed.push(SessionJob::new(
+        w.clone(),
+        sets[2].1.clone(), // RANGE: hardware registers decline it
+        BackendKind::hw4(),
+        CpuConfig::default(),
+    ));
+    let before = functional_passes();
+    let out = run_overhead_grid(&mixed, 1, &baselines, true);
+    assert_eq!(
+        functional_passes() - before,
+        1 + sets.len() as u64,
+        "one observer pass + one private DISE replay per watchpoint set"
+    );
+    assert_eq!(out[mixed.len() - 1], None, "the unsupported member renders the no-experiment bar");
+    assert!(out[..observer_cells.len()].iter().all(Option::is_some));
 
     // The fig8 shape: two DISE cells differing only in the
     // multithreading timing knob still collapse to one pass.

@@ -55,16 +55,18 @@ fn light_experiments_are_deterministic_across_worker_counts() {
 
 /// Single-pass batching must be invisible in the output: the
 /// experiments with batchable cells (fig8's multithreading pair shares
-/// a functional pass; the sensitivity grid batches its three transition
-/// costs per row *and* fans one observer pass across its VM and HW
-/// backends) render byte-identically with batching disabled. Cheap
-/// enough to stay on everywhere: batching itself removes the redundant
-/// functional passes this test re-adds.
+/// a functional pass; the sensitivity grid batches its transition
+/// costs, observing backends *and* — via the watchpoint-set sweep —
+/// whole watchpoint sets into one pass per kernel) render
+/// byte-identically with batching disabled. Cheap enough to stay on
+/// everywhere: batching itself removes the redundant functional passes
+/// this test re-adds.
 #[test]
 fn batched_and_unbatched_experiments_are_byte_identical() {
     assert_batching_invisible(&[
         ("fig8", dise_bench::fig8),
         ("sensitivity", dise_bench::sensitivity),
+        ("watchpoint_sets", dise_bench::watchpoint_sets),
     ]);
 }
 
@@ -84,16 +86,19 @@ fn all_experiments_are_deterministic_across_worker_counts() {
         ("fig8", dise_bench::fig8),
         ("fig9", dise_bench::fig9),
         ("sensitivity", dise_bench::sensitivity),
+        ("watchpoint_sets", dise_bench::watchpoint_sets),
         ("baseline_table", dise_bench::baseline_table),
     ]);
 }
 
 /// The full batched-vs-unbatched sweep over every overhead experiment
 /// (tables have no session cells; they are covered by the worker-count
-/// sweep above). With observer batching, fig3/fig4's virtual-memory and
-/// hardware-register columns now share one functional pass per
-/// (kernel, watchpoint) scenario — this sweep is the byte-identity bar
-/// for that sharing across every table and figure.
+/// sweep above). With per-workload observer batching, fig3/fig4's
+/// virtual-memory, hardware-register and DISE-comparator columns —
+/// across *all six watchpoint kinds* — now share one functional pass
+/// per kernel, as do the sensitivity and watchpoint-set grids' observing
+/// rows — this sweep is the byte-identity bar for that sharing across
+/// every table and figure.
 #[test]
 #[ignore = "simulates every figure twice (~3 min dev profile); CI runs it with --include-ignored"]
 fn all_experiments_are_batching_invariant() {
@@ -105,6 +110,7 @@ fn all_experiments_are_batching_invariant() {
         ("fig8", dise_bench::fig8),
         ("fig9", dise_bench::fig9),
         ("sensitivity", dise_bench::sensitivity),
+        ("watchpoint_sets", dise_bench::watchpoint_sets),
     ]);
 }
 

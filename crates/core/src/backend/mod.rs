@@ -1,6 +1,8 @@
-//! The five watchpoint implementations.
+//! The watchpoint implementations: the paper's five, plus the
+//! pure-observation DISE comparator organisation.
 
 mod dise;
+mod dise_cmp;
 mod hw_regs;
 mod rewrite;
 mod single_step;
@@ -33,6 +35,12 @@ pub enum BackendKind {
     BinaryRewrite,
     /// DISE dynamic instrumentation with the given strategy.
     Dise(DiseStrategy),
+    /// A pure-observation DISE organisation: byte-granularity hardware
+    /// range comparators (bound-register pairs) trap stores that touch
+    /// watched bytes, with no production injection — the only DISE
+    /// organisation that observes instead of perturbing, so it can join
+    /// observer batches. See `backend::dise_cmp`.
+    DiseComparators,
 }
 
 impl BackendKind {
@@ -80,14 +88,17 @@ impl BackendKind {
     /// *Perturbing* backends keep a private replay: statement
     /// single-stepping (the debugger seizes control at every
     /// statement), static binary rewriting (a different program runs),
-    /// and every current DISE strategy (productions inject replacement
-    /// instructions into the executed stream). A hypothetical DISE
-    /// organisation that only observed — e.g. pure RANGE-style address
-    /// comparison with no injected sequence — would classify as
-    /// observing, but all of Fig. 2's organisations expand stores.
+    /// and every Fig. 2 DISE strategy (productions inject replacement
+    /// instructions into the executed stream).
+    /// [`BackendKind::DiseComparators`] is the DISE organisation that
+    /// *does* only observe — pure range-comparator address matching
+    /// with no injected sequence — so it classifies as observing and
+    /// shares passes alongside virtual memory and hardware registers.
     pub fn observation_only(self) -> bool {
         match self {
-            BackendKind::VirtualMemory | BackendKind::HardwareRegisters { .. } => true,
+            BackendKind::VirtualMemory
+            | BackendKind::HardwareRegisters { .. }
+            | BackendKind::DiseComparators => true,
             BackendKind::SingleStep | BackendKind::BinaryRewrite | BackendKind::Dise(_) => false,
         }
     }
@@ -109,6 +120,7 @@ impl BackendKind {
             BackendKind::HardwareRegisters { registers } => {
                 Ok(Box::new(hw_regs::HwObserver::new(registers, wps)?))
             }
+            BackendKind::DiseComparators => Ok(Box::new(dise_cmp::CmpObserver::new(wps)?)),
             other => panic!("{other:?} perturbs execution and cannot join an observer batch"),
         }
     }
@@ -122,6 +134,7 @@ impl BackendKind {
             }
             BackendKind::BinaryRewrite => Box::new(rewrite::Rewrite),
             BackendKind::Dise(strategy) => Box::new(dise::DiseBackend::new(strategy)),
+            BackendKind::DiseComparators => Box::new(dise_cmp::DiseCmp),
         }
     }
 }
@@ -221,16 +234,19 @@ mod tests {
                 ..DiseStrategy::default()
             }),
             BackendKind::Dise(DiseStrategy::bloom(true)),
+            BackendKind::DiseComparators,
         ]
     }
 
     /// The taxonomy is exactly the paper's: page protection and address
-    /// comparators observe; statement stepping, rewriting and DISE
-    /// production injection perturb.
+    /// comparators (including the pure-observation DISE comparator
+    /// file) observe; statement stepping, rewriting and DISE production
+    /// injection perturb.
     #[test]
     fn observation_taxonomy() {
         assert!(BackendKind::VirtualMemory.observation_only());
         assert!(BackendKind::hw4().observation_only());
+        assert!(BackendKind::DiseComparators.observation_only());
         assert!(!BackendKind::SingleStep.observation_only());
         assert!(!BackendKind::BinaryRewrite.observation_only());
         for s in [

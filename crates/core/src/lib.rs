@@ -2,8 +2,9 @@
 //! debugging via DISE
 //!
 //! This crate implements the breakpoint/watchpoint interface of an
-//! interactive debugger over five interchangeable backends, so that
-//! their overheads can be compared exactly as in §5 of *Low-Overhead
+//! interactive debugger over six interchangeable backends — the paper's
+//! five, plus a pure-observation DISE organisation — so that their
+//! overheads can be compared exactly as in §5 of *Low-Overhead
 //! Interactive Debugging via Dynamic Instrumentation with DISE*
 //! (HPCA 2005):
 //!
@@ -14,6 +15,7 @@
 //! | [`BackendKind::HardwareRegisters`] | ≤4 quad-granularity watchpoint registers (VM fallback beyond) | value (silent stores), predicate, partial-quad address |
 //! | [`BackendKind::BinaryRewrite`] | statically inline the check at every store | none — cost is code bloat |
 //! | [`BackendKind::Dise`] | dynamically expand every store via DISE productions | none — cost is decode bandwidth |
+//! | [`BackendKind::DiseComparators`] | byte-exact DISE range comparators, no production injection | value (silent stores), predicate — never address |
 //!
 //! The DISE backend generates real [`dise_engine::Production`]s (all
 //! variants of the paper's Fig. 2), appends a real debugger-generated
@@ -24,9 +26,10 @@
 //! (Fig. 8), and debugger-structure protection (Fig. 2f / Fig. 9).
 //!
 //! Backends that *observe* without perturbing execution
-//! ([`BackendKind::observation_only`]: virtual memory and hardware
-//! registers) can share **one functional pass** of the unmodified
-//! application across any number of backends and timing configurations
+//! ([`BackendKind::observation_only`]: virtual memory, hardware
+//! registers, and the DISE comparator organisation) can share **one
+//! functional pass** of the unmodified application per workload across
+//! any number of watchpoint sets, backends and timing configurations
 //! via [`ObserverBatch`] — bit-identical to their private replays,
 //! enforced by the cross-backend differential conformance suite
 //! (`tests/backend_conformance.rs`).

@@ -21,8 +21,8 @@ static FUNCTIONAL_PASSES: AtomicU64 = AtomicU64::new(0);
 /// Total functional session passes executed by this process — one per
 /// [`Session`] run, one per [`run_session_batch`] (however many timing
 /// configurations it accounts), and one per [`ObserverBatch`] run
-/// (however many backends share it). Undebugged baselines are not
-/// counted.
+/// (however many watchpoint sets × backends × timing configurations
+/// share it). Undebugged baselines are not counted.
 ///
 /// This is instrumentation for the execution-count assertions that
 /// prove grids share functional passes instead of re-executing per
@@ -212,21 +212,26 @@ fn validate_watchpoints(wps: &[Watchpoint]) -> Result<(), DebugError> {
     Ok(())
 }
 
-/// A session batch sharing **one functional pass across backends**: the
+/// A session batch sharing **one functional pass per workload**: the
 /// generalisation of [`run_session_batch`] (one backend, N timing
-/// configurations) to N *observing* backends × M timing configurations
-/// each.
+/// configurations) to W watchpoint sets × N *observing* backends × M
+/// timing configurations each. The scenario key is the application
+/// alone — each member carries its **own** watchpoint set, value
+/// bookkeeping ([`WatchState`]) and replayable detector, so one `Exec`
+/// stream of the unmodified application serves every combination.
 ///
 /// An observing backend (see [`BackendKind::observation_only`]) reads
 /// architectural state but never changes what the application fetches
-/// or executes, so its functional stream is exactly the unmodified
-/// application's — and therefore shareable. `ObserverBatch` runs the
-/// application once and fans every `Exec` record out to each member's
-/// replayable transition detector and timing models; member `i`'s entry
-/// `j` is bit-identical to
-/// `run_session(app, watchpoints, members[i], cpus[i][j])` run on its
-/// own (enforced by the cross-backend conformance suite and the grid
-/// determinism tests).
+/// or executes — and its watchpoints influence only what the *debugger*
+/// traps on, never what the application runs — so the functional stream
+/// is exactly the unmodified application's for every (backend,
+/// watchpoint set) member, and therefore shareable across all of them.
+/// `ObserverBatch` runs the application once and fans every `Exec`
+/// record out to each member's detector and timing models; member `i`'s
+/// entry `j` is bit-identical to
+/// `run_session(app, watchpoints[i], backend[i], cpus[i][j])` run on
+/// its own (enforced by the cross-backend conformance suite and the
+/// grid determinism tests).
 ///
 /// Perturbing backends (single-stepping, binary rewriting, DISE
 /// production injection) are refused at [`ObserverBatch::member`]; they
@@ -240,59 +245,79 @@ fn validate_watchpoints(wps: &[Watchpoint]) -> Result<(), DebugError> {
 ///
 /// let app = Application::new(parse_asm("
 ///     start:  la r1, x
+///             la r3, y
 ///             lda r2, 7(zero)
 ///             stq r2, 0(r1)
+///             stq r2, 0(r3)
 ///             halt
 ///     .data
 ///     x: .quad 0
+///     y: .quad 7
 /// ").unwrap(), Layout::default());
 /// let x = app.program()?.symbol("x").unwrap();
-/// let wp = Watchpoint::new(WatchExpr::Scalar { addr: x, width: Width::Q });
+/// let y = app.program()?.symbol("y").unwrap();
+/// let wx = Watchpoint::new(WatchExpr::Scalar { addr: x, width: Width::Q });
+/// let wy = Watchpoint::new(WatchExpr::Scalar { addr: y, width: Width::Q });
 ///
-/// let mut batch = ObserverBatch::new(&app, vec![wp]);
-/// batch.member(BackendKind::VirtualMemory, vec![CpuConfig::default()]);
-/// batch.member(BackendKind::hw4(), vec![CpuConfig::default()]);
-/// let results = batch.run()?; // one functional execution, two backends
+/// let mut batch = ObserverBatch::new(&app);
+/// batch.member(BackendKind::VirtualMemory, vec![wx], vec![CpuConfig::default()]);
+/// batch.member(BackendKind::hw4(), vec![wy], vec![CpuConfig::default()]);
+/// let results = batch.run()?; // one execution, two backends, two watchpoint sets
 /// assert_eq!(results.len(), 2);
-/// for member in results {
-///     assert_eq!(member.unwrap()[0].transitions.user, 1);
-/// }
+/// assert_eq!(results[0].as_ref().unwrap()[0].transitions.user, 1, "x changed");
+/// assert_eq!(results[1].as_ref().unwrap()[0].transitions.user, 0, "y stayed 7");
 /// # Ok::<(), dise_debug::DebugError>(())
 /// ```
 pub struct ObserverBatch<'a> {
     app: &'a Application,
+    members: Vec<ObserverMember>,
+}
+
+/// One member of an [`ObserverBatch`]: an observing backend, its own
+/// watchpoint set, and the timing configurations to account it under.
+struct ObserverMember {
+    backend: BackendKind,
     watchpoints: Vec<Watchpoint>,
-    members: Vec<(BackendKind, Vec<CpuConfig>)>,
+    cpus: Vec<CpuConfig>,
 }
 
 impl<'a> ObserverBatch<'a> {
-    /// An empty batch over one (application, watchpoint set) scenario.
-    pub fn new(app: &'a Application, watchpoints: Vec<Watchpoint>) -> ObserverBatch<'a> {
-        ObserverBatch { app, watchpoints, members: Vec::new() }
+    /// An empty batch over one application (the per-workload scenario).
+    pub fn new(app: &'a Application) -> ObserverBatch<'a> {
+        ObserverBatch { app, members: Vec::new() }
     }
 
-    /// Add an observing backend, to be accounted under each of `cpus`.
+    /// Add an observing backend with its own watchpoint set, to be
+    /// accounted under each of `cpus`.
     ///
     /// The DISE engine capacities in `cpus` are irrelevant here — no
     /// member installs productions, so unlike [`run_session_batch`] the
     /// configurations need not agree on [`CpuConfig::engine`].
+    /// Watchpoint validation and backend admission are per-member and
+    /// happen at [`ObserverBatch::run`], so one member's ill-formed or
+    /// unsupported set never blocks the others.
     ///
     /// # Panics
     ///
     /// Panics when `backend` is perturbing: sharing a pass with a
     /// backend that changes the executed stream would corrupt every
     /// member's results.
-    pub fn member(&mut self, backend: BackendKind, cpus: Vec<CpuConfig>) -> &mut ObserverBatch<'a> {
+    pub fn member(
+        &mut self,
+        backend: BackendKind,
+        watchpoints: Vec<Watchpoint>,
+        cpus: Vec<CpuConfig>,
+    ) -> &mut ObserverBatch<'a> {
         assert!(
             backend.observation_only(),
             "{backend:?} perturbs the functional stream and must replay privately \
              (run_session_batch)"
         );
-        self.members.push((backend, cpus));
+        self.members.push(ObserverMember { backend, watchpoints, cpus });
         self
     }
 
-    /// Number of member backends.
+    /// Number of members.
     pub fn len(&self) -> usize {
         self.members.len()
     }
@@ -308,13 +333,14 @@ impl<'a> ObserverBatch<'a> {
     ///
     /// # Errors
     ///
-    /// The outer `Err` is scenario-wide (assembly failure, ill-formed
-    /// watchpoints) — no backend could run it. A per-member `Err`
-    /// (e.g. [`DebugError::Unsupported`] for INDIRECT under virtual
-    /// memory) leaves the other members' results intact, exactly as if
-    /// each had been run on its own.
+    /// The outer `Err` is scenario-wide — the application failed to
+    /// assemble, so no member could run. Everything watchpoint-shaped is
+    /// per-member: an ill-formed set ([`DebugError::InvalidWatchpoint`])
+    /// or an unimplementable one ([`DebugError::Unsupported`], e.g.
+    /// INDIRECT under virtual memory) fails that member alone, exactly
+    /// as if each had been run on its own, and the rest still share the
+    /// pass.
     pub fn run(self) -> Result<Vec<Result<Vec<SessionReport>, DebugError>>, DebugError> {
-        validate_watchpoints(&self.watchpoints)?;
         let prog = self.app.program()?;
 
         struct Live {
@@ -331,17 +357,18 @@ impl<'a> ObserverBatch<'a> {
         // its DISE engine capacities, and no observer installs
         // productions; any member's configuration (or the default) loads
         // the same machine.
-        let cfg =
-            self.members.iter().find_map(|(_, cpus)| cpus.first()).copied().unwrap_or_default();
+        let cfg = self.members.iter().find_map(|m| m.cpus.first()).copied().unwrap_or_default();
         let mut exec = Executor::from_program(&prog, cfg);
         let mut live: Vec<Live> = Vec::new();
-        for (i, (backend, cpus)) in self.members.iter().enumerate() {
-            match backend.instantiate_observer(&self.watchpoints) {
+        for (i, m) in self.members.iter().enumerate() {
+            let admitted = validate_watchpoints(&m.watchpoints)
+                .and_then(|()| m.backend.instantiate_observer(&m.watchpoints));
+            match admitted {
                 Ok(observer) => live.push(Live {
                     member: i,
                     observer,
-                    watch: WatchState::new(&self.watchpoints, exec.mem()),
-                    timings: TimingBatch::new(cpus),
+                    watch: WatchState::new(&m.watchpoints, exec.mem()),
+                    timings: TimingBatch::new(&m.cpus),
                     stats: TransitionStats::default(),
                 }),
                 Err(e) => results[i] = Err(e),
@@ -825,6 +852,17 @@ mod tests {
             Session::new(&a, vec![wp], BackendKind::hw4()),
             Err(DebugError::Unsupported { .. })
         ));
+
+        // The comparator organisation supports indirection (the
+        // debugger reprograms the target pair on pointer writes). Its
+        // repoint semantics are gdb's, not DISE's: repointing p changes
+        // the *expression's* value 5→2, which the comparators report as
+        // a third user transition where DISE's generated function
+        // re-references silently.
+        let cmp = Session::new(&a, vec![wp], BackendKind::DiseComparators).unwrap().run();
+        assert_eq!(cmp.error, None);
+        assert_eq!(cmp.transitions.user, 3, "{:?}", cmp.transitions);
+        assert_eq!(cmp.transitions.spurious_total(), 0);
     }
 
     #[test]
@@ -1118,14 +1156,17 @@ mod tests {
         // (Exact functional-pass counts are asserted by the dedicated
         // execution-count test in `dise-bench`, where the process-global
         // counter is not racing other tests.)
-        let mut batch = ObserverBatch::new(&a, vec![wp]);
-        batch.member(BackendKind::VirtualMemory, cpus.clone());
-        batch.member(BackendKind::hw4(), cpus.clone());
-        assert_eq!(batch.len(), 2);
+        let mut batch = ObserverBatch::new(&a);
+        batch.member(BackendKind::VirtualMemory, vec![wp], cpus.clone());
+        batch.member(BackendKind::hw4(), vec![wp], cpus.clone());
+        batch.member(BackendKind::DiseComparators, vec![wp], cpus.clone());
+        assert_eq!(batch.len(), 3);
         let results = batch.run().unwrap();
 
         for (backend, member) in
-            [BackendKind::VirtualMemory, BackendKind::hw4()].into_iter().zip(results)
+            [BackendKind::VirtualMemory, BackendKind::hw4(), BackendKind::DiseComparators]
+                .into_iter()
+                .zip(results)
         {
             let reports = member.unwrap();
             assert_eq!(reports.len(), cpus.len());
@@ -1159,20 +1200,34 @@ mod tests {
         let indirect = Watchpoint::new(WatchExpr::Indirect { ptr: p, width: Width::Q });
         let scalar = Watchpoint::new(WatchExpr::Scalar { addr: target, width: Width::Q });
 
-        // Both members decline indirect watchpoints.
-        let mut batch = ObserverBatch::new(&a, vec![indirect]);
-        batch.member(BackendKind::VirtualMemory, vec![CpuConfig::default()]);
-        batch.member(BackendKind::hw4(), vec![CpuConfig::default()]);
+        // VM and HW decline indirect watchpoints — per member, while the
+        // comparator member (which supports indirection via debugger-side
+        // retargeting) still runs and matches its private replay.
+        let mut batch = ObserverBatch::new(&a);
+        batch.member(BackendKind::VirtualMemory, vec![indirect], vec![CpuConfig::default()]);
+        batch.member(BackendKind::hw4(), vec![indirect], vec![CpuConfig::default()]);
+        batch.member(BackendKind::DiseComparators, vec![indirect], vec![CpuConfig::default()]);
         let results = batch.run().unwrap();
-        assert!(results.iter().all(|r| matches!(r, Err(DebugError::Unsupported { .. }))));
+        assert!(matches!(results[0], Err(DebugError::Unsupported { .. })));
+        assert!(matches!(results[1], Err(DebugError::Unsupported { .. })));
+        let cmp = results[2].as_ref().unwrap();
+        let lone =
+            run_session(&a, vec![indirect], BackendKind::DiseComparators, CpuConfig::default())
+                .unwrap();
+        assert_eq!(cmp[0].run, lone.run);
+        assert_eq!(cmp[0].transitions, lone.transitions);
 
         // A watchable scalar keeps the supported members alive: a
         // four-register backend takes it, a zero-register backend's
         // overflow falls back to page protection and agrees with its
         // own private replay.
-        let mut batch = ObserverBatch::new(&a, vec![scalar]);
-        batch.member(BackendKind::HardwareRegisters { registers: 0 }, vec![CpuConfig::default()]);
-        batch.member(BackendKind::hw4(), vec![CpuConfig::default()]);
+        let mut batch = ObserverBatch::new(&a);
+        batch.member(
+            BackendKind::HardwareRegisters { registers: 0 },
+            vec![scalar],
+            vec![CpuConfig::default()],
+        );
+        batch.member(BackendKind::hw4(), vec![scalar], vec![CpuConfig::default()]);
         let results = batch.run().unwrap();
         for (backend, member) in
             [BackendKind::HardwareRegisters { registers: 0 }, BackendKind::hw4()]
@@ -1186,20 +1241,84 @@ mod tests {
         }
     }
 
+    /// The tentpole's new axis: members with *different watchpoint
+    /// sets* share the one pass, each with its own detector and
+    /// `WatchState`, bit-identical to their private replays — including
+    /// a set that drives spurious transitions next to one that stays
+    /// silent, so per-member stall accounting cannot leak across sets.
+    #[test]
+    fn observer_batch_shares_one_pass_across_watchpoint_sets() {
+        let a = app(8);
+        let sets = [
+            vec![scalar_wp(&a, "watched")],
+            vec![scalar_wp(&a, "silent")],
+            vec![scalar_wp(&a, "watched"), scalar_wp(&a, "neighbor")],
+        ];
+        let cheap = CpuConfig { debugger_transition_cost: 5_000, ..CpuConfig::default() };
+        let cpus = vec![CpuConfig::default(), cheap];
+        let backends =
+            [BackendKind::VirtualMemory, BackendKind::hw4(), BackendKind::DiseComparators];
+
+        let mut batch = ObserverBatch::new(&a);
+        let mut expect = Vec::new();
+        for set in &sets {
+            for backend in backends {
+                batch.member(backend, set.clone(), cpus.clone());
+                expect.push((backend, set.clone()));
+            }
+        }
+        assert_eq!(batch.len(), 9);
+        let results = batch.run().unwrap();
+        for ((backend, set), member) in expect.into_iter().zip(results) {
+            let reports = member.unwrap();
+            assert_eq!(reports.len(), cpus.len());
+            for (cpu, got) in cpus.iter().zip(reports) {
+                let lone = run_session(&a, set.clone(), backend, *cpu).unwrap();
+                assert_eq!(got.run, lone.run, "{backend:?}/{set:?} diverged for {cpu:?}");
+                assert_eq!(got.transitions, lone.transitions, "{backend:?}/{set:?}");
+                assert_eq!(got.error, lone.error, "{backend:?}/{set:?}");
+                assert_eq!(got.text_bytes, lone.text_bytes, "{backend:?}/{set:?}");
+            }
+        }
+    }
+
+    /// The comparator organisation traps exactly on watched-byte
+    /// overlap: user transitions match DISE, silent stores cost a
+    /// spurious *value* round trip, and spurious *address* transitions
+    /// are structurally impossible (no page sharing, no partial quads).
+    #[test]
+    fn dise_comparators_are_byte_exact_observers() {
+        let a = app(10);
+        let watched =
+            Session::new(&a, vec![scalar_wp(&a, "watched")], BackendKind::DiseComparators)
+                .unwrap()
+                .run();
+        assert_eq!(watched.error, None);
+        assert_eq!(watched.transitions.user, 10, "one change per iteration");
+        assert_eq!(watched.transitions.spurious_address, 0, "byte-exact: no page sharing cost");
+        assert_eq!(watched.transitions.spurious_total(), 0, "{:?}", watched.transitions);
+
+        let silent = Session::new(&a, vec![scalar_wp(&a, "silent")], BackendKind::DiseComparators)
+            .unwrap()
+            .run();
+        assert_eq!(silent.transitions.user, 0);
+        assert_eq!(silent.transitions.spurious_value, 10, "silent stores still trap");
+        assert_eq!(silent.transitions.spurious_address, 0);
+    }
+
     #[test]
     #[should_panic(expected = "perturbs the functional stream")]
     fn observer_batch_refuses_perturbing_backends() {
         let a = app(5);
         let wp = scalar_wp(&a, "watched");
-        let mut batch = ObserverBatch::new(&a, vec![wp]);
-        batch.member(BackendKind::dise_default(), vec![CpuConfig::default()]);
+        let mut batch = ObserverBatch::new(&a);
+        batch.member(BackendKind::dise_default(), vec![wp], vec![CpuConfig::default()]);
     }
 
     #[test]
     fn observer_batch_with_no_members_is_empty() {
         let a = app(5);
-        let wp = scalar_wp(&a, "watched");
-        let batch = ObserverBatch::new(&a, vec![wp]);
+        let batch = ObserverBatch::new(&a);
         assert!(batch.is_empty());
         assert!(batch.run().unwrap().is_empty());
     }
@@ -1214,8 +1333,8 @@ mod tests {
         let wp = scalar_wp(&a, "watched");
         let mut small = CpuConfig::default();
         small.engine.replacement_entries = 64;
-        let mut batch = ObserverBatch::new(&a, vec![wp]);
-        batch.member(BackendKind::VirtualMemory, vec![CpuConfig::default(), small]);
+        let mut batch = ObserverBatch::new(&a);
+        batch.member(BackendKind::VirtualMemory, vec![wp], vec![CpuConfig::default(), small]);
         let reports = batch.run().unwrap().pop().unwrap().unwrap();
         let lone = run_session(&a, vec![wp], BackendKind::VirtualMemory, small).unwrap();
         assert_eq!(reports[1].run, lone.run);
@@ -1226,7 +1345,9 @@ mod tests {
     /// defined scalar comparison) and a zero-length range (watches no
     /// bytes) must be rejected by `Session::with_config`, `run_session`,
     /// `run_session_batch` and `ObserverBatch::run` alike, before any
-    /// backend work happens.
+    /// backend work happens. In an observer batch the rejection is
+    /// per-member: a valid co-member still runs and still matches its
+    /// private replay.
     #[test]
     fn invalid_watchpoints_rejected_on_every_entry_point() {
         let a = app(5);
@@ -1244,6 +1365,7 @@ mod tests {
                 BackendKind::hw4(),
                 BackendKind::SingleStep,
                 BackendKind::BinaryRewrite,
+                BackendKind::DiseComparators,
             ] {
                 assert!(
                     matches!(
@@ -1267,12 +1389,21 @@ mod tests {
                     "{what}: run_session_batch under {kind:?}"
                 );
             }
-            let mut batch = ObserverBatch::new(&a, vec![wp]);
-            batch.member(BackendKind::VirtualMemory, vec![CpuConfig::default()]);
+            let valid = scalar_wp(&a, "watched");
+            let mut batch = ObserverBatch::new(&a);
+            batch.member(BackendKind::VirtualMemory, vec![wp], vec![CpuConfig::default()]);
+            batch.member(BackendKind::VirtualMemory, vec![valid], vec![CpuConfig::default()]);
+            let results = batch.run().unwrap();
             assert!(
-                matches!(batch.run(), Err(DebugError::InvalidWatchpoint { .. })),
-                "{what}: ObserverBatch::run rejects the whole scenario"
+                matches!(results[0], Err(DebugError::InvalidWatchpoint { .. })),
+                "{what}: ObserverBatch::run rejects the member"
             );
+            let lone =
+                run_session(&a, vec![valid], BackendKind::VirtualMemory, CpuConfig::default())
+                    .unwrap();
+            let got = &results[1].as_ref().unwrap()[0];
+            assert_eq!(got.run, lone.run, "{what}: the valid co-member still runs");
+            assert_eq!(got.transitions, lone.transitions, "{what}");
         }
     }
 

@@ -14,33 +14,39 @@
 //!
 //! * every applicable per-store backend (virtual memory, hardware
 //!   registers incl. the page-protection hybrid, every DISE
-//!   organisation, binary rewriting) reports **exactly the oracle's
-//!   user-transition count**;
+//!   organisation, the pure-observation DISE comparators, binary
+//!   rewriting) reports **exactly the oracle's user-transition count**;
 //! * no backend perturbs architectural state: final slot bytes and
 //!   final watched-expression values equal the oracle's for every
 //!   backend, single-stepping included;
 //! * virtual memory and hardware registers agree on spurious value and
-//!   predicate transitions (they classify the same watched stores);
-//!   DISE reports no spurious transitions at all;
+//!   predicate transitions (they classify the same watched stores), and
+//!   the DISE comparators agree with virtual memory on both while
+//!   reporting **zero spurious address** transitions (byte-exact
+//!   bounds); production-injecting DISE reports no spurious transitions
+//!   at all;
 //! * statement single-stepping, which coalesces changes at statement
 //!   boundaries, never reports *more* user transitions than the oracle;
-//! * [`ObserverBatch`] results — one functional pass fanned across
-//!   observing backends × timing configs — equal each member's private
-//!   replay **bit for bit** (cycles, transitions, text bytes), and a
-//!   member's `Unsupported` error matches its standalone error.
+//! * [`ObserverBatch`] results — one functional pass per workload
+//!   fanned across **watchpoint sets × observing backends × timing
+//!   configs** (every member carries its own set and detector) — equal
+//!   each member's private replay **bit for bit** (cycles, transitions,
+//!   text bytes), and a member's `Unsupported` error matches its
+//!   standalone error.
 //!
 //! Scenarios come from `dise_workloads::synthetic` (quad-aligned store
 //! scripts — the granularity all backends implement identically; see
-//! that module on why unaligned straddles are out of scope here) and
-//! shrink to minimal counterexamples via the vendored proptest's
-//! shrinker.
+//! that module on why unaligned straddles are out of scope here), each
+//! carrying a *second* watchpoint set for the multi-set observer batch,
+//! and shrink to minimal counterexamples via the vendored proptest's
+//! shrinker — which now shrinks through `prop_map`/`prop_oneof!` too.
 
 use dise_cpu::{CpuConfig, Executor};
 use dise_debug::{
     run_session, Application, BackendKind, DebugError, DiseStrategy, ObserverBatch, Session,
     SessionReport, WatchExpr, WatchState, WatchValue, Watchpoint,
 };
-use dise_workloads::synthetic::{scenario, StoreOp, WatchSpec, SLOTS};
+use dise_workloads::synthetic::{scenario_sets, StoreOp, WatchSpec, SLOTS};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 
@@ -124,14 +130,49 @@ fn oracle(app: &Application, wps: &[Watchpoint]) -> Oracle {
     }
 }
 
+/// Make `specs_b` compatible with the primary set's single pointer
+/// cell: every indirect spec across both sets must target the same
+/// slot, so set B's indirects are retargeted to set A's (or dropped
+/// when A has none). An emptied set falls back to one scalar.
+fn compatible_second_set(specs: &[WatchSpec], specs_b: &[WatchSpec]) -> Vec<WatchSpec> {
+    let a_indirect = specs.iter().find_map(|s| match s {
+        WatchSpec::Indirect { slot } => Some(slot % SLOTS),
+        _ => None,
+    });
+    let mut out: Vec<WatchSpec> = specs_b
+        .iter()
+        .filter_map(|s| match (s, a_indirect) {
+            (WatchSpec::Indirect { .. }, Some(slot)) => Some(WatchSpec::Indirect { slot }),
+            (WatchSpec::Indirect { .. }, None) => None,
+            (other, _) => Some(*other),
+        })
+        .collect();
+    // One pointer cell, one `dar`: keep at most the first indirect,
+    // and keep it first (DISE's serial-matcher rule, mirrored here so
+    // the set stays valid for any backend).
+    if let Some(pos) = out.iter().position(|s| matches!(s, WatchSpec::Indirect { .. })) {
+        let ind = out.remove(pos);
+        out.retain(|s| !matches!(s, WatchSpec::Indirect { .. }));
+        out.insert(0, ind);
+    }
+    if out.is_empty() {
+        out.push(WatchSpec::Scalar { slot: 1 });
+    }
+    out
+}
+
 #[allow(clippy::too_many_lines)]
 fn check_scenario(
     iters: u8,
     ops: &[StoreOp],
     specs: &[WatchSpec],
+    specs_b: &[WatchSpec],
     heavy: bool,
 ) -> Result<(), TestCaseError> {
-    let (app, wps) = scenario(iters, ops, specs);
+    let specs_b = compatible_second_set(specs, specs_b);
+    let (app, mut sets) = scenario_sets(iters, ops, &[specs.to_vec(), specs_b]);
+    let wps_b = sets.pop().expect("second set");
+    let wps = sets.pop().expect("first set");
     let slots = app.program().expect("assembles").symbol("slots").expect("slots exists");
     let orc = oracle(&app, &wps);
     let cpu = CpuConfig::default();
@@ -142,8 +183,12 @@ fn check_scenario(
         matches!(wps[..], [Watchpoint { expr: WatchExpr::Scalar { .. }, condition: None }]);
     let single_scalar = wps.len() == 1 && matches!(wps[0].expr, WatchExpr::Scalar { .. });
 
-    let mut backends: Vec<BackendKind> =
-        vec![BackendKind::VirtualMemory, BackendKind::hw4(), BackendKind::dise_default()];
+    let mut backends: Vec<BackendKind> = vec![
+        BackendKind::VirtualMemory,
+        BackendKind::hw4(),
+        BackendKind::dise_default(),
+        BackendKind::DiseComparators,
+    ];
     if single_unconditional_scalar {
         backends.push(BackendKind::BinaryRewrite);
     }
@@ -201,6 +246,13 @@ fn check_scenario(
                 backend
             );
         }
+        if *backend == BackendKind::DiseComparators {
+            prop_assert_eq!(
+                report.transitions.spurious_address,
+                0,
+                "byte-exact comparators cannot trap a store that missed every watched byte"
+            );
+        }
         prop_assert_eq!(
             exec.mem().read_bytes(slots, 8 * SLOTS as usize),
             orc.final_slots.clone(),
@@ -218,7 +270,7 @@ fn check_scenario(
         }
     }
 
-    // ---- VM vs HW spurious classification ----------------------------
+    // ---- VM vs HW vs comparator spurious classification --------------
     let find = |kind: BackendKind| per_store.iter().find(|(b, ..)| *b == kind);
     if let (Some((_, vm, _)), Some((_, hw, _))) =
         (find(BackendKind::VirtualMemory), find(BackendKind::hw4()))
@@ -234,6 +286,16 @@ fn check_scenario(
             0,
             "quad-aligned quad scalars fill their comparator quads exactly"
         );
+    }
+    if let (Some((_, vm, _)), Some((_, cmp, _))) =
+        (find(BackendKind::VirtualMemory), find(BackendKind::DiseComparators))
+    {
+        // The comparators trap exactly the watched-byte writes the page
+        // filter also sees, so the value/predicate split is identical;
+        // only the page filter's extra same-page traps (spurious
+        // address) differ.
+        prop_assert_eq!(vm.transitions.spurious_value, cmp.transitions.spurious_value);
+        prop_assert_eq!(vm.transitions.spurious_predicate, cmp.transitions.spurious_predicate);
     }
 
     // ---- Statement single-stepping (coalescing) ----------------------
@@ -254,25 +316,36 @@ fn check_scenario(
     );
 
     // ---- Observer batch == private replay, bit for bit ----------------
+    // One functional pass per *workload*: members mix watchpoint sets
+    // (the scenario's primary set and an independently generated second
+    // set) with backends and timing configs, each member carrying its
+    // own detector and value bookkeeping.
     let cheap = CpuConfig { debugger_transition_cost: 5_000, ..CpuConfig::default() };
     let cpus = vec![cpu, cheap];
-    let members = [BackendKind::VirtualMemory, BackendKind::hw4()];
-    let mut batch = ObserverBatch::new(&app, wps.clone());
-    for b in members {
-        batch.member(b, cpus.clone());
+    let observing = [BackendKind::VirtualMemory, BackendKind::hw4(), BackendKind::DiseComparators];
+    let mut members: Vec<(BackendKind, &Vec<Watchpoint>)> =
+        vec![(observing[0], &wps), (observing[1], &wps), (observing[2], &wps_b)];
+    if heavy {
+        members.push((observing[0], &wps_b));
+        members.push((observing[1], &wps_b));
+        members.push((observing[2], &wps));
+    }
+    let mut batch = ObserverBatch::new(&app);
+    for (b, set) in &members {
+        batch.member(*b, (*set).clone(), cpus.clone());
     }
     let results = match batch.run() {
         Ok(results) => results,
         Err(e) => return Err(TestCaseError::fail(format!("observer batch setup failed: {e}"))),
     };
-    for (backend, result) in members.into_iter().zip(results) {
+    for ((backend, set), result) in members.into_iter().zip(results) {
         match result {
             Ok(reports) => {
                 prop_assert_eq!(reports.len(), cpus.len());
                 for (c, got) in cpus.iter().zip(reports) {
-                    let lone = run_session(&app, wps.clone(), backend, *c)
+                    let lone = run_session(&app, set.clone(), backend, *c)
                         .expect("member ran batched, must run alone");
-                    prop_assert_eq!(got.run, lone.run, "{:?} cycles diverged", backend);
+                    prop_assert_eq!(got.run, lone.run, "{:?}/{:?} cycles diverged", backend, set);
                     prop_assert_eq!(&got.transitions, &lone.transitions, "{:?}", backend);
                     prop_assert_eq!(got.error, lone.error, "{:?}", backend);
                     prop_assert_eq!(got.text_bytes, lone.text_bytes, "{:?}", backend);
@@ -281,7 +354,7 @@ fn check_scenario(
             Err(DebugError::Unsupported { .. }) => {
                 prop_assert!(
                     matches!(
-                        run_session(&app, wps.clone(), backend, cpu),
+                        run_session(&app, set.clone(), backend, cpu),
                         Err(DebugError::Unsupported { .. })
                     ),
                     "{:?}: batched Unsupported must match the standalone error",
@@ -304,8 +377,9 @@ proptest! {
         iters in 1u8..6,
         ops in prop::collection::vec(any_store_op(), 1..6),
         specs in any_specs(),
+        specs_b in any_specs(),
     ) {
-        check_scenario(iters, &ops, &specs, false)?;
+        check_scenario(iters, &ops, &specs, &specs_b, false)?;
     }
 }
 
@@ -320,25 +394,31 @@ proptest! {
         iters in 1u8..8,
         ops in prop::collection::vec(any_store_op(), 1..8),
         specs in any_specs(),
+        specs_b in any_specs(),
     ) {
-        check_scenario(iters, &ops, &specs, true)?;
+        check_scenario(iters, &ops, &specs, &specs_b, true)?;
     }
 }
 
 /// Fixed regression scenarios, independent of the random stream: the
 /// shapes most likely to diverge (predicate collisions with the
 /// counter, a range with unwatched tail bytes, a moving-value indirect,
-/// silent-store pruning).
+/// silent-store pruning), each with a deliberately different second
+/// watchpoint set for the multi-set observer batch.
 #[test]
 fn pinned_scenarios_conform() {
-    let cases: &[(u8, &[StoreOp], &[WatchSpec])] = &[
-        // Conditional whose constant collides with some counter values.
+    type Case = (u8, &'static [StoreOp], &'static [WatchSpec], &'static [WatchSpec]);
+    let cases: &[Case] = &[
+        // Conditional whose constant collides with some counter values;
+        // the second set watches the other store as a plain scalar.
         (
             5,
             &[StoreOp::Counter { slot: 0 }, StoreOp::Constant { slot: 1, k: 3 }],
             &[WatchSpec::Conditional { slot: 0, k: 3 }, WatchSpec::Scalar { slot: 1 }],
+            &[WatchSpec::Scalar { slot: 0 }],
         ),
-        // Range with a 5-byte unwatched tail in its last quad.
+        // Range with a 5-byte unwatched tail in its last quad; second
+        // set watches a disjoint slot that never changes.
         (
             4,
             &[
@@ -347,22 +427,29 @@ fn pinned_scenarios_conform() {
                 StoreOp::Zero { slot: 5 },
             ],
             &[WatchSpec::Range { first: 4, len: 19 }],
+            &[WatchSpec::Scalar { slot: 0 }],
         ),
-        // Indirect (DISE + single-stepping only) over a counter slot.
+        // Indirect (DISE, comparators and single-stepping) over a
+        // counter slot; the second set aims the comparators at the same
+        // moving value through the same pointer cell.
         (
             6,
             &[StoreOp::Counter { slot: 5 }, StoreOp::Constant { slot: 0, k: 9 }],
             &[WatchSpec::Indirect { slot: 5 }],
+            &[WatchSpec::Indirect { slot: 5 }, WatchSpec::Scalar { slot: 0 }],
         ),
-        // Silent stores: constants rewriting their own value.
+        // Silent stores: constants rewriting their own value; the
+        // second set overlaps the first (shared slot 3).
         (
             6,
             &[StoreOp::Constant { slot: 2, k: 7 }, StoreOp::Zero { slot: 3 }],
             &[WatchSpec::Scalar { slot: 2 }, WatchSpec::Scalar { slot: 3 }],
+            &[WatchSpec::Scalar { slot: 3 }],
         ),
         // True negatives: off-page scratch traffic around a watched slot
         // must produce no transition anywhere — not even through the
-        // page filter.
+        // page filter; the second set watches a range the scratch
+        // stores must not disturb either.
         (
             5,
             &[
@@ -371,9 +458,11 @@ fn pinned_scenarios_conform() {
                 StoreOp::Scratch { slot: 7 },
             ],
             &[WatchSpec::Scalar { slot: 1 }],
+            &[WatchSpec::Range { first: 0, len: 17 }],
         ),
     ];
-    for (i, (iters, ops, specs)) in cases.iter().enumerate() {
-        check_scenario(*iters, ops, specs, true).unwrap_or_else(|e| panic!("case {i}: {e}"));
+    for (i, (iters, ops, specs, specs_b)) in cases.iter().enumerate() {
+        check_scenario(*iters, ops, specs, specs_b, true)
+            .unwrap_or_else(|e| panic!("case {i}: {e}"));
     }
 }

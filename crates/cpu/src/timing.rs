@@ -759,6 +759,11 @@ mod tests {
     /// the shared unprotected pass differ only in `ProtFault`
     /// annotations, so their timing must be bit-identical — debugger
     /// cost enters exclusively through [`Timing::debugger_stall`].
+    /// Since the batch composes one independent [`TimingBatch`] per
+    /// member — each member carrying its own watchpoint set — this is
+    /// also what lets one pass serve members whose *watchpoints*
+    /// differ: watchpoints only change which stalls a member charges,
+    /// never what the shared stream costs.
     #[test]
     fn event_annotations_never_change_cycle_accounting() {
         let run = |annotate: bool| {

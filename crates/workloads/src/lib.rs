@@ -40,7 +40,7 @@ mod sweeps;
 pub mod synthetic;
 mod workload;
 
-pub use sweeps::transition_cost_sweep;
+pub use sweeps::{transition_cost_sweep, watchpoint_set_sweep};
 pub use workload::{WatchKind, Workload};
 
 /// Default iteration count giving tens of thousands of dynamic

@@ -8,6 +8,9 @@
 //! functional replay per grid cell.
 
 use dise_cpu::CpuConfig;
+use dise_debug::Watchpoint;
+
+use crate::{WatchKind, Workload};
 
 /// The debugger-transition-cost sensitivity batch.
 ///
@@ -29,9 +32,43 @@ pub fn transition_cost_sweep(base: CpuConfig) -> Vec<(&'static str, CpuConfig)> 
         .collect()
 }
 
+/// The multi-watchpoint-set sweep: three qualitatively different
+/// watchpoint sets over one kernel — a hot scalar, a pair of cooler
+/// scalars, and the non-scalar range. Every set leaves the kernel's
+/// functional stream untouched under an observing backend, so a grid
+/// over (set × observing backend × timing) batches into **one**
+/// functional pass per workload (`dise_debug::ObserverBatch` members
+/// each carry their own set); only perturbing backends pay per set.
+///
+/// The RANGE set doubles as a per-member "no experiment" probe:
+/// hardware registers decline non-scalars, and the member-level error
+/// must not cost the rest of the batch its shared pass.
+pub fn watchpoint_set_sweep(w: &Workload) -> Vec<(&'static str, Vec<Watchpoint>)> {
+    vec![
+        ("HOT", vec![w.watchpoint(WatchKind::Hot)]),
+        ("WARM1+COLD", vec![w.watchpoint(WatchKind::Warm1), w.watchpoint(WatchKind::Cold)]),
+        ("RANGE", vec![w.watchpoint(WatchKind::Range)]),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn watchpoint_sets_are_distinct_and_nonempty() {
+        let w = crate::all(10).remove(0);
+        let sets = watchpoint_set_sweep(&w);
+        assert_eq!(sets.len(), 3);
+        for (label, set) in &sets {
+            assert!(!set.is_empty(), "{label}");
+        }
+        for i in 0..sets.len() {
+            for j in i + 1..sets.len() {
+                assert_ne!(sets[i].1, sets[j].1, "sets {i} and {j} must differ");
+            }
+        }
+    }
 
     #[test]
     fn sweep_varies_only_the_transition_cost() {

@@ -114,26 +114,63 @@ pub enum WatchSpec {
 ///
 /// # Panics
 ///
-/// Panics on more than one [`WatchSpec::Indirect`] (the scenario image
-/// carries a single pointer cell — and DISE's serial matcher likewise
-/// supports one indirect watchpoint, which must come first), or if the
-/// generated program fails to assemble (a bug in this generator, not in
-/// the spec).
+/// As [`scenario_sets`], of which this is the single-set special case.
 pub fn scenario(iters: u8, ops: &[StoreOp], specs: &[WatchSpec]) -> (Application, Vec<Watchpoint>) {
+    let (app, mut sets) = scenario_sets(iters, ops, &[specs.to_vec()]);
+    (app, sets.pop().expect("one set in, one set out"))
+}
+
+/// Build one scenario application serving **multiple watchpoint sets**
+/// — the input shape of per-workload observer batching, where every
+/// member of a `dise_debug::ObserverBatch` carries its own set over the
+/// same unmodified application. Each set is resolved independently
+/// against the one assembled image; set `i` of the result is exactly
+/// what `scenario(iters, ops, &sets[i])` would produce (the application
+/// is identical because watchpoints never influence generation beyond
+/// the shared pointer cell).
+///
+/// Slot indices are taken modulo [`SLOTS`] and range lengths are
+/// clamped to the block, so arbitrary (e.g. shrunk) specs are always
+/// valid.
+///
+/// # Panics
+///
+/// Panics when the sets disagree on the indirect target (the scenario
+/// image carries a single pointer cell, so every
+/// [`WatchSpec::Indirect`] across all sets must name the same slot —
+/// and DISE's serial matcher likewise supports one indirect watchpoint
+/// per set, which must come first), or if the generated program fails
+/// to assemble (a bug in this generator, not in the spec).
+pub fn scenario_sets(
+    iters: u8,
+    ops: &[StoreOp],
+    sets: &[Vec<WatchSpec>],
+) -> (Application, Vec<Vec<Watchpoint>>) {
+    let indirect_slots: Vec<u8> = sets
+        .iter()
+        .flatten()
+        .filter_map(|s| match s {
+            WatchSpec::Indirect { slot } => Some(slot % SLOTS),
+            _ => None,
+        })
+        .collect();
     assert!(
-        specs.iter().filter(|s| matches!(s, WatchSpec::Indirect { .. })).count() <= 1,
-        "a scenario has one pointer cell: at most one indirect watchpoint"
+        indirect_slots.windows(2).all(|w| w[0] == w[1]),
+        "a scenario has one pointer cell: every indirect watchpoint must target the same slot"
     );
+    for set in sets {
+        assert!(
+            set.iter().filter(|s| matches!(s, WatchSpec::Indirect { .. })).count() <= 1,
+            "at most one indirect watchpoint per set (DISE's serial matcher owns one `dar`)"
+        );
+    }
     // The pointer cell for an indirect watchpoint needs the watched
     // slot's absolute address in its initialiser: generate once with a
     // placeholder, read the symbol, and regenerate. Assembly is
     // deterministic, so the second image's layout equals the first's.
     let probe = Application::new(parse_asm(&source(iters, ops, 0)).expect("parses"), layout());
     let slots = probe.program().expect("assembles").symbol("slots").expect("slots exists");
-    let indirect_target = specs.iter().find_map(|s| match s {
-        WatchSpec::Indirect { slot } => Some(slots + 8 * u64::from(slot % SLOTS)),
-        _ => None,
-    });
+    let indirect_target = indirect_slots.first().map(|slot| slots + 8 * u64::from(*slot));
     let app = Application::new(
         parse_asm(&source(iters, ops, indirect_target.unwrap_or(0))).expect("parses"),
         layout(),
@@ -142,29 +179,36 @@ pub fn scenario(iters: u8, ops: &[StoreOp], specs: &[WatchSpec]) -> (Application
     assert_eq!(prog.symbol("slots"), Some(slots), "two-pass layout must agree");
 
     let ptr = prog.symbol("ptr").expect("ptr exists");
-    let wps = specs
+    let resolved = sets
         .iter()
-        .map(|spec| match *spec {
-            WatchSpec::Scalar { slot } => Watchpoint::new(WatchExpr::Scalar {
-                addr: slots + 8 * u64::from(slot % SLOTS),
-                width: Width::Q,
-            }),
-            WatchSpec::Conditional { slot, k } => Watchpoint::conditional(
-                WatchExpr::Scalar { addr: slots + 8 * u64::from(slot % SLOTS), width: Width::Q },
-                Condition::equals(u64::from(k)),
-            ),
-            WatchSpec::Range { first, len } => {
-                let first = u64::from(first % SLOTS);
-                let max_len = 8 * (u64::from(SLOTS) - first);
-                let len = u64::from(len).clamp(1, max_len);
-                Watchpoint::new(WatchExpr::Range { base: slots + 8 * first, len })
-            }
-            WatchSpec::Indirect { .. } => {
-                Watchpoint::new(WatchExpr::Indirect { ptr, width: Width::Q })
-            }
+        .map(|set| {
+            set.iter()
+                .map(|spec| match *spec {
+                    WatchSpec::Scalar { slot } => Watchpoint::new(WatchExpr::Scalar {
+                        addr: slots + 8 * u64::from(slot % SLOTS),
+                        width: Width::Q,
+                    }),
+                    WatchSpec::Conditional { slot, k } => Watchpoint::conditional(
+                        WatchExpr::Scalar {
+                            addr: slots + 8 * u64::from(slot % SLOTS),
+                            width: Width::Q,
+                        },
+                        Condition::equals(u64::from(k)),
+                    ),
+                    WatchSpec::Range { first, len } => {
+                        let first = u64::from(first % SLOTS);
+                        let max_len = 8 * (u64::from(SLOTS) - first);
+                        let len = u64::from(len).clamp(1, max_len);
+                        Watchpoint::new(WatchExpr::Range { base: slots + 8 * first, len })
+                    }
+                    WatchSpec::Indirect { .. } => {
+                        Watchpoint::new(WatchExpr::Indirect { ptr, width: Width::Q })
+                    }
+                })
+                .collect()
         })
         .collect();
-    (app, wps)
+    (app, resolved)
 }
 
 fn layout() -> Layout {
@@ -271,6 +315,43 @@ mod tests {
             scenario(2, &[StoreOp::Zero { slot: 0 }], &[WatchSpec::Range { first: 7, len: 200 }]);
         let WatchExpr::Range { len, .. } = wps[0].expr else { panic!("range") };
         assert_eq!(len, 8, "one slot left at the end of the block");
+    }
+
+    #[test]
+    fn scenario_sets_resolve_each_set_against_one_image() {
+        let ops = [StoreOp::Counter { slot: 0 }, StoreOp::Counter { slot: 2 }];
+        let sets = vec![
+            vec![WatchSpec::Scalar { slot: 0 }],
+            vec![WatchSpec::Indirect { slot: 2 }, WatchSpec::Scalar { slot: 1 }],
+            vec![WatchSpec::Range { first: 2, len: 10 }],
+        ];
+        let (app, resolved) = scenario_sets(4, &ops, &sets);
+        assert_eq!(resolved.len(), 3);
+        // Each set resolves exactly as its single-set form would, and
+        // the set carrying the indirect reproduces the application too
+        // (sets without it would initialise the unused pointer cell to
+        // zero on their own — the only way sets influence generation).
+        for (set, wps) in sets.iter().zip(&resolved) {
+            let (lone_app, lone_wps) = scenario(4, &ops, set);
+            assert_eq!(&lone_wps, wps);
+            if set.iter().any(|s| matches!(s, WatchSpec::Indirect { .. })) {
+                assert_eq!(lone_app, app, "the indirect set pins the pointer cell");
+            }
+        }
+        // The shared pointer cell targets the (single) indirect slot.
+        let prog = app.program().unwrap();
+        let mut mem = dise_mem::Memory::new();
+        prog.load(&mut mem);
+        let slots = prog.symbol("slots").unwrap();
+        assert_eq!(mem.read_u(prog.symbol("ptr").unwrap(), 8), slots + 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "same slot")]
+    fn scenario_sets_reject_conflicting_indirect_targets() {
+        let sets =
+            vec![vec![WatchSpec::Indirect { slot: 1 }], vec![WatchSpec::Indirect { slot: 2 }]];
+        let _ = scenario_sets(2, &[StoreOp::Zero { slot: 0 }], &sets);
     }
 
     #[test]

@@ -21,8 +21,11 @@
 //! reports the minimised inputs. Integer ranges shrink toward their
 //! lower bound, `any::<int>()` toward zero, vectors by dropping
 //! elements and shrinking survivors, and tuples component-wise.
-//! Opaque strategies (`prop_map`, `prop_oneof!`) do not shrink — their
-//! failures report the originally generated inputs.
+//! `prop_map` values shrink by shrinking the *underlying input* and
+//! re-mapping (the strategy remembers which input produced which
+//! output), and `prop_oneof!` values shrink within the arm that
+//! generated them — so mapped/union values minimise instead of
+//! reporting whatever the stream generated first.
 
 pub mod strategy {
     use crate::test_runner::TestRng;
@@ -39,20 +42,26 @@ pub mod strategy {
         /// Propose strictly smaller candidates derived from a failing
         /// `value`, most aggressive first. The runner re-checks each
         /// candidate and greedily descends into any that still fails.
-        /// The default — for strategies whose values are opaque, like
-        /// [`Map`] and [`Union`] — proposes nothing, which disables
-        /// shrinking but never misreports.
+        /// The default — for strategies with nothing smaller to offer,
+        /// like [`Just`] — proposes nothing, which disables shrinking
+        /// but never misreports.
         fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
             Vec::new()
         }
 
-        /// Transform generated values.
-        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        /// Transform generated values. Mapped values shrink by
+        /// shrinking the underlying input strategy and re-mapping: the
+        /// returned [`Map`] remembers which input produced which output
+        /// (from `generate` and from its own shrink proposals), so a
+        /// failing output can be traced back to its input, the input
+        /// shrunk, and the candidates mapped forward again. This is why
+        /// [`Map`]'s values must be `Clone + PartialEq`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F, U>
         where
             Self: Sized,
             F: Fn(Self::Value) -> U,
         {
-            Map { inner: self, f }
+            Map { inner: self, f, seen: std::cell::RefCell::new(Vec::new()) }
         }
 
         /// Keep only values satisfying `f` (retrying; panics if the
@@ -105,16 +114,75 @@ pub mod strategy {
     }
 
     /// See [`Strategy::prop_map`].
-    #[derive(Clone)]
-    pub struct Map<S, F> {
+    pub struct Map<S: Strategy, F, U> {
         inner: S,
         f: F,
+        /// Input → output pairs this strategy has produced, from
+        /// `generate` and from shrink proposals, so `shrink` can
+        /// recover the input behind a failing output and shrink *it*.
+        seen: std::cell::RefCell<Vec<(S::Value, U)>>,
     }
 
-    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    impl<S: Strategy, F, U> Map<S, F, U> {
+        fn remember(&self, input: S::Value, output: U) {
+            let mut seen = self.seen.borrow_mut();
+            // The cache only needs to survive one greedy descent
+            // (≤ MAX_STEPS proposals); keep it bounded regardless.
+            if seen.len() >= 4096 {
+                seen.drain(..2048);
+            }
+            seen.push((input, output));
+        }
+    }
+
+    impl<S: Strategy + Clone, F: Clone, U> Clone for Map<S, F, U> {
+        fn clone(&self) -> Self {
+            // The pair cache is per-instance shrink state, not part of
+            // the strategy's identity: clones start empty.
+            Map {
+                inner: self.inner.clone(),
+                f: self.f.clone(),
+                seen: std::cell::RefCell::new(Vec::new()),
+            }
+        }
+    }
+
+    impl<S, U, F> Strategy for Map<S, F, U>
+    where
+        S: Strategy,
+        S::Value: Clone,
+        U: Clone + PartialEq,
+        F: Fn(S::Value) -> U,
+    {
         type Value = U;
         fn generate(&self, rng: &mut TestRng) -> U {
-            (self.f)(self.inner.generate(rng))
+            let input = self.inner.generate(rng);
+            let out = (self.f)(input.clone());
+            self.remember(input, out.clone());
+            out
+        }
+        /// Shrink the *input* that produced `value` and re-map: every
+        /// candidate output is genuinely producible by this strategy
+        /// (it is the image of a shrunk input). Candidates mapping back
+        /// to `value` itself are dropped — they would stall the greedy
+        /// descent without progress. An output this instance never
+        /// produced (possible only when callers shrink values across
+        /// strategy instances) proposes nothing rather than guessing.
+        fn shrink(&self, value: &U) -> Vec<U> {
+            let input = {
+                let seen = self.seen.borrow();
+                seen.iter().rev().find(|(_, o)| o == value).map(|(i, _)| i.clone())
+            };
+            let Some(input) = input else { return Vec::new() };
+            let mut out: Vec<U> = Vec::new();
+            for cand in self.inner.shrink(&input) {
+                let mapped = (self.f)(cand.clone());
+                if mapped != *value && !out.contains(&mapped) {
+                    self.remember(cand, mapped.clone());
+                    out.push(mapped);
+                }
+            }
+            out
         }
     }
 
@@ -149,20 +217,57 @@ pub mod strategy {
     /// Uniform choice between boxed arms; built by [`crate::prop_oneof!`].
     pub struct Union<V> {
         arms: Vec<BoxedStrategy<V>>,
+        /// (arm index, value) pairs this union has produced, so shrink
+        /// candidates come from the arm that generated the value —
+        /// never from a sibling arm whose value space the failing value
+        /// may not even inhabit.
+        seen: std::cell::RefCell<Vec<(usize, V)>>,
     }
 
     impl<V> Union<V> {
         pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
             assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
-            Union { arms }
+            Union { arms, seen: std::cell::RefCell::new(Vec::new()) }
         }
     }
 
-    impl<V> Strategy for Union<V> {
+    impl<V: Clone + PartialEq> Union<V> {
+        fn remember(&self, arm: usize, value: V) {
+            let mut seen = self.seen.borrow_mut();
+            if seen.len() >= 4096 {
+                seen.drain(..2048);
+            }
+            seen.push((arm, value));
+        }
+    }
+
+    impl<V: Clone + PartialEq> Strategy for Union<V> {
         type Value = V;
         fn generate(&self, rng: &mut TestRng) -> V {
             let i = (rng.next_u64() % self.arms.len() as u64) as usize;
-            self.arms[i].generate(rng)
+            let v = self.arms[i].generate(rng);
+            self.remember(i, v.clone());
+            v
+        }
+        /// Delegate to the arm that produced `value` (values from
+        /// other instances propose nothing). The arm's own candidates
+        /// — e.g. a `prop_map` arm shrinking its input — stay within
+        /// that arm's value space, so every proposal remains producible
+        /// by this union.
+        fn shrink(&self, value: &V) -> Vec<V> {
+            let arm = {
+                let seen = self.seen.borrow();
+                seen.iter().rev().find(|(_, v)| v == value).map(|(i, _)| *i)
+            };
+            let Some(arm) = arm else { return Vec::new() };
+            let mut out: Vec<V> = Vec::new();
+            for cand in self.arms[arm].shrink(value) {
+                if cand != *value && !out.contains(&cand) {
+                    self.remember(arm, cand.clone());
+                    out.push(cand);
+                }
+            }
+            out
         }
     }
 
@@ -918,6 +1023,111 @@ mod tests {
             assert!(cands.iter().all(|c| c.abs() < v.abs()));
         }
         assert!(crate::arbitrary::Arbitrary::shrink(&0i32).is_empty());
+    }
+
+    /// `prop_map` values shrink by shrinking the underlying input and
+    /// re-mapping: a failure predicate over the *mapped* value must
+    /// minimise to the image of the minimal failing input.
+    #[test]
+    fn prop_map_shrinks_via_the_underlying_input() {
+        let s = (0u64..100_000).prop_map(|v| v * 2 + 1);
+        let mut rng = crate::test_runner::TestRng::from_seed(7);
+        // Fails when the mapped value crosses 2*57+1: minimal failing
+        // input 57, minimal failing output 115.
+        let check = |v: &u64| if *v >= 115 { Some(format!("{v} too big")) } else { None };
+        let start = loop {
+            let v = s.generate(&mut rng);
+            if check(&v).is_some() {
+                break v;
+            }
+        };
+        let (min, _, steps) = crate::strategy::shrink_failure(&s, start, "big".into(), check);
+        assert_eq!(min, 115, "minimal mapped counterexample");
+        assert!(steps < 200, "binary descent through the map: {steps} steps");
+    }
+
+    #[test]
+    fn prop_map_candidates_are_images_of_shrunk_inputs() {
+        let s = (10u8..50).prop_map(|v| u64::from(v) * 3);
+        let mut rng = crate::test_runner::TestRng::from_seed(8);
+        let v = s.generate(&mut rng);
+        let cands = s.shrink(&v);
+        assert!(!cands.is_empty(), "mapped values must shrink now");
+        for c in cands {
+            assert!(c % 3 == 0 && (30..150).contains(&c), "candidate {c} not in the map's image");
+            assert!(c < v, "candidate {c} did not shrink below {v}");
+        }
+    }
+
+    /// A value the strategy never produced proposes nothing — the
+    /// shrinker must stay silent rather than misattribute an input.
+    #[test]
+    fn prop_map_does_not_shrink_foreign_values() {
+        let s = (0u8..10).prop_map(|v| u64::from(v) * 2);
+        assert!(s.shrink(&12345).is_empty());
+    }
+
+    /// `prop_oneof!` over mapped arms shrinks within the generating
+    /// arm: an even value (arm 0) never proposes odd candidates (arm 1)
+    /// and vice versa.
+    #[test]
+    fn union_shrinks_within_the_generating_arm() {
+        let s = prop_oneof![
+            (0u64..1000).prop_map(|v| v * 2),     // evens
+            (0u64..1000).prop_map(|v| v * 2 + 1), // odds
+        ];
+        let mut rng = crate::test_runner::TestRng::from_seed(9);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            for c in s.shrink(&v) {
+                assert_eq!(c % 2, v % 2, "candidate {c} escaped the arm that produced {v}");
+                assert!(c < v);
+            }
+        }
+    }
+
+    /// Vectors of mapped elements shrink element-wise through the map.
+    #[test]
+    fn vec_of_mapped_elements_shrinks_elements() {
+        let s = prop::collection::vec((1u8..100).prop_map(|v| u64::from(v) * 10), 2..6);
+        // Fails while any element exceeds 300: minimal failing state is
+        // the shortest vector with one element at exactly 310... but
+        // element shrinks bottom out at 10, so assert the descent lands
+        // on the minimal *failing* shape instead of the raw start.
+        let check = |v: &Vec<u64>| {
+            if v.iter().any(|&x| x >= 310) {
+                Some("big element".into())
+            } else {
+                None
+            }
+        };
+        let mut rng = crate::test_runner::TestRng::from_seed(10);
+        let start = loop {
+            let v = s.generate(&mut rng);
+            if check(&v).is_some() {
+                break v;
+            }
+        };
+        let (min, _, _) = crate::strategy::shrink_failure(&s, start, "big".into(), check);
+        assert_eq!(min.len(), 2, "length shrinks to the minimum");
+        assert_eq!(min.iter().filter(|&&x| x >= 310).count(), 1, "one offender survives");
+        assert!(min.contains(&310), "the offender minimised through the map: {min:?}");
+        assert!(min.iter().all(|&x| x == 310 || x == 10), "bystanders minimised too: {min:?}");
+    }
+
+    /// End to end through the `proptest!` runner: a property failing on
+    /// a mapped value reports the minimised mapping.
+    #[test]
+    fn failing_mapped_property_reports_shrunk_values() {
+        proptest! {
+            /// Not a #[test]: invoked below under catch_unwind.
+            fn fails_on_big_triples(x in (0u64..100_000).prop_map(|v| v * 3)) {
+                prop_assert!(x < 300, "x = {} crossed the line", x);
+            }
+        }
+        let err = std::panic::catch_unwind(fails_on_big_triples).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("(x) = (300,)"), "panic must carry the minimal mapped input:\n{msg}");
     }
 
     /// End to end: a failing property's panic reports the *minimised*
