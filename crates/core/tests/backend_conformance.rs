@@ -12,10 +12,16 @@
 //!
 //! Invariants checked per scenario:
 //!
-//! * every applicable per-store backend (virtual memory, hardware
-//!   registers incl. the page-protection hybrid, every DISE
-//!   organisation, the pure-observation DISE comparators, binary
-//!   rewriting) reports **exactly the oracle's user-transition count**;
+//! * every applicable per-store backend reports **exactly its
+//!   granularity family's oracle count**: byte-accurate backends
+//!   (virtual memory, hardware registers incl. the page-protection
+//!   hybrid, the pure-observation DISE comparators, inline-evaluating
+//!   DISE) match the omniscient per-store oracle, while base-address
+//!   matchers (serial and Bloom match-address DISE, binary rewriting)
+//!   match a stateful model of the paper's handler — which keys on the
+//!   store's *base* quad and therefore, by design, misses stores that
+//!   straddle into a watched quad from below (and can then trap a
+//!   later silent store against its stale previous-value cell);
 //! * no backend perturbs architectural state: final slot bytes and
 //!   final watched-expression values equal the oracle's for every
 //!   backend, single-stepping included;
@@ -34,18 +40,21 @@
 //!   text bytes), and a member's `Unsupported` error matches its
 //!   standalone error.
 //!
-//! Scenarios come from `dise_workloads::synthetic` (quad-aligned store
-//! scripts — the granularity all backends implement identically; see
-//! that module on why unaligned straddles are out of scope here), each
-//! carrying a *second* watchpoint set for the multi-set observer batch,
-//! and shrink to minimal counterexamples via the vendored proptest's
-//! shrinker — which now shrinks through `prop_map`/`prop_oneof!` too.
+//! Scenarios come from `dise_workloads::synthetic` — store scripts
+//! spanning quad-aligned quads, single bytes, straddling longwords and
+//! quads straddling into a watched quad from below, so the
+//! base-address-vs-byte-granularity split is *exercised*, not carved
+//! out — each carrying a *second* watchpoint set for the multi-set
+//! observer batch, and shrink to minimal counterexamples via the
+//! vendored proptest's shrinker — which now shrinks through
+//! `prop_map`/`prop_oneof!` too.
 
 use dise_cpu::{CpuConfig, Executor};
 use dise_debug::{
-    run_session, Application, BackendKind, DebugError, DiseStrategy, ObserverBatch, Session,
-    SessionReport, WatchExpr, WatchState, WatchValue, Watchpoint,
+    run_session, Application, BackendKind, CheckKind, DebugError, DiseStrategy, ObserverBatch,
+    Session, SessionReport, WatchExpr, WatchState, WatchValue, Watchpoint,
 };
+use dise_mem::Memory;
 use dise_workloads::synthetic::{scenario_sets, StoreOp, WatchSpec, SLOTS};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
@@ -56,6 +65,9 @@ fn any_store_op() -> impl Strategy<Value = StoreOp> {
         (0u8..SLOTS, 0u8..8).prop_map(|(slot, k)| StoreOp::Constant { slot, k }),
         (0u8..SLOTS).prop_map(|slot| StoreOp::Zero { slot }),
         (0u8..SLOTS).prop_map(|slot| StoreOp::Scratch { slot }),
+        (0u8..SLOTS, 0u8..8, any::<u8>()).prop_map(|(slot, off, k)| StoreOp::Byte { slot, off, k }),
+        (0u8..SLOTS - 1, 0u8..8).prop_map(|(slot, off)| StoreOp::Long { slot, off }),
+        (1u8..SLOTS, 1u8..8).prop_map(|(slot, back)| StoreOp::StraddleBelow { slot, back }),
     ]
 }
 
@@ -101,11 +113,139 @@ fn any_specs() -> impl Strategy<Value = Vec<WatchSpec>> {
 
 /// What an omniscient debugger would report: replay the unmodified
 /// application and re-evaluate every watched expression after each
-/// store.
+/// store (`user`), alongside what the paper's base-address-matching
+/// handler would report (`dise_user`) — the two counts diverge exactly
+/// when a store's *base* quad and its written bytes disagree about
+/// watched coverage.
 struct Oracle {
     user: u64,
+    dise_user: u64,
     final_slots: Vec<u8>,
     final_values: Vec<WatchValue>,
+}
+
+/// Per-watchpoint state of the DISE match-address handler model: a
+/// faithful, memory-level simulation of the generated handler in
+/// `backend/dise.rs` (previous-value cells, the indirect target cell,
+/// full-quad range shadows with boundary masks). The Bloom filters are
+/// deliberately absent — they only gate *handler invocation* and are a
+/// superset of the handler's own gates, so user events depend on the
+/// handler alone.
+enum DiseCell {
+    Scalar { addr: u64, width: u64, cond: Option<u64>, prev: u64 },
+    Indirect { ptr: u64, width: u64, target: u64, prev: u64 },
+    Range { lo: u64, len: u64, shadow: Vec<u64> },
+}
+
+fn dise_cells(wps: &[Watchpoint], mem: &Memory) -> Vec<DiseCell> {
+    wps.iter()
+        .map(|w| match w.expr {
+            WatchExpr::Scalar { addr, width } => DiseCell::Scalar {
+                addr,
+                width: width.bytes(),
+                cond: w.condition.map(|c| c.equals),
+                prev: mem.read_u(addr, width.bytes()),
+            },
+            WatchExpr::Indirect { ptr, width } => {
+                let target = mem.read_u(ptr, 8);
+                DiseCell::Indirect {
+                    ptr,
+                    width: width.bytes(),
+                    target,
+                    prev: mem.read_u(target, width.bytes()),
+                }
+            }
+            WatchExpr::Range { base, len } => {
+                let lo_quad = base & !7;
+                let hi_quad = (base + len + 7) & !7;
+                DiseCell::Range {
+                    lo: base,
+                    len,
+                    shadow: (lo_quad..hi_quad).step_by(8).map(|q| mem.read_u(q, 8)).collect(),
+                }
+            }
+        })
+        .collect()
+}
+
+/// One store through the handler model. Returns true when the handler
+/// traps (a user transition). The first watchpoint whose gate passes
+/// consumes the store — trap or not — exactly as every gate-passing
+/// path in the generated handler branches to `__done`.
+fn dise_store(cells: &mut [DiseCell], mem: &Memory, raw: u64) -> bool {
+    let rq = raw & !7;
+    for cell in cells {
+        match cell {
+            DiseCell::Scalar { addr, width, cond, prev } => {
+                if rq != *addr & !7 {
+                    continue;
+                }
+                let cur = mem.read_u(*addr, *width);
+                if cur == *prev {
+                    return false; // silent: consumed without a trap
+                }
+                *prev = cur;
+                return cond.is_none_or(|k| cur == k);
+            }
+            DiseCell::Indirect { ptr, width, target, prev } => {
+                if rq == *ptr & !7 {
+                    // The pointer cell itself was written: the handler
+                    // re-dereferences, retargets and silently adopts
+                    // the new target's value as the reference.
+                    *target = mem.read_u(*ptr, 8);
+                    *prev = mem.read_u(*target, *width);
+                    return false;
+                }
+                if rq != *target & !7 {
+                    continue;
+                }
+                let cur = mem.read_u(*target, *width);
+                if cur == *prev {
+                    return false;
+                }
+                *prev = cur;
+                return true;
+            }
+            DiseCell::Range { lo, len, shadow } => {
+                // The gate is the *raw base* in [lo, lo+len): a store
+                // straddling in from below never reaches the shadows.
+                if raw < *lo || raw >= *lo + *len {
+                    continue;
+                }
+                let first_quad = *lo & !7;
+                let end = *lo + *len;
+                let last_quad = (end - 1) & !7;
+                let lo_pad = *lo % 8;
+                let hi_pad = last_quad + 8 - end;
+                let mut tripped = false;
+                let mut q = rq;
+                // The store's base quad, then its successor when the
+                // store can spill into it and it is still watched.
+                for _ in 0..2 {
+                    if q > last_quad {
+                        break;
+                    }
+                    let cur = mem.read_u(q, 8);
+                    let idx = ((q - first_quad) / 8) as usize;
+                    let mut diff = cur ^ shadow[idx];
+                    if q == first_quad && lo_pad > 0 {
+                        diff &= u64::MAX << (8 * lo_pad);
+                    }
+                    if q == last_quad && hi_pad > 0 {
+                        diff &= u64::MAX >> (8 * hi_pad);
+                    }
+                    if diff != 0 {
+                        // The handler stores the full unmasked quad.
+                        shadow[idx] = cur;
+                        tripped = true;
+                    }
+                    q += 8;
+                }
+                return tripped;
+            }
+        }
+    }
+    false
 }
 
 fn oracle(app: &Application, wps: &[Watchpoint]) -> Oracle {
@@ -113,10 +253,15 @@ fn oracle(app: &Application, wps: &[Watchpoint]) -> Oracle {
     let slots = prog.symbol("slots").expect("slots exists");
     let mut exec = Executor::from_program(&prog, CpuConfig::default());
     let mut watch = WatchState::new(wps, exec.mem());
+    let mut cells = dise_cells(wps, exec.mem());
     let mut user = 0u64;
+    let mut dise_user = 0u64;
     while !exec.is_halted() {
         let e = exec.step();
-        if e.mem.is_some_and(|m| m.is_store) {
+        if let Some(m) = e.mem.filter(|m| m.is_store) {
+            if dise_store(&mut cells, exec.mem(), m.addr) {
+                dise_user += 1;
+            }
             let (changed, pred_ok) = watch.reevaluate(exec.mem());
             if changed && pred_ok {
                 user += 1;
@@ -125,6 +270,7 @@ fn oracle(app: &Application, wps: &[Watchpoint]) -> Oracle {
     }
     Oracle {
         user,
+        dise_user,
         final_slots: exec.mem().read_bytes(slots, 8 * SLOTS as usize),
         final_values: wps.iter().map(|w| w.expr.evaluate(exec.mem())).collect(),
     }
@@ -232,10 +378,24 @@ fn check_scenario(
     prop_assert!(!per_store.is_empty(), "at least DISE serial must support every scenario");
 
     for (backend, report, exec) in &per_store {
+        // The granularity split: serial/Bloom match-address DISE and
+        // binary rewriting gate on the store's *base* quad (the
+        // paper's replacement sequences match the store's address, not
+        // its footprint), so they answer to the handler model; every
+        // other per-store backend traps on byte overlap and answers to
+        // the omniscient oracle. Inline-evaluating DISE re-evaluates
+        // the watched value on every store, so it is byte-accurate
+        // despite being production-injecting.
+        let base_address_matcher = match backend {
+            BackendKind::Dise(s) => s.check == CheckKind::MatchAddressCall,
+            BackendKind::BinaryRewrite => true,
+            _ => false,
+        };
+        let family_user = if base_address_matcher { orc.dise_user } else { orc.user };
         prop_assert_eq!(
             report.transitions.user,
-            orc.user,
-            "{:?} disagrees with the oracle on user transitions",
+            family_user,
+            "{:?} disagrees with its granularity family's oracle on user transitions",
             backend
         );
         if let BackendKind::Dise(_) = backend {
@@ -284,7 +444,9 @@ fn check_scenario(
         prop_assert_eq!(
             hw.transitions.spurious_address,
             0,
-            "quad-aligned quad scalars fill their comparator quads exactly"
+            "scalar watches cover every byte of their comparator quads, so any store \
+             whose footprint reaches a comparator quad — sub-quad and straddling \
+             stores included — wrote a watched byte"
         );
     }
     if let (Some((_, vm, _)), Some((_, cmp, _))) =
@@ -460,9 +622,119 @@ fn pinned_scenarios_conform() {
             &[WatchSpec::Scalar { slot: 1 }],
             &[WatchSpec::Range { first: 0, len: 17 }],
         ),
+        // Sub-quad stores that never straddle: a byte store's base quad
+        // is its only quad, so both granularity families agree; the
+        // repeated byte is silent after the first iteration.
+        (
+            4,
+            &[
+                StoreOp::Byte { slot: 1, off: 3, k: 5 },
+                StoreOp::Byte { slot: 1, off: 3, k: 5 },
+                StoreOp::Counter { slot: 0 },
+            ],
+            &[WatchSpec::Scalar { slot: 1 }, WatchSpec::Conditional { slot: 0, k: 2 }],
+            &[WatchSpec::Range { first: 1, len: 4 }],
+        ),
+        // Straddles against a range: the longword starts inside the
+        // range (gate passes, both quads checked and clipped); the
+        // quad starting below the range reaches watched bytes that
+        // only byte-accurate backends may report.
+        (
+            5,
+            &[
+                StoreOp::Counter { slot: 4 },
+                StoreOp::Long { slot: 4, off: 6 },
+                StoreOp::StraddleBelow { slot: 4, back: 3 },
+            ],
+            &[WatchSpec::Range { first: 4, len: 19 }],
+            &[WatchSpec::Scalar { slot: 4 }],
+        ),
+        // A straddle into an indirectly watched quad: the pointer's
+        // target quad is hit from below, so the serial matcher's `dar`
+        // never fires while byte-accurate backends see the bytes move.
+        (
+            4,
+            &[StoreOp::Counter { slot: 5 }, StoreOp::StraddleBelow { slot: 5, back: 4 }],
+            &[WatchSpec::Indirect { slot: 5 }],
+            &[WatchSpec::Scalar { slot: 5 }],
+        ),
     ];
     for (i, (iters, ops, specs, specs_b)) in cases.iter().enumerate() {
         check_scenario(*iters, ops, specs, specs_b, true)
             .unwrap_or_else(|e| panic!("case {i}: {e}"));
     }
+}
+
+/// The comparator file holds 16 bound-register pairs: a 17-scalar set
+/// must be rejected **loudly** at setup — by the live session and by a
+/// batch member alike — naming the spill point, and an over-capacity
+/// batch member must not cost its at-capacity siblings the shared
+/// functional pass.
+#[test]
+fn comparator_capacity_overflow_is_loud_and_member_isolated() {
+    let ops = [StoreOp::Counter { slot: 0 }];
+    let specs17: Vec<WatchSpec> = (0..17).map(|i| WatchSpec::Scalar { slot: i % SLOTS }).collect();
+    let specs16: Vec<WatchSpec> = (0..16).map(|i| WatchSpec::Scalar { slot: i % SLOTS }).collect();
+    let (app, mut sets) = scenario_sets(3, &ops, &[specs17, specs16]);
+    let wps16 = sets.pop().expect("second set");
+    let wps17 = sets.pop().expect("first set");
+    let cpu = CpuConfig::default();
+
+    let err = Session::with_config(&app, wps17.clone(), BackendKind::DiseComparators, cpu)
+        .map(|_| ())
+        .unwrap_err();
+    match err {
+        DebugError::Unsupported { backend, reason } => {
+            assert_eq!(backend, "dise-comparators");
+            assert!(
+                reason.contains("17 bound-register pairs needed, 16 available"),
+                "the error must name the spill point: {reason}"
+            );
+        }
+        e => panic!("expected Unsupported, got {e}"),
+    }
+
+    let report =
+        run_session(&app, wps16.clone(), BackendKind::DiseComparators, cpu).expect("at capacity");
+    assert_eq!(report.error, None, "16 pairs fill the file exactly and run clean");
+
+    let mut batch = ObserverBatch::new(&app);
+    batch.member(BackendKind::DiseComparators, wps17, vec![cpu]);
+    batch.member(BackendKind::DiseComparators, wps16, vec![cpu]);
+    let mut results = batch.run().expect("batch setup survives a member-level decline");
+    let at_capacity = results.pop().expect("two members in, two results out");
+    let over_capacity = results.pop().expect("two members in, two results out");
+    assert!(
+        matches!(over_capacity, Err(DebugError::Unsupported { .. })),
+        "the 17-pair member declines exactly as it does standalone"
+    );
+    let reports = at_capacity.expect("the sibling keeps the shared pass");
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].error, None);
+}
+
+/// The pinned divergence: a quad store whose base sits below a watched
+/// quad's boundary changes watched bytes that base-address matching
+/// cannot see. Byte-accurate backends report every change; the handler
+/// model traps once and then goes stale (the straddle resets the slot
+/// behind its previous-value cell's back, so the next full-quad store
+/// looks silent). `check_scenario` proves every live backend matches
+/// its family's count; the direct oracle assertions pin the counts —
+/// and the divergence — themselves.
+#[test]
+fn straddling_stores_split_the_granularity_families() {
+    let ops = [StoreOp::Constant { slot: 4, k: 9 }, StoreOp::StraddleBelow { slot: 4, back: 3 }];
+    let specs = [WatchSpec::Scalar { slot: 4 }];
+    check_scenario(3, &ops, &specs, &[WatchSpec::Scalar { slot: 0 }], true)
+        .unwrap_or_else(|e| panic!("{e}"));
+
+    let (app, mut sets) = scenario_sets(3, &ops, &[specs.to_vec()]);
+    let wps = sets.pop().expect("one set");
+    let orc = oracle(&app, &wps);
+    assert_eq!(orc.user, 6, "byte-accurate: 0→9 and 9→0 every iteration");
+    assert_eq!(
+        orc.dise_user, 1,
+        "base-address matching sees only the first 0→9; the straddle is invisible and \
+         leaves the previous-value cell stale at 9, silencing later constant stores"
+    );
 }

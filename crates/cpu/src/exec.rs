@@ -1,7 +1,9 @@
 //! The functional half of the machine: architectural state, DISE
 //! replacement context, and per-instruction execution records.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use dise_asm::Program;
 use dise_engine::Engine;
@@ -190,6 +192,85 @@ enum Mode {
 /// Number of slots in the decoded-instruction cache (power of two).
 const DECODED_SLOTS: usize = 4096;
 
+/// Maximum decoded steps per cached block.
+const MAX_BLOCK_STEPS: usize = 64;
+
+/// Granularity of the block invalidation index (power of two). A block
+/// covers at most `MAX_BLOCK_STEPS * 4` bytes, so it spans at most two
+/// regions.
+const BLOCK_REGION_BYTES: u64 = 512;
+
+/// Multiply-xor hasher for the PC-keyed block maps. These maps sit on
+/// the per-instruction replay path, where SipHash alone would cost more
+/// than the decode it replaces; PCs are word-aligned addresses, so a
+/// single multiply spreads them fine.
+#[derive(Default)]
+struct PcHasher(u64);
+
+impl Hasher for PcHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("PcHasher is only used with u64 keys");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+}
+
+type PcMap<V> = HashMap<u64, V, BuildHasherDefault<PcHasher>>;
+
+/// One decoded step of a cached block.
+#[derive(Clone, Debug)]
+enum BlockStep {
+    /// A conventionally decoded instruction.
+    Plain { pc: u64, instr: Instr },
+    /// A DISE trigger with its instantiated replacement sequence fused
+    /// in at build time (always a block's last step — a trigger is an
+    /// expansion boundary).
+    Fused { pc: u64, seq: Vec<Instr> },
+}
+
+impl BlockStep {
+    fn pc(&self) -> u64 {
+        match self {
+            BlockStep::Plain { pc, .. } | BlockStep::Fused { pc, .. } => *pc,
+        }
+    }
+}
+
+/// A decoded straight-line trace; its entry PC is the cache key.
+#[derive(Clone, Debug)]
+struct Block {
+    /// Exclusive end of the instruction words the block decodes
+    /// (`entry .. end` is the byte range store invalidation tests
+    /// against).
+    end: u64,
+    steps: Vec<BlockStep>,
+}
+
+/// Counters for the block-level decoded-trace cache
+/// ([`Executor::block_cache_stats`]).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct BlockCacheStats {
+    /// Entry-PC lookups: one per block *entered*, not per replayed step
+    /// (so `hits + misses == lookups` always holds).
+    pub lookups: u64,
+    /// Lookups served by a cached block.
+    pub hits: u64,
+    /// Lookups that had to (re)build a block.
+    pub misses: u64,
+    /// Blocks dropped by overlapping stores, code patches, or engine
+    /// reconfiguration (wholesale flushes via [`Executor::mem_mut`] or
+    /// [`Executor::set_block_cache`] are not counted per block).
+    pub invalidations: u64,
+}
+
 /// The functional machine: register file (GPRs + DISE registers), PC,
 /// memory, the DISE engine, and the replacement-sequence context.
 #[derive(Clone, Debug)]
@@ -209,6 +290,40 @@ pub struct Executor {
     decoded: Vec<Option<(u64, Instr)>>,
     decode_hits: u64,
     decode_misses: u64,
+    /// Block-level decoded-trace cache layered over `decoded`: decoded
+    /// straight-line runs keyed by entry PC, with DISE expansions fused
+    /// in at build time. Invalidated range-wise by overlapping stores
+    /// and code patches, and flushed wholesale by [`Executor::mem_mut`]
+    /// and [`Executor::engine_mut`] (production changes alter what a
+    /// block would fuse). The `DISE_BLOCK_CACHE` environment knob (or
+    /// [`Executor::set_block_cache`]) ablates it; the `Exec` stream is
+    /// byte-identical either way.
+    block_cache: bool,
+    /// Block arena: live blocks in `Some` slots, invalidated slots
+    /// recycled through `free_blocks`. An arena rather than a map so
+    /// the cursor continuation — the per-instruction hot path — is a
+    /// bounds-checked index, not a hash probe.
+    blocks: Vec<Option<Block>>,
+    /// Entry PC → arena slot, consulted once per block *entered*.
+    block_index: PcMap<u32>,
+    free_blocks: Vec<u32>,
+    /// Conservative byte range covered by any block ever cached since
+    /// the last flush (`lo..hi`, never shrunk by invalidation), so the
+    /// common store — data, nowhere near decoded text — skips block
+    /// invalidation with two compares.
+    block_bounds: (u64, u64),
+    /// Region base → entry PCs of blocks overlapping that region, so a
+    /// store invalidates by range without scanning every block. Stale
+    /// entries (blocks already dropped via another region) are cleaned
+    /// lazily.
+    block_regions: PcMap<Vec<u64>>,
+    /// Replay position: arena slot and next step of the block being
+    /// executed. Validated against slot liveness and the current PC
+    /// every step, so jumps, invalidations, and rebuilds simply drop
+    /// it. (The PC check alone makes validation robust to slot reuse:
+    /// any live step at the current PC decodes current memory.)
+    cursor: Option<(u32, usize)>,
+    block_stats: BlockCacheStats,
 }
 
 impl Executor {
@@ -225,6 +340,14 @@ impl Executor {
             decoded: vec![None; DECODED_SLOTS],
             decode_hits: 0,
             decode_misses: 0,
+            block_cache: block_cache_from_env(),
+            blocks: Vec::new(),
+            block_index: PcMap::default(),
+            free_blocks: Vec::new(),
+            block_bounds: (u64::MAX, 0),
+            block_regions: PcMap::default(),
+            cursor: None,
+            block_stats: BlockCacheStats::default(),
         }
     }
 
@@ -280,6 +403,7 @@ impl Executor {
         for slot in &mut self.decoded {
             *slot = None;
         }
+        self.flush_blocks();
         &mut self.mem
     }
 
@@ -297,7 +421,13 @@ impl Executor {
     }
 
     /// Mutable DISE engine.
+    ///
+    /// Cached blocks bake in the engine's matching and instantiation
+    /// decisions, so handing out mutable engine access (production
+    /// installation, activation toggles) flushes them; the
+    /// per-instruction decode cache is engine-independent and survives.
     pub fn engine_mut(&mut self) -> &mut Engine {
+        self.flush_blocks();
         &mut self.engine
     }
 
@@ -319,13 +449,36 @@ impl Executor {
         (self.decode_hits, self.decode_misses)
     }
 
+    /// Counters of the block-level decoded-trace cache since
+    /// construction. All zero when the cache is disabled.
+    pub fn block_cache_stats(&self) -> BlockCacheStats {
+        self.block_stats
+    }
+
+    /// Whether the block-level decoded-trace cache is enabled (the
+    /// `DISE_BLOCK_CACHE` environment knob, default on).
+    pub fn block_cache_enabled(&self) -> bool {
+        self.block_cache
+    }
+
+    /// Enable/disable the block cache (the programmatic form of the
+    /// `DISE_BLOCK_CACHE` knob), dropping any cached blocks. The `Exec`
+    /// stream is byte-identical in either state; only the counters and
+    /// the work per step differ.
+    pub fn set_block_cache(&mut self, enabled: bool) {
+        self.block_cache = enabled;
+        self.flush_blocks();
+    }
+
     #[inline]
     fn decoded_slot(pc: u64) -> usize {
         ((pc >> 2) as usize) & (DECODED_SLOTS - 1)
     }
 
     /// Drop cached decodes for the (≤ 3) instruction words a
-    /// `width`-byte store at `addr` overlaps.
+    /// `width`-byte store at `addr` overlaps, plus every cached block
+    /// whose decoded range the store overlaps. Both store execution and
+    /// [`Executor::patch_code`] funnel through here.
     #[inline]
     fn invalidate_decoded(&mut self, addr: u64, width: u64) {
         let mut word = addr & !(INSTR_BYTES - 1);
@@ -339,6 +492,81 @@ impl Executor {
                 break;
             }
             word = word.wrapping_add(INSTR_BYTES);
+        }
+        self.invalidate_blocks(addr, width);
+    }
+
+    /// Drop every cached block whose `entry..end` range overlaps the
+    /// `width`-byte store at `addr`. A patched instruction anywhere
+    /// inside a block kills the whole block — replaying the untouched
+    /// prefix would be correct, but the cursor's PC validation cannot
+    /// distinguish a stale suffix, so invalidation is all-or-nothing
+    /// per block.
+    fn invalidate_blocks(&mut self, addr: u64, width: u64) {
+        let end = addr.wrapping_add(width.max(1));
+        if self.block_index.is_empty() || addr >= self.block_bounds.1 || end <= self.block_bounds.0
+        {
+            return;
+        }
+        let first = addr & !(BLOCK_REGION_BYTES - 1);
+        let last = end.wrapping_sub(1) & !(BLOCK_REGION_BYTES - 1);
+        let mut region = first;
+        loop {
+            if let Some(mut entries) = self.block_regions.remove(&region) {
+                entries.retain(|&entry| match self.block_index.get(&entry) {
+                    // Already dropped through another region.
+                    None => false,
+                    Some(&slot) => {
+                        let b = self.blocks[slot as usize]
+                            .as_ref()
+                            .expect("indexed block slot is live");
+                        if entry < end && addr < b.end {
+                            self.blocks[slot as usize] = None;
+                            self.free_blocks.push(slot);
+                            self.block_index.remove(&entry);
+                            self.block_stats.invalidations += 1;
+                            false
+                        } else {
+                            true
+                        }
+                    }
+                });
+                if !entries.is_empty() {
+                    self.block_regions.insert(region, entries);
+                }
+            }
+            if region == last {
+                break;
+            }
+            region = region.wrapping_add(BLOCK_REGION_BYTES);
+        }
+    }
+
+    /// Drop all cached blocks (memory or engine changed wholesale).
+    fn flush_blocks(&mut self) {
+        self.blocks.clear();
+        self.block_index.clear();
+        self.free_blocks.clear();
+        self.block_bounds = (u64::MAX, 0);
+        self.block_regions.clear();
+        self.cursor = None;
+    }
+
+    /// Register a block's byte range in the region index.
+    fn index_block(&mut self, entry: u64, end: u64) {
+        self.block_bounds.0 = self.block_bounds.0.min(entry);
+        self.block_bounds.1 = self.block_bounds.1.max(end);
+        let mut region = entry & !(BLOCK_REGION_BYTES - 1);
+        let last = (end - 1) & !(BLOCK_REGION_BYTES - 1);
+        loop {
+            let list = self.block_regions.entry(region).or_default();
+            if !list.contains(&entry) {
+                list.push(entry);
+            }
+            if region == last {
+                break;
+            }
+            region += BLOCK_REGION_BYTES;
         }
     }
 
@@ -355,6 +583,146 @@ impl Executor {
             self.pc = trigger_pc + INSTR_BYTES;
         } else {
             self.mode = Mode::Replacing { trigger_pc, seq, idx: next_idx };
+        }
+    }
+
+    /// One block-cache step in `Normal` mode: continue the block under
+    /// the cursor, or look up / build a block at `pc` and execute its
+    /// first step. Returns `None` when the block machinery did not
+    /// handle the fetch (the word at `pc` is undecodable) — the caller
+    /// falls through to the plain fetch path with no decode counted.
+    fn try_block(&mut self, pc: u64) -> Option<Exec> {
+        if let Some((slot, idx)) = self.cursor.take() {
+            // Continuation: valid only if the slot is still live and
+            // its next step sits exactly at the current PC (branches
+            // out, `set_pc`, and invalidations all fail this check).
+            // One arena index covers both the check and the fetch; the
+            // `Plain` case — the per-instruction hot path — copies the
+            // two words straight out and skips the generic replay.
+            if let Some(b) = self.blocks[slot as usize].as_ref() {
+                match b.steps.get(idx) {
+                    Some(&BlockStep::Plain { pc: step_pc, instr }) if step_pc == pc => {
+                        if idx + 1 < b.steps.len() {
+                            self.cursor = Some((slot, idx + 1));
+                        }
+                        self.decode_hits += 1;
+                        return Some(self.execute(pc, 0, false, instr, true, None));
+                    }
+                    Some(s @ BlockStep::Fused { .. }) if s.pc() == pc => {
+                        let step = s.clone();
+                        // A fused step is always a block's last; no
+                        // continuation to record.
+                        return Some(self.replay(step, None, true));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.block_stats.lookups += 1;
+        if let Some(&slot) = self.block_index.get(&pc) {
+            self.block_stats.hits += 1;
+            let b = self.blocks[slot as usize].as_ref().expect("indexed block slot is live");
+            let step = b.steps[0].clone();
+            let next = (b.steps.len() > 1).then_some((slot, 1));
+            return Some(self.replay(step, next, true));
+        }
+        self.block_stats.misses += 1;
+        let block = self.build_block(pc)?;
+        self.index_block(pc, block.end);
+        let step = block.steps[0].clone();
+        let next = (block.steps.len() > 1).then_some(1usize);
+        let slot = match self.free_blocks.pop() {
+            Some(s) => {
+                self.blocks[s as usize] = Some(block);
+                s
+            }
+            None => {
+                self.blocks.push(Some(block));
+                (self.blocks.len() - 1) as u32
+            }
+        };
+        self.block_index.insert(pc, slot);
+        Some(self.replay(step, next.map(|i| (slot, i)), false))
+    }
+
+    /// Decode a straight-line run starting at `entry` into a block.
+    /// Each word decodes through the per-instruction cache with normal
+    /// hit/miss accounting. The run ends at control transfers, `halt`,
+    /// `trap`, instructions that would fault under DISE protection, the
+    /// first fused DISE expansion, `MAX_BLOCK_STEPS`, or an undecodable
+    /// word. Returns `None` when even the first word is undecodable
+    /// (the plain fetch path reports the error, uncounted, exactly as
+    /// without the block cache).
+    fn build_block(&mut self, entry: u64) -> Option<Block> {
+        let mut steps = Vec::new();
+        let mut at = entry;
+        while steps.len() < MAX_BLOCK_STEPS {
+            let slot = Self::decoded_slot(at);
+            let instr = match self.decoded[slot] {
+                Some((tag, i)) if tag == at => {
+                    self.decode_hits += 1;
+                    i
+                }
+                _ => match decode(self.mem.read_u(at, 4) as u32) {
+                    Ok(i) => {
+                        self.decode_misses += 1;
+                        self.decoded[slot] = Some((at, i));
+                        i
+                    }
+                    Err(_) => break,
+                },
+            };
+            // Mirror the uncached step order: the expansion check comes
+            // before execution, so a matching trigger is fused (with
+            // its instantiated sequence) and ends the block.
+            if let Some(seq) = self.engine.peek_expand(at, &instr) {
+                steps.push(BlockStep::Fused { pc: at, seq });
+                at += INSTR_BYTES;
+                break;
+            }
+            // DISE-protected instructions are included (executing one
+            // in Normal mode faults, same as uncached) but terminate
+            // the run.
+            let terminal = matches!(
+                instr,
+                Instr::Br { .. }
+                    | Instr::CondBr { .. }
+                    | Instr::Jmp { .. }
+                    | Instr::Halt
+                    | Instr::Trap
+            ) || instr.is_dise_only()
+                || instr.touches_dise_regs();
+            steps.push(BlockStep::Plain { pc: at, instr });
+            at += INSTR_BYTES;
+            if terminal {
+                break;
+            }
+        }
+        if steps.is_empty() {
+            return None;
+        }
+        Some(Block { end: at, steps })
+    }
+
+    /// Execute an already-fetched block step, leaving the cursor at
+    /// `next`. `count_fetch` is false only for the step right after a
+    /// build, whose decode `build_block` already accounted; replayed
+    /// steps count as decode hits (the whole point of the cache).
+    fn replay(&mut self, step: BlockStep, next: Option<(u32, usize)>, count_fetch: bool) -> Exec {
+        self.cursor = next;
+        if count_fetch {
+            self.decode_hits += 1;
+        }
+        match step {
+            BlockStep::Plain { pc, instr } => self.execute(pc, 0, false, instr, true, None),
+            BlockStep::Fused { pc, seq } => {
+                // The fused sequence was instantiated statistics-free at
+                // build time; account for this replay so engine stats
+                // match the uncached `expand` path exactly.
+                self.engine.count_expansion(seq.len() as u64);
+                let i = seq[0];
+                self.execute(pc, 1, false, i, true, Some((pc, seq, 0)))
+            }
         }
     }
 
@@ -392,6 +760,14 @@ impl Executor {
                 pc = self.pc;
                 in_call = matches!(m, Mode::InCall { .. });
                 self.mode = m;
+                // The decoded-trace fast path (Normal mode only: DISE
+                // expansion is disabled inside called functions, and
+                // handler code is short and rarely revisited).
+                if self.block_cache && !in_call {
+                    if let Some(exec) = self.try_block(pc) {
+                        return exec;
+                    }
+                }
                 let slot = Self::decoded_slot(pc);
                 let decoded = match self.decoded[slot] {
                     Some((tag, i)) if tag == pc => {
@@ -657,6 +1033,20 @@ impl Executor {
             }
         }
         exec
+    }
+}
+
+/// The `DISE_BLOCK_CACHE` ablation knob: on by default, `0`/`false`/
+/// `off` disables the block-level decoded-trace cache. Anything else is
+/// a loud error, matching the repo's env-knob conventions.
+fn block_cache_from_env() -> bool {
+    match std::env::var("DISE_BLOCK_CACHE") {
+        Err(_) => true,
+        Ok(v) => match v.trim() {
+            "" | "1" | "true" | "on" => true,
+            "0" | "false" | "off" => false,
+            other => panic!("DISE_BLOCK_CACHE must be 0 or 1, got {other:?}"),
+        },
     }
 }
 
@@ -1019,10 +1409,67 @@ mod tests {
                     bgt r1, loop
                     halt",
         );
+        // With the block cache off, every fetch does exactly one
+        // per-instruction lookup, so hits + misses == instructions;
+        // block building breaks that identity by decoding ahead.
+        m.set_block_cache(false);
         run(&mut m, 200);
         let (hits, misses) = m.decode_cache_stats();
         assert_eq!(misses, 4, "each static instruction decodes once");
         assert_eq!(hits + misses, m.instructions());
+        assert_eq!(m.block_cache_stats(), BlockCacheStats::default(), "disabled cache is inert");
+    }
+
+    #[test]
+    fn block_cache_hits_dominate_on_warm_loop() {
+        let mut m = machine(
+            "start: lda r1, 50(zero)
+             loop:  subq r1, 1, r1
+                    bgt r1, loop
+                    halt",
+        );
+        m.set_block_cache(true);
+        run(&mut m, 200);
+        let s = m.block_cache_stats();
+        assert_eq!(s.hits + s.misses, s.lookups, "every lookup is a hit or a miss");
+        assert!(s.hits > s.misses, "warm loop must replay cached blocks: {s:?}");
+        assert_eq!(s.invalidations, 0, "nothing writes code here");
+        // The loop body replays from the block cache, so replayed
+        // fetches count as decode hits and each static instruction
+        // still decodes (misses) exactly once.
+        let (_, misses) = m.decode_cache_stats();
+        assert_eq!(misses, 4);
+    }
+
+    #[test]
+    fn exec_streams_identical_with_block_cache_on_and_off() {
+        // A DISE-expanding loop with a trap: the fused replay must
+        // reproduce the uncached stream byte for byte, including
+        // engine statistics and instruction counts.
+        let src = "start: la r1, w
+                    lda r9, 3(zero)
+             loop:  stq r9, 0(r1)
+                    subq r9, 1, r9
+                    bgt r9, loop
+                    halt
+             .data
+             w: .quad 0";
+        let mk = |enabled: bool| {
+            let mut m = machine(src);
+            install_fig2a(&mut m);
+            m.set_reg(Reg::DAR, 0x0100_0000);
+            m.set_reg(Reg::DPV, 0);
+            m.set_block_cache(enabled);
+            m
+        };
+        let mut off = mk(false);
+        let mut on = mk(true);
+        let trace_off = run(&mut off, 200);
+        let trace_on = run(&mut on, 200);
+        assert_eq!(trace_off, trace_on, "Exec streams must be byte-identical");
+        assert_eq!(off.engine().stats(), on.engine().stats(), "fused replays count as triggers");
+        assert_eq!(off.instructions(), on.instructions());
+        assert!(on.block_cache_stats().lookups > 0, "the cache actually engaged");
     }
 
     #[test]
@@ -1081,6 +1528,74 @@ mod tests {
         ));
         run(&mut m, 100);
         assert_eq!(m.reg(Reg::gpr(5)), 77, "stale decode served after boundary-straddling store");
+    }
+
+    /// Block-cache counterpart of the straddling-store regression: a
+    /// `patch_code` patch (the breakpoint path) landing in the *middle*
+    /// of a cached block must invalidate the whole block, not just the
+    /// patched word's decode slot — the block is keyed by its entry PC,
+    /// which the patch does not touch.
+    #[test]
+    fn patch_code_invalidates_whole_cached_block() {
+        let src = "start: lda r9, 4(zero)
+             loop:  nop
+             slot:  lda r5, 111(zero)
+                    subq r9, 1, r9
+                    bgt r9, loop
+                    halt";
+        let prog = parse_asm(src).unwrap().assemble(Layout::default()).unwrap();
+        let slot = prog.symbol("slot").unwrap();
+        let mut m = Executor::from_program(&prog, CpuConfig::default());
+        m.set_block_cache(true);
+        // Three loop iterations: the second builds a block keyed at
+        // `loop` — with `slot` in its *middle* — and the third replays
+        // it from cache.
+        for _ in 0..13 {
+            m.step();
+        }
+        assert!(m.block_cache_stats().hits > 0, "the `loop` block replayed from cache");
+        m.patch_code(
+            slot,
+            dise_isa::encode(&Instr::Lda { rd: Reg::gpr(5), base: Reg::ZERO, disp: 77 }),
+        );
+        assert!(m.block_cache_stats().invalidations > 0, "patch dropped the enclosing block(s)");
+        run(&mut m, 100);
+        assert_eq!(m.reg(Reg::gpr(5)), 77, "stale block replayed after a mid-block patch");
+    }
+
+    /// Cached blocks bake in expansion decisions, so installing a
+    /// production through `engine_mut` after a block is warm must drop
+    /// it — the store must expand on the next pass.
+    #[test]
+    fn engine_changes_flush_cached_blocks() {
+        let mut m = machine(
+            "start: la r1, v
+                    lda r9, 2(zero)
+             loop:  stq r9, 0(r1)
+                    subq r9, 1, r9
+                    bgt r9, loop
+                    halt
+             .data
+             v: .quad 0",
+        );
+        m.set_block_cache(true);
+        // First iteration: the store's block caches it as a plain step
+        // (no productions installed yet).
+        for _ in 0..5 {
+            m.step();
+        }
+        m.engine_mut()
+            .install(Production::new(
+                "pad",
+                Pattern::opclass(OpClass::Store),
+                vec![TemplateInst::Trigger, TemplateInst::Fixed(Instr::Nop)],
+            ))
+            .unwrap();
+        let trace = run(&mut m, 100);
+        assert!(
+            trace.iter().any(|e| e.disepc > 0),
+            "second pass must expand the store after the engine changed"
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ mod predictor;
 mod timing;
 
 pub use config::CpuConfig;
-pub use exec::{Branch, BranchKind, Event, Exec, ExecError, Executor, FlushKind, MemOp, NUM_REGS};
+pub use exec::{
+    BlockCacheStats, Branch, BranchKind, Event, Exec, ExecError, Executor, FlushKind, MemOp,
+    NUM_REGS,
+};
 pub use predictor::{BpredConfig, Predictor};
 pub use timing::{RunStats, Timing, TimingBatch};
 

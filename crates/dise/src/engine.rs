@@ -4,7 +4,7 @@ use std::fmt;
 
 use dise_isa::{Instr, OpClass};
 
-use crate::{ExpandError, Production};
+use crate::Production;
 
 /// Capacity of the physical DISE controller.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -190,24 +190,34 @@ impl Engine {
     ///
     /// Statistics ([`Engine::stats`]) are updated on matches.
     pub fn expand(&mut self, pc: u64, instr: &Instr) -> Option<Vec<Instr>> {
-        let seq = {
-            let p = self.matching(pc, instr)?;
-            match p.instantiate(instr) {
-                Ok(seq) => seq,
-                // Install-time validation makes this unreachable; treat a
-                // residual mismatch as no-match rather than corrupting the
-                // stream.
-                Err(
-                    ExpandError::NoRd
-                    | ExpandError::NoRs1
-                    | ExpandError::NoImm
-                    | ExpandError::NotMemory,
-                ) => return None,
-            }
-        };
-        self.triggers += 1;
-        self.expanded_instructions += seq.len() as u64;
+        let seq = self.peek_expand(pc, instr)?;
+        self.count_expansion(seq.len() as u64);
         Some(seq)
+    }
+
+    /// [`Engine::expand`] without the statistics update: instantiate the
+    /// replacement for a matching trigger, touching no dynamic counters.
+    ///
+    /// The decoded-trace cache in `dise-cpu` uses this to fuse an
+    /// expansion into a cached block once at build time; each *replay*
+    /// of the fused step then accounts through
+    /// [`Engine::count_expansion`], so [`Engine::stats`] reports the
+    /// same dynamic counts whether a trigger was expanded at fetch or
+    /// served from a block.
+    pub fn peek_expand(&self, pc: u64, instr: &Instr) -> Option<Vec<Instr>> {
+        let p = self.matching(pc, instr)?;
+        // Install-time validation makes instantiation errors
+        // unreachable; treat a residual mismatch as no-match rather
+        // than corrupting the stream.
+        p.instantiate(instr).ok()
+    }
+
+    /// Record one trigger match that emitted `instructions` replacement
+    /// instructions (the dynamic-count half of [`Engine::expand`], for
+    /// replays of sequences instantiated via [`Engine::peek_expand`]).
+    pub fn count_expansion(&mut self, instructions: u64) {
+        self.triggers += 1;
+        self.expanded_instructions += instructions;
     }
 
     /// `(triggers_matched, instructions_emitted)` since construction.
@@ -238,6 +248,23 @@ mod tests {
         assert_eq!(e.expand(0, &Instr::Nop), None);
         assert_eq!(e.expand(0, &store()), Some(vec![store()]));
         assert_eq!(e.stats(), (1, 1));
+    }
+
+    #[test]
+    fn peek_expand_leaves_statistics_untouched() {
+        let mut e = Engine::with_paper_config();
+        e.install(Production::new(
+            "watch",
+            Pattern::opclass(OpClass::Store),
+            vec![TemplateInst::Trigger, TemplateInst::Fixed(Instr::Nop)],
+        ))
+        .unwrap();
+        let seq = e.peek_expand(0, &store()).unwrap();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(e.stats(), (0, 0), "peek must not count");
+        assert_eq!(e.peek_expand(0, &store()), e.expand(0, &store()), "same instantiation");
+        e.count_expansion(seq.len() as u64);
+        assert_eq!(e.stats(), (2, 4), "one expand + one replayed expansion");
     }
 
     #[test]

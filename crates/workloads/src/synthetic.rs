@@ -4,15 +4,18 @@
 //!
 //! A scenario is a counted loop over a block of [`SLOTS`] watchable
 //! quadwords, executing a caller-chosen sequence of stores each
-//! iteration, plus a watchpoint set over the slots. Every store is
-//! **quad-wide and quad-aligned**: that is the granularity all five
-//! backends implement with identical semantics, which is what a
-//! differential suite must pin down. (A store that *starts below* a
-//! watched range and straddles into it is caught by page protection
-//! but — by the paper's design — not by DISE's base-address pattern
-//! match, so unaligned straddles are a legitimate cross-backend
-//! difference; DISE's own unaligned-boundary behaviour is covered by
-//! dedicated regression tests in `dise-debug`.)
+//! iteration, plus a watchpoint set over the slots. The store scripts
+//! span the full width/alignment space: quad-aligned quads, single
+//! bytes, longwords at arbitrary offsets (straddling a quad boundary
+//! when the offset exceeds 4), and quads whose base lies *below* a
+//! quad boundary and straddles into the quad above. The straddles are
+//! the point: a store that starts below a watched quad and reaches
+//! into it is caught by byte-accurate backends (page protection,
+//! single-step reevaluation) but — by the paper's design — not by
+//! DISE's base-address pattern match, which keys on the store's *base*
+//! quad only. The conformance oracle models both granularities
+//! explicitly and asserts exactly that divergence; see
+//! `backend_conformance.rs`.
 //!
 //! Generation is fully deterministic in the spec, so a shrunk failing
 //! spec reproduces its program exactly.
@@ -27,7 +30,13 @@ use std::fmt::Write as _;
 /// the virtual-memory backend's spurious address transitions).
 pub const SLOTS: u8 = 8;
 
-/// One store in the scenario's loop body (always `stq`, quad-aligned).
+/// One store in the scenario's loop body.
+///
+/// The first four arms are quad-wide and quad-aligned; the last three
+/// exercise sub-quad widths and quad-boundary straddles. Arbitrary
+/// field values are valid: [`StoreOp::normalized`] folds them into
+/// range exactly as generation does, so shrunk proptest specs always
+/// reproduce.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum StoreOp {
     /// `slots[slot] = iteration counter` — changes every iteration.
@@ -56,17 +65,85 @@ pub enum StoreOp {
         /// Target scratch-block slot index.
         slot: u8,
     },
+    /// `stb`: one byte `k` at `slots + 8*slot + off`. A byte store
+    /// never crosses a quad boundary, so its base quad *is* its only
+    /// quad — every backend granularity agrees on which slot it hits.
+    Byte {
+        /// Base slot index (taken modulo [`SLOTS`]).
+        slot: u8,
+        /// Byte offset within the slot (taken modulo 8).
+        off: u8,
+        /// The byte stored.
+        k: u8,
+    },
+    /// `stl`: the low longword of the iteration counter at
+    /// `slots + 8*slot + off`. Offsets 5..=7 straddle into `slot + 1`;
+    /// the slot index is capped at `SLOTS - 2` so the straddle never
+    /// leaves the slot block.
+    Long {
+        /// Base slot index (taken modulo `SLOTS - 1`).
+        slot: u8,
+        /// Byte offset within the slot (taken modulo 8).
+        off: u8,
+    },
+    /// `stq`: the iteration counter at `slots + 8*slot - back` — a
+    /// quad store whose **base** sits `back` bytes below `slot`'s quad
+    /// boundary, straddling *into* slot `slot` from the quad below.
+    /// This is the shape DISE's base-address match misses by design:
+    /// the base quad is `slot - 1`, yet bytes of `slot` change.
+    StraddleBelow {
+        /// Slot whose quad boundary the store straddles into
+        /// (normalised to `1..SLOTS`, so the base never precedes the
+        /// slot block).
+        slot: u8,
+        /// Bytes of the store lying below the boundary (normalised to
+        /// `1..=7`).
+        back: u8,
+    },
 }
 
 impl StoreOp {
-    /// The slot this store writes (in its own block).
-    pub fn slot(&self) -> u8 {
-        match *self {
+    /// Fold arbitrary field values into the ranges generation uses, so
+    /// one normalisation rule serves the generator, the conformance
+    /// oracle, and shrunk proptest specs alike.
+    pub fn normalized(self) -> StoreOp {
+        match self {
+            StoreOp::Counter { slot } => StoreOp::Counter { slot: slot % SLOTS },
+            StoreOp::Constant { slot, k } => StoreOp::Constant { slot: slot % SLOTS, k },
+            StoreOp::Zero { slot } => StoreOp::Zero { slot: slot % SLOTS },
+            StoreOp::Scratch { slot } => StoreOp::Scratch { slot: slot % SLOTS },
+            StoreOp::Byte { slot, off, k } => StoreOp::Byte { slot: slot % SLOTS, off: off % 8, k },
+            StoreOp::Long { slot, off } => StoreOp::Long { slot: slot % (SLOTS - 1), off: off % 8 },
+            // Idempotent fold into 1..=SLOTS-1 / 1..=7: in-range values
+            // map to themselves, so pinned specs mean what they say.
+            StoreOp::StraddleBelow { slot, back } => StoreOp::StraddleBelow {
+                slot: slot.wrapping_sub(1) % (SLOTS - 1) + 1,
+                back: back.wrapping_sub(1) % 7 + 1,
+            },
+        }
+    }
+
+    /// The (normalised) store's byte offset within its data block —
+    /// `slots` for every arm except [`StoreOp::Scratch`] — and its
+    /// width in bytes.
+    pub fn footprint(&self) -> (u64, u64) {
+        match self.normalized() {
             StoreOp::Counter { slot }
             | StoreOp::Constant { slot, .. }
             | StoreOp::Zero { slot }
-            | StoreOp::Scratch { slot } => slot,
+            | StoreOp::Scratch { slot } => (8 * u64::from(slot), 8),
+            StoreOp::Byte { slot, off, .. } => (8 * u64::from(slot) + u64::from(off), 1),
+            StoreOp::Long { slot, off } => (8 * u64::from(slot) + u64::from(off), 4),
+            StoreOp::StraddleBelow { slot, back } => (8 * u64::from(slot) - u64::from(back), 8),
         }
+    }
+
+    /// The slot this store's **base address** falls in (in its own
+    /// block) — for [`StoreOp::StraddleBelow`] that is the quad *below*
+    /// the watched boundary, which is exactly what base-address
+    /// matching keys on.
+    pub fn slot(&self) -> u8 {
+        (self.footprint().0 / 8) as u8
     }
 }
 
@@ -223,8 +300,8 @@ fn source(iters: u8, ops: &[StoreOp], indirect_target: u64) -> String {
     let _ = writeln!(src, "        lda r9, {iters}(zero)");
     let _ = writeln!(src, "loop:   .stmt");
     for op in ops {
-        let disp = 8 * u64::from(op.slot() % SLOTS);
-        match *op {
+        let (disp, _) = op.footprint();
+        match op.normalized() {
             StoreOp::Counter { .. } => {
                 let _ = writeln!(src, "        stq r9, {disp}(r20)");
             }
@@ -237,6 +314,16 @@ fn source(iters: u8, ops: &[StoreOp], indirect_target: u64) -> String {
             }
             StoreOp::Scratch { .. } => {
                 let _ = writeln!(src, "        stq r9, {disp}(r21)");
+            }
+            StoreOp::Byte { k, .. } => {
+                let _ = writeln!(src, "        lda r1, {k}(zero)");
+                let _ = writeln!(src, "        stb r1, {disp}(r20)");
+            }
+            StoreOp::Long { .. } => {
+                let _ = writeln!(src, "        stl r9, {disp}(r20)");
+            }
+            StoreOp::StraddleBelow { .. } => {
+                let _ = writeln!(src, "        stq r9, {disp}(r20)");
             }
         }
     }
@@ -294,6 +381,58 @@ mod tests {
         assert_eq!(exec.mem().read_u(slots + 24, 8), 7);
         assert_eq!(exec.mem().read_u(slots + 40, 8), 0);
         assert_eq!(exec.mem().read_u(slots + 8, 8), 1, "slot index wraps modulo SLOTS");
+    }
+
+    #[test]
+    fn sub_quad_and_straddling_stores_hit_their_exact_bytes() {
+        let ops = [
+            StoreOp::Byte { slot: 2, off: 3, k: 0xAB },
+            StoreOp::Long { slot: 1, off: 6 },
+            StoreOp::StraddleBelow { slot: 4, back: 3 },
+        ];
+        let (app, _) = scenario(3, &ops, &[WatchSpec::Scalar { slot: 0 }]);
+        let prog = app.program().unwrap();
+        let mut exec = Executor::from_program(&prog, CpuConfig::default());
+        let mut n = 0;
+        while !exec.is_halted() {
+            exec.step();
+            n += 1;
+            assert!(n < 10_000, "scenario must halt");
+        }
+        let slots = prog.symbol("slots").unwrap();
+        // The loop counts down; the final iteration stores counter 1.
+        assert_eq!(exec.mem().read_u(slots + 19, 1), 0xAB, "byte at slots[2]+3");
+        assert_eq!(exec.mem().read_u(slots + 14, 4), 1, "longword straddling slots[1]/slots[2]");
+        assert_eq!(exec.mem().read_u(slots + 29, 8), 1, "quad straddling into slots[4] from below");
+        // Neighbouring bytes stay untouched.
+        assert_eq!(exec.mem().read_u(slots + 18, 1), 0);
+        assert_eq!(exec.mem().read_u(slots + 20, 1), 0);
+    }
+
+    #[test]
+    fn normalised_footprints_stay_inside_the_slot_block() {
+        for a in 0..=255u8 {
+            for b in (0..=255u8).step_by(7) {
+                for op in [
+                    StoreOp::Byte { slot: a, off: b, k: 9 },
+                    StoreOp::Long { slot: a, off: b },
+                    StoreOp::StraddleBelow { slot: a, back: b },
+                ] {
+                    let (off, width) = op.footprint();
+                    assert!(off + width <= 8 * u64::from(SLOTS), "{op:?} stays inside the block");
+                    match op.normalized() {
+                        StoreOp::Byte { .. } => {
+                            assert_eq!(off / 8, (off + width - 1) / 8, "bytes never straddle")
+                        }
+                        StoreOp::StraddleBelow { slot, .. } => {
+                            assert_eq!((off + width - 1) / 8, u64::from(slot), "reaches its slot");
+                            assert_eq!(op.slot(), slot - 1, "base quad is the slot below");
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -280,6 +280,85 @@ proptest! {
         );
     }
 
+    /// The block-level decoded-trace cache is transparent: a random
+    /// self-modifying kernel under a random set of observation-only
+    /// DISE productions yields the identical `Exec` stream with the
+    /// cache off and on, and the cache's counters stay coherent at
+    /// every step — monotone, with `hits + misses == lookups`.
+    #[test]
+    fn block_cache_is_transparent_over_self_modifying_code(
+        op in any_aluop(),
+        imm: u8,
+        disp in 0i16..8192,
+        use_lda: bool,
+        class_picks in prop::collection::vec(0u8..3, 0..4),
+    ) {
+        let r5 = Reg::gpr(5);
+        let patch = if use_lda {
+            Instr::Lda { rd: r5, base: Reg::ZERO, disp }
+        } else {
+            Instr::Alu { op, rd: r5, ra: Reg::ZERO, rb: Operand::Imm(imm) }
+        };
+        let prog = self_modifying_program(&patch);
+        let classes: std::collections::BTreeSet<u8> = class_picks.iter().copied().collect();
+
+        let run = |cache: bool| {
+            let mut e = Executor::from_program(&prog, CpuConfig::default());
+            for &c in &classes {
+                let class = match c {
+                    0 => OpClass::Store,
+                    1 => OpClass::Load,
+                    _ => OpClass::Alu,
+                };
+                e.engine_mut()
+                    .install(Production::new(
+                        &format!("obs{c}"),
+                        Pattern::opclass(class),
+                        vec![
+                            TemplateInst::Trigger,
+                            TemplateInst::Alu {
+                                op: AluOp::Add,
+                                rd: dise_repro::engine::TReg::Lit(Reg::dise(1)),
+                                ra: dise_repro::engine::TReg::Lit(Reg::dise(1)),
+                                rb: dise_repro::engine::TOperand::Imm(1),
+                            },
+                        ],
+                    ))
+                    .unwrap();
+            }
+            e.set_block_cache(cache);
+            let mut stream = Vec::new();
+            let mut prev = dise_repro::cpu::BlockCacheStats::default();
+            let mut guard = 0;
+            while !e.is_halted() {
+                stream.push(e.step());
+                let s = e.block_cache_stats();
+                prop_assert!(
+                    s.lookups >= prev.lookups
+                        && s.hits >= prev.hits
+                        && s.misses >= prev.misses
+                        && s.invalidations >= prev.invalidations,
+                    "block-cache counters went backwards"
+                );
+                prop_assert_eq!(s.hits + s.misses, s.lookups, "every lookup is a hit or a miss");
+                prev = s;
+                guard += 1;
+                assert!(guard < 10_000);
+            }
+            Ok((stream, prev))
+        };
+
+        let (off_stream, off_stats) = run(false)?;
+        let (on_stream, on_stats) = run(true)?;
+        prop_assert_eq!(
+            off_stats,
+            dise_repro::cpu::BlockCacheStats::default(),
+            "cache off must not move block counters"
+        );
+        prop_assert!(on_stats.lookups > 0, "cache on must actually be consulted");
+        prop_assert_eq!(off_stream, on_stream, "Exec streams must be byte-identical");
+    }
+
     /// Functional and timed execution see the same dynamic instruction
     /// stream: instruction counts agree and the timing model's cycle
     /// count is bounded below by instructions/width.
