@@ -14,8 +14,8 @@ use std::sync::Mutex;
 
 use dise_cpu::CpuConfig;
 use dise_debug::{
-    run_session, run_session_batch, BackendKind, BaselineCache, DebugError, ObserverBatch,
-    SessionReport, Watchpoint,
+    run_perturbing_group, run_session, run_session_batch, BackendKind, BaselineCache, DebugError,
+    ObserverBatch, SessionReport, Watchpoint,
 };
 use dise_workloads::Workload;
 
@@ -210,16 +210,106 @@ impl ObserverGroup {
     }
 }
 
-/// A grid group sharing one functional pass: either a single perturbing
-/// backend replayed under many timing configurations
-/// ([`SessionBatch`]), or many observing backends fanned off one pass
-/// of the unmodified application ([`ObserverGroup`]).
+/// One engine-configuration sub-batch of a [`PerturbGroup`]: the cells
+/// sharing a functional stream (their configurations agree on DISE
+/// engine capacities), each with its own timing configuration.
+#[derive(Clone, Debug)]
+pub struct PerturbSubBatch {
+    /// Per-cell effective machine configurations, in member order.
+    pub cpus: Vec<CpuConfig>,
+    /// Original grid-cell index of each configuration, parallel to
+    /// `cpus`.
+    pub cells: Vec<usize>,
+}
+
+/// A group of perturbing grid cells that share one *image*: same
+/// kernel, same watchpoints, same perturbing backend — the cells differ
+/// in engine capacities (one functional stream per sub-batch) and
+/// timing configuration. [`dise_debug::run_perturbing_group`] assembles
+/// and loads the backend-transformed program once and forks every
+/// sub-batch's machine from it copy-on-write: K sub-batches cost 1
+/// image load + K forks instead of K loads.
+#[derive(Clone, Debug)]
+pub struct PerturbGroup {
+    /// The kernel to debug.
+    pub workload: Workload,
+    /// The watchpoints to plant.
+    pub watchpoints: Vec<Watchpoint>,
+    /// The perturbing backend (timing-only knobs already folded into
+    /// the sub-batch configurations by [`BackendKind::split_timing`]).
+    pub backend: BackendKind,
+    /// Engine-configuration sub-batches, in first-appearance order.
+    pub batches: Vec<PerturbSubBatch>,
+}
+
+impl PerturbGroup {
+    /// Per-cell overheads, tagged with their original cell index —
+    /// entry for cell `c` is byte-identical to
+    /// `jobs[c].overhead(baselines)`.
+    ///
+    /// # Panics
+    ///
+    /// As [`SessionJob::overhead`].
+    pub fn overheads(&self, baselines: &BaselineCache) -> Vec<(usize, Option<f64>)> {
+        let base = baselines
+            .get_or_run(self.workload.name(), self.workload.app(), self.batches[0].cpus[0])
+            .expect("kernel assembles");
+        let cpus: Vec<Vec<CpuConfig>> = self.batches.iter().map(|b| b.cpus.clone()).collect();
+        let grouped = run_perturbing_group(
+            self.workload.app(),
+            self.watchpoints.clone(),
+            self.backend,
+            &cpus,
+        );
+        let per_batch = match grouped {
+            Ok(per_batch) => per_batch,
+            Err(DebugError::Unsupported { .. } | DebugError::InvalidWatchpoint { .. }) => {
+                return self
+                    .batches
+                    .iter()
+                    .flat_map(|b| b.cells.iter().map(|&c| (c, None)))
+                    .collect();
+            }
+            Err(e) => panic!("{}: {e}", self.workload.name()),
+        };
+        let mut out = Vec::new();
+        for (b, result) in self.batches.iter().zip(per_batch) {
+            match result {
+                Ok(reports) => {
+                    for (&cell, r) in b.cells.iter().zip(&reports) {
+                        assert_eq!(
+                            r.error,
+                            None,
+                            "{}: session must run clean",
+                            self.workload.name()
+                        );
+                        out.push((cell, Some(r.overhead_vs(&base))));
+                    }
+                }
+                Err(DebugError::Unsupported { .. } | DebugError::InvalidWatchpoint { .. }) => {
+                    out.extend(b.cells.iter().map(|&c| (c, None)));
+                }
+                Err(e) => panic!("{}: {e}", self.workload.name()),
+            }
+        }
+        out
+    }
+}
+
+/// A grid group sharing functional work: a single perturbing backend
+/// replayed under many timing configurations ([`SessionBatch`]), many
+/// observing backends fanned off one pass of the unmodified application
+/// ([`ObserverGroup`]), or a perturbing backend's engine-configuration
+/// sub-batches forked copy-on-write from one loaded image
+/// ([`PerturbGroup`]).
 #[derive(Clone, Debug)]
 pub enum CellGroup {
     /// A perturbing backend's private replay (timing-only batching).
     Replay(SessionBatch),
     /// Observing backends sharing the application's own pass.
     Observe(ObserverGroup),
+    /// A perturbing backend's sub-batches forked from one shared image.
+    Fork(PerturbGroup),
 }
 
 impl CellGroup {
@@ -232,6 +322,7 @@ impl CellGroup {
         match self {
             CellGroup::Replay(b) => b.cells.iter().copied().zip(b.overheads(baselines)).collect(),
             CellGroup::Observe(g) => g.overheads(baselines),
+            CellGroup::Fork(g) => g.overheads(baselines),
         }
     }
 
@@ -240,6 +331,7 @@ impl CellGroup {
         match self {
             CellGroup::Replay(b) => b.cells.clone(),
             CellGroup::Observe(g) => g.members.iter().flat_map(|m| m.cells.clone()).collect(),
+            CellGroup::Fork(g) => g.batches.iter().flat_map(|b| b.cells.clone()).collect(),
         }
     }
 }
@@ -267,7 +359,41 @@ impl CellGroup {
 /// first-appearance order and members keep cell order; grouping looks
 /// only at the jobs, so the partition — and with it the reassembled
 /// output — is identical for any worker count.
+///
+/// Perturbing cells group according to the `DISE_COW_FORK` environment
+/// knob (default on — see [`cow_fork_from_env`]): on, engine-divergent
+/// cells of one (kernel, watchpoints, backend) merge into a
+/// [`PerturbGroup`] and fork from one loaded image; off, each engine
+/// configuration loads its own image in a [`SessionBatch`], the
+/// pre-fork shape (the determinism suite pins both shapes
+/// byte-identical).
 pub fn batch_session_jobs(jobs: &[SessionJob]) -> Vec<CellGroup> {
+    batch_session_jobs_with(jobs, cow_fork_from_env())
+}
+
+/// Parse the `DISE_COW_FORK` knob: unset, empty, `1`, `true`, or `on`
+/// enable copy-on-write fork grouping for perturbing cells (the
+/// default); `0`, `false`, or `off` disable it.
+///
+/// # Panics
+///
+/// Panics on any other value — a typo must fail loudly, not silently
+/// change which economy the grid exercises.
+pub fn cow_fork_from_env() -> bool {
+    match std::env::var("DISE_COW_FORK") {
+        Err(_) => true,
+        Ok(v) => match v.as_str() {
+            "" | "1" | "true" | "on" => true,
+            "0" | "false" | "off" => false,
+            other => panic!("DISE_COW_FORK must be 0/1/true/false/on/off, got {other:?}"),
+        },
+    }
+}
+
+/// [`batch_session_jobs`] with the copy-on-write fork knob passed
+/// explicitly instead of read from the environment, so tests can pin
+/// both partition shapes without racing the process-global environment.
+pub fn batch_session_jobs_with(jobs: &[SessionJob], cow_fork: bool) -> Vec<CellGroup> {
     let mut groups: Vec<CellGroup> = Vec::new();
     for (i, job) in jobs.iter().enumerate() {
         let (backend, cpu) = job.backend.split_timing(job.cpu);
@@ -302,6 +428,39 @@ pub fn batch_session_jobs(jobs: &[SessionJob]) -> Vec<CellGroup> {
                     cpus: vec![cpu],
                     cells: vec![i],
                 }),
+            }
+        } else if cow_fork {
+            let existing = groups.iter_mut().find_map(|g| match g {
+                CellGroup::Fork(p)
+                    if p.backend == backend
+                        && p.workload == job.workload
+                        && p.watchpoints == job.watchpoints =>
+                {
+                    Some(p)
+                }
+                _ => None,
+            });
+            let group = match existing {
+                Some(p) => p,
+                None => {
+                    groups.push(CellGroup::Fork(PerturbGroup {
+                        workload: job.workload.clone(),
+                        watchpoints: job.watchpoints.clone(),
+                        backend,
+                        batches: Vec::new(),
+                    }));
+                    let Some(CellGroup::Fork(p)) = groups.last_mut() else { unreachable!() };
+                    p
+                }
+            };
+            match group.batches.iter_mut().find(|b| b.cpus[0].engine == cpu.engine) {
+                Some(b) => {
+                    b.cpus.push(cpu);
+                    b.cells.push(i);
+                }
+                None => {
+                    group.batches.push(PerturbSubBatch { cpus: vec![cpu], cells: vec![i] });
+                }
             }
         } else {
             let existing = groups.iter_mut().find_map(|g| match g {
@@ -484,7 +643,7 @@ mod tests {
         .into_iter()
         .map(|(b, c)| SessionJob::new(w.clone(), wp.clone(), b, c))
         .collect();
-        let groups = batch_session_jobs(&jobs);
+        let groups = batch_session_jobs_with(&jobs, false);
         assert_eq!(groups.len(), 2, "the two DISE cells differ only in timing");
         let CellGroup::Replay(dise) = &groups[0] else {
             panic!("DISE perturbs: must be a private replay")
@@ -492,6 +651,16 @@ mod tests {
         assert_eq!(dise.cells, vec![0, 1]);
         assert!(dise.cpus[1].multithreaded_dise_calls, "mt knob folded into the config");
         assert_eq!(groups[1].cells(), vec![2]);
+
+        // With copy-on-write forking the same cells form one perturbing
+        // group holding a single engine sub-batch.
+        let groups = batch_session_jobs_with(&jobs, true);
+        assert_eq!(groups.len(), 2);
+        let CellGroup::Fork(dise) = &groups[0] else {
+            panic!("DISE perturbs: must fork from a shared image")
+        };
+        assert_eq!(dise.batches.len(), 1, "identical engines share one functional stream");
+        assert_eq!(dise.batches[0].cells, vec![0, 1]);
     }
 
     /// The lattice's new axis: cells that differ in *backend* — as long
@@ -508,7 +677,7 @@ mod tests {
                 jobs.push(SessionJob::new(w.clone(), wp.clone(), backend, cpu));
             }
         }
-        let groups = batch_session_jobs(&jobs);
+        let groups = batch_session_jobs_with(&jobs, false);
         assert_eq!(groups.len(), 2, "VM+HW share a pass; single-stepping replays privately");
         let CellGroup::Observe(o) = &groups[0] else { panic!("first group must observe") };
         assert_eq!(o.members.len(), 2);
@@ -548,7 +717,7 @@ mod tests {
                 CpuConfig::default(),
             ));
         }
-        let groups = batch_session_jobs(&jobs);
+        let groups = batch_session_jobs_with(&jobs, false);
         // One observer group for the whole workload; DISE replays
         // privately, one batch per watchpoint set.
         assert_eq!(groups.len(), 1 + sets.len(), "{groups:#?}");
@@ -636,7 +805,16 @@ mod tests {
                 small_engine,
             ),
         ];
-        assert_eq!(batch_session_jobs(&jobs).len(), 3);
+        assert_eq!(batch_session_jobs_with(&jobs, false).len(), 3);
+        // With forking, the engine-divergent cells 0 and 2 share one
+        // image (one group, two sub-batches — two functional streams,
+        // one load); the different watchpoint still stands alone.
+        let groups = batch_session_jobs_with(&jobs, true);
+        assert_eq!(groups.len(), 2);
+        let CellGroup::Fork(p) = &groups[0] else { panic!("perturbing cells must fork") };
+        assert_eq!(p.batches.len(), 2, "one sub-batch per engine configuration");
+        assert_eq!(p.batches[0].cells, vec![0]);
+        assert_eq!(p.batches[1].cells, vec![2]);
     }
 
     /// The acceptance bar: a grid containing batchable cells (a
@@ -679,6 +857,56 @@ mod tests {
             assert_eq!(batched, unbatched, "workers={workers}");
         }
         assert_eq!(unbatched[6], None, "unsupported cell renders the no-experiment bar");
+    }
+
+    /// The copy-on-write acceptance bar: a perturbing sweep spanning
+    /// *engine capacities* (cells that can never share a functional
+    /// stream) produces byte-identical overheads whether each engine
+    /// configuration loads its own image (fork off) or every sub-batch
+    /// forks from one shared image (fork on) — and both match the
+    /// cell-by-cell unbatched reference.
+    #[test]
+    fn forked_overheads_match_unforked_cell_for_cell() {
+        let w = &all(10)[0];
+        let wp = vec![w.watchpoint(WatchKind::Warm1)];
+        let small_engine = CpuConfig {
+            engine: dise_engine::EngineConfig { pattern_entries: 8, replacement_entries: 64 },
+            ..CpuConfig::default()
+        };
+        let mut jobs = Vec::new();
+        for engine_cpu in [CpuConfig::default(), small_engine] {
+            for (_, cpu) in transition_cost_sweep(engine_cpu).into_iter().take(2) {
+                for backend in [BackendKind::dise_default(), BackendKind::BinaryRewrite] {
+                    jobs.push(SessionJob::new(w.clone(), wp.clone(), backend, cpu));
+                }
+            }
+        }
+        // An unsupported perturbing cell: a multi-watchpoint set under
+        // inline evaluation renders the no-experiment bar through the
+        // fork path too.
+        jobs.push(SessionJob::new(
+            w.clone(),
+            vec![w.watchpoint(WatchKind::Hot), w.watchpoint(WatchKind::Cold)],
+            BackendKind::Dise(DiseStrategy::evaluate_inline(true)),
+            CpuConfig::default(),
+        ));
+
+        let scatter = |groups: Vec<CellGroup>, baselines: &BaselineCache| {
+            let mut out = vec![None; jobs.len()];
+            for g in &groups {
+                for (cell, o) in g.overheads(baselines) {
+                    out[cell] = o;
+                }
+            }
+            out
+        };
+        let baselines = BaselineCache::new();
+        let unbatched: Vec<Option<f64>> = jobs.iter().map(|job| job.overhead(&baselines)).collect();
+        let forked = scatter(batch_session_jobs_with(&jobs, true), &baselines);
+        let unforked = scatter(batch_session_jobs_with(&jobs, false), &baselines);
+        assert_eq!(forked, unbatched, "forked grid diverged from cell-by-cell reference");
+        assert_eq!(unforked, unbatched, "unforked grid diverged from cell-by-cell reference");
+        assert_eq!(unbatched[8], None, "unsupported cell renders the no-experiment bar");
     }
 
     // Each env test owns a uniquely named variable: the process

@@ -22,9 +22,15 @@
 //! ([`dise_debug::run_session_batch`]), or an [`ObserverGroup`] when
 //! their backends all *observe* without perturbing execution — one
 //! shared pass of the unmodified application across backend × timing
-//! simultaneously ([`dise_debug::ObserverBatch`]). Both are
-//! byte-identical to the unbatched path, enforced by the grid
-//! determinism tests, and the pass savings are pinned by
+//! simultaneously ([`dise_debug::ObserverBatch`]). Perturbing cells
+//! that differ in DISE engine capacities can never share a pass, but
+//! they can share an *image*: by default (`DISE_COW_FORK`, see
+//! [`grid::cow_fork_from_env`]) they merge into a [`PerturbGroup`]
+//! whose sub-batches all fork copy-on-write from one loaded template
+//! machine ([`dise_debug::run_perturbing_group`]) — K engine
+//! configurations cost 1 image load + K forks instead of K loads. All
+//! of these are byte-identical to the unbatched path, enforced by the
+//! grid determinism tests, and the pass/load savings are pinned by
 //! execution-count assertions (`tests/execution_counts.rs`).
 
 mod experiments;
@@ -36,8 +42,9 @@ pub use experiments::{
     watchpoint_sets, Experiment,
 };
 pub use grid::{
-    batch_session_jobs, configured_workers, env_number, run_grid, run_grid_with, run_overhead_grid,
-    CellGroup, ObserverGroup, ObserverMember, SessionBatch, SessionJob,
+    batch_session_jobs, batch_session_jobs_with, configured_workers, cow_fork_from_env, env_number,
+    run_grid, run_grid_with, run_overhead_grid, CellGroup, ObserverGroup, ObserverMember,
+    PerturbGroup, PerturbSubBatch, SessionBatch, SessionJob,
 };
 
 /// Render one figure/table section with a heading.

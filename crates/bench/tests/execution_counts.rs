@@ -7,13 +7,21 @@
 //! private replay per perturbing (backend, watchpoints, engine) stream
 //! — not one per cell.
 //!
-//! This file deliberately holds a single `#[test]`: the counter is
+//! The same bar extends to the copy-on-write image economy:
+//! `dise_debug::image_loads()` counts every assemble-and-load of a
+//! program image and `dise_debug::checkpoint_forks()` every
+//! copy-on-write fork off a loaded template — a perturbing group over K
+//! engine configurations must pay 1 load + K forks, not K loads.
+//!
+//! This file deliberately holds a single `#[test]`: the counters are
 //! process-global, and sibling tests in the same binary would race the
 //! deltas.
 
-use dise_bench::{run_overhead_grid, SessionJob};
+use dise_bench::{batch_session_jobs_with, run_overhead_grid, CellGroup, SessionJob};
 use dise_cpu::CpuConfig;
-use dise_debug::{functional_passes, BackendKind, BaselineCache, DiseStrategy};
+use dise_debug::{
+    checkpoint_forks, functional_passes, image_loads, BackendKind, BaselineCache, DiseStrategy,
+};
 use dise_workloads::{all, transition_cost_sweep, watchpoint_set_sweep, WatchKind};
 
 #[test]
@@ -141,4 +149,53 @@ fn grids_execute_once_per_functional_stream_not_once_per_cell() {
     let out = run_overhead_grid(&lone, 1, &baselines, true);
     assert_eq!(out, vec![None], "the no-experiment bar");
     assert_eq!(functional_passes() - before, 0, "nothing observable, nothing executed");
+
+    // The copy-on-write image economy. A perturbing sweep over K = 3
+    // DISE engine capacities (x 2 timing configs each) can never share
+    // a functional stream — every sub-batch rightly pays its own pass —
+    // but it can share its *image*. The partition shape is passed
+    // explicitly so the pins hold regardless of the `DISE_COW_FORK`
+    // environment (CI sweeps both settings over this binary).
+    let engines = [(32usize, 256usize), (16, 128), (8, 64)].map(|(p, r)| CpuConfig {
+        engine: dise_engine::EngineConfig { pattern_entries: p, replacement_entries: r },
+        ..CpuConfig::default()
+    });
+    let mut fork_cells = Vec::new();
+    for engine_cpu in engines {
+        for (_, cpu) in transition_cost_sweep(engine_cpu).into_iter().take(2) {
+            fork_cells.push(SessionJob::new(
+                w.clone(),
+                wp.clone(),
+                BackendKind::dise_default(),
+                cpu,
+            ));
+        }
+    }
+    assert_eq!(fork_cells.len(), 6);
+    let overheads_via = |groups: &[CellGroup]| {
+        let mut out = vec![None; fork_cells.len()];
+        for g in groups {
+            for (cell, o) in g.overheads(&baselines) {
+                out[cell] = o;
+            }
+        }
+        out
+    };
+
+    let unforked_groups = batch_session_jobs_with(&fork_cells, false);
+    assert_eq!(unforked_groups.len(), 3, "one private batch per engine configuration");
+    let (p0, l0, f0) = (functional_passes(), image_loads(), checkpoint_forks());
+    let unforked = overheads_via(&unforked_groups);
+    assert_eq!(functional_passes() - p0, 3, "unforked: one pass per engine configuration");
+    assert_eq!(image_loads() - l0, 3, "unforked: every engine configuration loads its own image");
+    assert_eq!(checkpoint_forks() - f0, 0, "unforked: nothing forks");
+
+    let forked_groups = batch_session_jobs_with(&fork_cells, true);
+    assert_eq!(forked_groups.len(), 1, "one group, one shared image");
+    let (p0, l0, f0) = (functional_passes(), image_loads(), checkpoint_forks());
+    let forked = overheads_via(&forked_groups);
+    assert_eq!(functional_passes() - p0, 3, "forked: still one honest pass per engine config");
+    assert_eq!(image_loads() - l0, 1, "forked: ONE image load for the whole group");
+    assert_eq!(checkpoint_forks() - f0, 3, "forked: one copy-on-write fork per sub-batch");
+    assert_eq!(forked, unforked, "sharing the image must not change a single byte");
 }

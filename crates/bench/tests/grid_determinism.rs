@@ -8,10 +8,10 @@
 //! run explicitly by CI (`-- --include-ignored`); a light three-
 //! experiment variant keeps every `cargo test -q` on the parallel path.
 
-use dise_bench::{run_grid_with, Experiment, SessionJob};
+use dise_bench::{batch_session_jobs_with, run_grid_with, CellGroup, Experiment, SessionJob};
 use dise_cpu::CpuConfig;
 use dise_debug::{BackendKind, BaselineCache};
-use dise_workloads::{all, WatchKind};
+use dise_workloads::{all, transition_cost_sweep, WatchKind};
 
 type Render = fn(&Experiment) -> String;
 
@@ -112,6 +112,58 @@ fn all_experiments_are_batching_invariant() {
         ("sensitivity", dise_bench::sensitivity),
         ("watchpoint_sets", dise_bench::watchpoint_sets),
     ]);
+}
+
+/// The copy-on-write fork contract at grid level: a perturbing sweep
+/// spanning two workloads, two perturbing backends and two engine
+/// capacities renders byte-identical overheads with fork grouping on
+/// and off, under a serial and a pooled worker count alike. The
+/// partition shape is passed explicitly so both shapes are exercised in
+/// one process regardless of the `DISE_COW_FORK` environment (which CI
+/// additionally sweeps over the whole suite).
+#[test]
+fn forked_and_unforked_grids_are_byte_identical_across_worker_counts() {
+    let workloads = all(10);
+    let small_engine = CpuConfig {
+        engine: dise_engine::EngineConfig { pattern_entries: 8, replacement_entries: 64 },
+        ..CpuConfig::default()
+    };
+    let mut jobs = Vec::new();
+    for w in workloads.iter().take(2) {
+        for backend in [BackendKind::dise_default(), BackendKind::SingleStep] {
+            for engine_cpu in [CpuConfig::default(), small_engine] {
+                for (_, cpu) in transition_cost_sweep(engine_cpu).into_iter().take(2) {
+                    jobs.push(SessionJob::new(
+                        w.clone(),
+                        vec![w.watchpoint(WatchKind::Hot)],
+                        backend,
+                        cpu,
+                    ));
+                }
+            }
+        }
+    }
+
+    let render = |cow_fork: bool, workers: usize| -> Vec<Option<f64>> {
+        let baselines = BaselineCache::new();
+        let groups = batch_session_jobs_with(&jobs, cow_fork);
+        let grouped = run_grid_with(&groups, workers, |g: &CellGroup| g.overheads(&baselines));
+        let mut out = vec![None; jobs.len()];
+        for tagged in grouped {
+            for (cell, o) in tagged {
+                out[cell] = o;
+            }
+        }
+        out
+    };
+    let reference = render(false, 1);
+    for (cow_fork, workers) in [(false, 8), (true, 1), (true, 8)] {
+        assert_eq!(
+            render(cow_fork, workers),
+            reference,
+            "cow_fork={cow_fork} workers={workers} diverged"
+        );
+    }
 }
 
 /// `run_grid_with(.., 1, ..)` is exactly the serial map, including for

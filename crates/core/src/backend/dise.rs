@@ -68,7 +68,7 @@ struct Cells {
     mask_hi: Option<u64>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct DiseBackend {
     strategy: DiseStrategy,
     wps: Vec<Watchpoint>,
@@ -139,6 +139,10 @@ fn trap_tail(conditional_ops: bool, cond: Cond, flag: Reg) -> Vec<TemplateInst> 
 }
 
 impl BackendImpl for DiseBackend {
+    fn boxed_clone(&self) -> Box<dyn BackendImpl> {
+        Box::new(self.clone())
+    }
+
     #[allow(clippy::too_many_lines)]
     fn build_program(
         &mut self,

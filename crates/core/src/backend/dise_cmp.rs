@@ -90,10 +90,14 @@ fn observe_store(e: &Exec, mem: &Memory, watch: &mut WatchState) -> Option<Trans
 /// comparator traps. It never transforms the program, installs no
 /// productions and protects no pages, so the machine runs the
 /// unmodified application.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct DiseCmp;
 
 impl BackendImpl for DiseCmp {
+    fn boxed_clone(&self) -> Box<dyn BackendImpl> {
+        Box::new(self.clone())
+    }
+
     fn build_program(
         &mut self,
         app: &Application,

@@ -66,7 +66,7 @@ fn comparator_hit(quads: &[u64], m: &MemOp) -> bool {
     quads.iter().any(|&q| q >= lo && q <= hi)
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct HwRegs {
     registers: usize,
     /// Quad-aligned addresses loaded into the comparators.
@@ -80,6 +80,10 @@ impl HwRegs {
 }
 
 impl BackendImpl for HwRegs {
+    fn boxed_clone(&self) -> Box<dyn BackendImpl> {
+        Box::new(self.clone())
+    }
+
     fn build_program(
         &mut self,
         app: &Application,

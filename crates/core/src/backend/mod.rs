@@ -186,6 +186,12 @@ pub(crate) trait BackendImpl {
     fn cpu_config(&self, base: CpuConfig) -> CpuConfig {
         base
     }
+
+    /// Clone the backend behind the trait object, state and all — how
+    /// checkpoint/fork captures a backend mid-session (a backend
+    /// carries state from `build_program` into `configure` and
+    /// `observe`, so a fresh instantiation would not do).
+    fn boxed_clone(&self) -> Box<dyn BackendImpl>;
 }
 
 /// The replayable half of an *observing* backend: a transition detector

@@ -21,10 +21,14 @@ const S1: Reg = Reg::gpr(25);
 const S2: Reg = Reg::gpr(27);
 const S3: Reg = Reg::gpr(28);
 
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct Rewrite;
 
 impl BackendImpl for Rewrite {
+    fn boxed_clone(&self) -> Box<dyn BackendImpl> {
+        Box::new(self.clone())
+    }
+
     fn build_program(
         &mut self,
         app: &Application,

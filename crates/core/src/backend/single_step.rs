@@ -10,12 +10,16 @@ use crate::backend::{classify, BackendImpl};
 use crate::session::DebugError;
 use crate::{Application, Transition, TransitionStats, WatchState, Watchpoint};
 
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct SingleStep {
     stmt_pcs: HashSet<u64>,
 }
 
 impl BackendImpl for SingleStep {
+    fn boxed_clone(&self) -> Box<dyn BackendImpl> {
+        Box::new(self.clone())
+    }
+
     fn build_program(
         &mut self,
         app: &Application,

@@ -10,7 +10,7 @@ use crate::backend::{classify, BackendImpl, ObserverImpl};
 use crate::session::DebugError;
 use crate::{Application, Transition, TransitionStats, WatchState, Watchpoint};
 
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct VirtualMemory;
 
 /// The pages covering every statically addressable watched byte.
@@ -93,6 +93,10 @@ impl ObserverImpl for VmObserver {
 }
 
 impl BackendImpl for VirtualMemory {
+    fn boxed_clone(&self) -> Box<dyn BackendImpl> {
+        Box::new(self.clone())
+    }
+
     fn build_program(
         &mut self,
         app: &Application,

@@ -73,8 +73,9 @@ pub use breakpoint::{Breakpoint, BreakpointBackend, BreakpointReport, Breakpoint
 pub use iwatcher::{Monitor, MonitoredRegion};
 pub use region::DebugRegion;
 pub use session::{
-    functional_passes, run_baseline, run_session, run_session_batch, BaselineCache, DebugError,
-    ObserverBatch, Session, SessionReport,
+    checkpoint_forks, functional_passes, image_loads, run_baseline, run_perturbing_group,
+    run_session, run_session_batch, BaselineCache, DebugError, MachineCheckpoint, ObserverBatch,
+    Session, SessionReport,
 };
 pub use stats::{Transition, TransitionStats};
 pub use strategy::{CheckKind, DiseStrategy, MultiMatch};

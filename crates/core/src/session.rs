@@ -1,13 +1,15 @@
 //! Debugging sessions: drive the machine under a backend, classify and
 //! charge debugger transitions.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use dise_asm::AsmError;
-use dise_cpu::{CpuConfig, Event, ExecError, Executor, Machine, RunStats, TimingBatch};
+use dise_cpu::{
+    CpuConfig, Event, ExecError, Executor, ExecutorCheckpoint, Machine, RunStats, TimingBatch,
+};
 use dise_engine::EngineError;
 
 use crate::backend::{BackendImpl, ObserverImpl};
@@ -29,6 +31,34 @@ static FUNCTIONAL_PASSES: AtomicU64 = AtomicU64::new(0);
 /// cell; compare *deltas*, as the counter is process-global.
 pub fn functional_passes() -> u64 {
     FUNCTIONAL_PASSES.load(Ordering::Relaxed)
+}
+
+/// Program images assembled-and-loaded into a machine since process
+/// start (one per session established through any entry point; the
+/// denominator the checkpoint/fork economy shrinks). See
+/// [`image_loads`].
+static IMAGE_LOADS: AtomicU64 = AtomicU64::new(0);
+
+/// Copy-on-write machine forks taken since process start (one per
+/// [`run_perturbing_group`] sub-batch). See [`checkpoint_forks`].
+static CHECKPOINT_FORKS: AtomicU64 = AtomicU64::new(0);
+
+/// Total program images assembled and loaded into a fresh machine by
+/// this process — one per [`Session`], [`run_session_batch`] and
+/// [`ObserverBatch`], and exactly **one** per [`run_perturbing_group`]
+/// however many sub-batches fork from it. Undebugged baselines are not
+/// counted. Like [`functional_passes`], this is instrumentation for
+/// execution-count pins; compare deltas.
+pub fn image_loads() -> u64 {
+    IMAGE_LOADS.load(Ordering::Relaxed)
+}
+
+/// Total copy-on-write machine forks taken by this process — one per
+/// [`run_perturbing_group`] sub-batch (a K-sub-batch group costs 1
+/// image load + K forks where it used to cost K loads). Compare
+/// deltas.
+pub fn checkpoint_forks() -> u64 {
+    CHECKPOINT_FORKS.load(Ordering::Relaxed)
 }
 
 /// Errors establishing or running a debugging session.
@@ -81,7 +111,7 @@ impl From<AsmError> for DebugError {
 }
 
 /// Results of a debugging session.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SessionReport {
     /// Machine-level statistics (cycles include debugger stalls).
     pub run: RunStats,
@@ -175,10 +205,12 @@ pub fn run_session_batch(
         "batched sessions must agree on the functional (DISE engine) configuration"
     );
     let mut exec = Executor::from_program(&prog, *first);
+    IMAGE_LOADS.fetch_add(1, Ordering::Relaxed);
     backend.configure(&mut exec, &watchpoints)?;
     let mut watch = WatchState::new(&watchpoints, exec.mem());
     let mut timings = TimingBatch::new(&cfgs);
     let mut stats = TransitionStats::default();
+    FUNCTIONAL_PASSES.fetch_add(1, Ordering::Relaxed);
     let error = drive(&mut exec, &mut timings, backend.as_mut(), &mut watch, &mut stats, u64::MAX);
     let text_bytes = prog.text_bytes();
     Ok(timings
@@ -186,6 +218,97 @@ pub fn run_session_batch(
         .into_iter()
         .map(|run| SessionReport { run, transitions: stats, error, text_bytes })
         .collect())
+}
+
+/// Run a whole *perturbing* cell group — one workload, one watchpoint
+/// set, one backend, many engine-configuration sub-batches — off **one**
+/// assembled-and-loaded image: the copy-on-write extension of the
+/// one-pass economy to the backends that cannot share a functional
+/// stream.
+///
+/// The backend's static work happens once: validation, instantiation,
+/// and `build_program` (for binary rewriting, the whole transformed
+/// image) run a single time, and the resulting program is loaded into a
+/// single warmed template machine. Every sub-batch then *forks* the
+/// template — O(page-table) copy-on-write, counted by
+/// [`checkpoint_forks`] — under its own engine capacities, clones the
+/// post-build backend state, configures, and drives its private
+/// functional pass through a [`TimingBatch`] over its timing
+/// configurations. A group of K sub-batches therefore costs 1 image
+/// load + K forks where K separate [`run_session_batch`] calls cost K
+/// loads (pinned by the execution-count suite in `dise-bench`).
+///
+/// Sub-batch `i` is byte-identical to
+/// `run_session_batch(app, watchpoints, backend, &batches[i])` run on
+/// its own — the fork is provably invisible (grid determinism and
+/// conformance suites run with `DISE_COW_FORK` on and off).
+///
+/// # Errors
+///
+/// The outer `Err` is group-wide — invalid watchpoints, an unsupported
+/// backend/watchpoint combination, or assembly failure; no sub-batch
+/// could run. Per-sub-batch errors (e.g. productions exceeding a
+/// sub-batch's engine capacities at `configure`) come back in that
+/// sub-batch's slot, exactly as its private `run_session_batch` would
+/// report them.
+///
+/// # Panics
+///
+/// Panics when the configurations *within* one sub-batch disagree on
+/// the DISE engine capacities, as [`run_session_batch`] does.
+pub fn run_perturbing_group(
+    app: &Application,
+    watchpoints: Vec<Watchpoint>,
+    backend: BackendKind,
+    batches: &[Vec<CpuConfig>],
+) -> Result<Vec<Result<Vec<SessionReport>, DebugError>>, DebugError> {
+    validate_watchpoints(&watchpoints)?;
+    let mut built = backend.instantiate();
+    let prog = built.build_program(app, &watchpoints)?;
+    let text_bytes = prog.text_bytes();
+    // The warmed template: image loaded, PC at entry, SP set, never
+    // stepped. Its engine configuration is irrelevant — every sub-batch
+    // forks with its own capacities.
+    let mut template: Option<Executor> = None;
+    let mut out = Vec::with_capacity(batches.len());
+    for cpus in batches {
+        let cfgs: Vec<CpuConfig> = cpus.iter().map(|&c| built.cpu_config(c)).collect();
+        let Some((first, rest)) = cfgs.split_first() else {
+            out.push(Ok(Vec::new()));
+            continue;
+        };
+        assert!(
+            rest.iter().all(|c| c.engine == first.engine),
+            "batched sessions must agree on the functional (DISE engine) configuration"
+        );
+        let template = match &mut template {
+            Some(t) => t,
+            None => {
+                let t = Executor::from_program(&prog, *first);
+                IMAGE_LOADS.fetch_add(1, Ordering::Relaxed);
+                template.insert(t)
+            }
+        };
+        let mut exec = template.fork_with_config(*first);
+        CHECKPOINT_FORKS.fetch_add(1, Ordering::Relaxed);
+        let mut backend = built.boxed_clone();
+        if let Err(e) = backend.configure(&mut exec, &watchpoints) {
+            out.push(Err(e));
+            continue;
+        }
+        let mut watch = WatchState::new(&watchpoints, exec.mem());
+        let mut timings = TimingBatch::new(&cfgs);
+        let mut stats = TransitionStats::default();
+        FUNCTIONAL_PASSES.fetch_add(1, Ordering::Relaxed);
+        let error =
+            drive(&mut exec, &mut timings, backend.as_mut(), &mut watch, &mut stats, u64::MAX);
+        out.push(Ok(timings
+            .finish()
+            .into_iter()
+            .map(|run| SessionReport { run, transitions: stats, error, text_bytes })
+            .collect()));
+    }
+    Ok(out)
 }
 
 /// Reject watchpoint specifications that no backend can give meaning
@@ -359,6 +482,7 @@ impl<'a> ObserverBatch<'a> {
         // the same machine.
         let cfg = self.members.iter().find_map(|m| m.cpus.first()).copied().unwrap_or_default();
         let mut exec = Executor::from_program(&prog, cfg);
+        IMAGE_LOADS.fetch_add(1, Ordering::Relaxed);
         let mut live: Vec<Live> = Vec::new();
         for (i, m) in self.members.iter().enumerate() {
             let admitted = validate_watchpoints(&m.watchpoints)
@@ -408,10 +532,15 @@ impl<'a> ObserverBatch<'a> {
     }
 }
 
-/// The session loop shared by [`Session`] and [`run_session_batch`]:
+///// The session loop shared by [`Session`] and [`run_session_batch`]:
 /// one functional pass through `exec` and `backend`, fanned out to
 /// every timing model in `timings`. Returns the terminal execution
 /// error, if any.
+///
+/// Callers count one functional pass per driven run themselves
+/// ([`FUNCTIONAL_PASSES`]) — `drive` may legally be called many times
+/// on one session (budgeted stepping, checkpoint rings) without the
+/// session executing more than one pass.
 fn drive(
     exec: &mut Executor,
     timings: &mut TimingBatch,
@@ -420,7 +549,6 @@ fn drive(
     stats: &mut TransitionStats,
     max_instructions: u64,
 ) -> Option<ExecError> {
-    FUNCTIONAL_PASSES.fetch_add(1, Ordering::Relaxed);
     let mut error = None;
     let mut n = 0u64;
     while !exec.is_halted() && n < max_instructions {
@@ -501,6 +629,68 @@ impl BaselineCache {
     }
 }
 
+/// A point-in-time snapshot of a whole debugging session: the machine
+/// (registers, PC, copy-on-write memory, DISE engine, decode caches),
+/// the cycle-accounting models, the backend's runtime state, the
+/// watchpoint value snapshots, and the transition statistics.
+///
+/// Capturing is cheap — machine memory is shared copy-on-write with the
+/// live session, so a checkpoint costs O(page-table), not O(footprint).
+/// Resuming from a checkpoint ([`Session::resume_from`]) rewinds *all*
+/// of that state together, so a resumed session re-executes
+/// byte-identically: the same [`Exec`](dise_cpu::Exec) stream, the same
+/// statistics, the same report.
+pub struct MachineCheckpoint {
+    exec: ExecutorCheckpoint,
+    timings: TimingBatch,
+    backend: Box<dyn BackendImpl>,
+    watch: WatchState,
+    stats: TransitionStats,
+}
+
+impl Clone for MachineCheckpoint {
+    fn clone(&self) -> MachineCheckpoint {
+        MachineCheckpoint {
+            exec: self.exec.clone(),
+            timings: self.timings.clone(),
+            backend: self.backend.boxed_clone(),
+            watch: self.watch.clone(),
+            stats: self.stats,
+        }
+    }
+}
+
+impl MachineCheckpoint {
+    /// Dynamic instruction count at which this checkpoint was taken.
+    pub fn instructions(&self) -> u64 {
+        self.exec.instructions()
+    }
+
+    /// PC at which this checkpoint was taken.
+    pub fn pc(&self) -> u64 {
+        self.exec.pc()
+    }
+}
+
+/// How many dynamic instructions the checkpoint ring lets pass between
+/// automatic snapshots when `DISE_CHECKPOINTS` enables it.
+const CHECKPOINT_INTERVAL: u64 = 4096;
+
+/// Parse the `DISE_CHECKPOINTS` knob: the number of periodic
+/// checkpoints [`Session`] keeps in its ring while running. Unset,
+/// empty, or `0` disables the ring (the default — no cost unless asked
+/// for). Anything non-numeric panics loudly rather than silently
+/// dropping the feature the user asked for.
+fn checkpoint_ring_from_env() -> usize {
+    match std::env::var("DISE_CHECKPOINTS") {
+        Err(_) => 0,
+        Ok(v) if v.is_empty() => 0,
+        Ok(v) => v
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("DISE_CHECKPOINTS must be a number, got {v:?}")),
+    }
+}
+
 /// An interactive debugging session: an application, a set of
 /// watchpoints, and a backend implementing them.
 ///
@@ -508,6 +698,13 @@ impl BaselineCache {
 /// same loop drives the functional machine and a [`TimingBatch`]
 /// holding a single model, so batched and unbatched runs cannot drift
 /// apart.
+///
+/// Sessions are also the repository's time-travel primitive:
+/// [`Session::checkpoint`] captures the whole machine copy-on-write,
+/// [`Session::resume_from`] rewinds to a capture, and with
+/// `DISE_CHECKPOINTS=N` the session keeps a ring of the last `N`
+/// periodic checkpoints (every [`CHECKPOINT_INTERVAL`] instructions)
+/// while it runs, available through [`Session::checkpoints`].
 pub struct Session {
     exec: Executor,
     timings: TimingBatch,
@@ -515,6 +712,13 @@ pub struct Session {
     watch: WatchState,
     stats: TransitionStats,
     text_bytes: u64,
+    error: Option<ExecError>,
+    /// The most recent periodic checkpoints, oldest first.
+    ring: VecDeque<MachineCheckpoint>,
+    ring_capacity: usize,
+    /// One functional pass is counted per session however many times it
+    /// is driven (budgeted stepping, checkpoint chunking).
+    counted: bool,
 }
 
 impl Session {
@@ -549,6 +753,7 @@ impl Session {
         let prog = backend.build_program(app, &watchpoints)?;
         let cfg = backend.cpu_config(cpu);
         let mut exec = Executor::from_program(&prog, cfg);
+        IMAGE_LOADS.fetch_add(1, Ordering::Relaxed);
         backend.configure(&mut exec, &watchpoints)?;
         let watch = WatchState::new(&watchpoints, exec.mem());
         Ok(Session {
@@ -558,12 +763,129 @@ impl Session {
             watch,
             stats: TransitionStats::default(),
             text_bytes: prog.text_bytes(),
+            error: None,
+            ring: VecDeque::new(),
+            ring_capacity: checkpoint_ring_from_env(),
+            counted: false,
         })
     }
 
     /// Direct access to the machine (for examples that poke at state).
     pub fn executor(&self) -> &Executor {
         &self.exec
+    }
+
+    /// True once the machine has halted (or faulted).
+    pub fn is_halted(&self) -> bool {
+        self.exec.is_halted() || self.error.is_some()
+    }
+
+    /// Capture the whole session copy-on-write: machine, timing models,
+    /// backend state, watchpoint snapshots, statistics. O(page-table),
+    /// not O(footprint) — memory pages are shared with the live session
+    /// until either side writes them.
+    pub fn checkpoint(&self) -> MachineCheckpoint {
+        MachineCheckpoint {
+            exec: self.exec.checkpoint(),
+            timings: self.timings.clone(),
+            backend: self.backend.boxed_clone(),
+            watch: self.watch.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rewind the session to a checkpoint. Every piece of state —
+    /// machine, cycle accounting, backend, watch snapshots, transition
+    /// statistics — rolls back together, so continuing from here
+    /// re-executes byte-identically to the first pass. Ring entries
+    /// taken *after* the resume point are pruned (they describe a future
+    /// this timeline may no longer reach).
+    pub fn resume_from(&mut self, ck: &MachineCheckpoint) {
+        self.exec.restore(&ck.exec);
+        self.timings = ck.timings.clone();
+        self.backend = ck.backend.boxed_clone();
+        self.watch = ck.watch.clone();
+        self.stats = ck.stats;
+        self.error = None;
+        let at = ck.instructions();
+        self.ring.retain(|c| c.instructions() <= at);
+    }
+
+    /// The periodic checkpoint ring (oldest first). Empty unless the
+    /// `DISE_CHECKPOINTS=N` environment knob (or
+    /// [`Session::set_checkpoint_ring`]) enabled it before the session
+    /// ran.
+    pub fn checkpoints(&self) -> impl Iterator<Item = &MachineCheckpoint> {
+        self.ring.iter()
+    }
+
+    /// Programmatically size the periodic checkpoint ring, overriding
+    /// the `DISE_CHECKPOINTS` environment default. `0` disables it;
+    /// shrinking evicts oldest-first immediately.
+    pub fn set_checkpoint_ring(&mut self, capacity: usize) {
+        self.ring_capacity = capacity;
+        while self.ring.len() > capacity {
+            self.ring.pop_front();
+        }
+    }
+
+    /// Drive the session by at most `budget` further dynamic
+    /// instructions, returning `true` while there is more to run.
+    /// Repeated calls are byte-identical to one big call — all state
+    /// persists across calls — and the whole session still counts as
+    /// *one* functional pass. When the checkpoint ring is enabled, the
+    /// run is chunked at [`CHECKPOINT_INTERVAL`] boundaries and a
+    /// snapshot pushed at each.
+    pub fn run_budget(&mut self, budget: u64) -> bool {
+        if !self.counted {
+            self.counted = true;
+            FUNCTIONAL_PASSES.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut left = budget;
+        while left > 0 && !self.is_halted() {
+            let chunk = if self.ring_capacity == 0 {
+                left
+            } else {
+                // Distance to the next interval boundary, so snapshots
+                // land at the same instruction counts regardless of how
+                // the caller slices its budgets.
+                let run = CHECKPOINT_INTERVAL - self.exec.instructions() % CHECKPOINT_INTERVAL;
+                left.min(run)
+            };
+            self.error = drive(
+                &mut self.exec,
+                &mut self.timings,
+                self.backend.as_mut(),
+                &mut self.watch,
+                &mut self.stats,
+                chunk,
+            );
+            left -= chunk.min(left);
+            if self.ring_capacity > 0
+                && !self.is_halted()
+                && self.exec.instructions().is_multiple_of(CHECKPOINT_INTERVAL)
+            {
+                self.ring.push_back(self.checkpoint());
+                while self.ring.len() > self.ring_capacity {
+                    self.ring.pop_front();
+                }
+            }
+        }
+        !self.is_halted()
+    }
+
+    /// The session's report so far, without consuming the session —
+    /// cycle accounting is cloned and finalised at the current point.
+    /// After the machine halts this equals what [`Session::run`] would
+    /// have returned.
+    pub fn report(&self) -> SessionReport {
+        let run = self.timings.clone().finish().pop().expect("session batch holds one model");
+        SessionReport {
+            run,
+            transitions: self.stats,
+            error: self.error,
+            text_bytes: self.text_bytes,
+        }
     }
 
     /// Run to completion.
@@ -584,18 +906,8 @@ impl Session {
     }
 
     fn finish(mut self, max_instructions: u64) -> (SessionReport, Executor) {
-        let error = drive(
-            &mut self.exec,
-            &mut self.timings,
-            self.backend.as_mut(),
-            &mut self.watch,
-            &mut self.stats,
-            max_instructions,
-        );
-        let run = self.timings.finish().pop().expect("session batch holds one model");
-        let report =
-            SessionReport { run, transitions: self.stats, error, text_bytes: self.text_bytes };
-        (report, self.exec)
+        self.run_budget(max_instructions);
+        (self.report(), self.exec)
     }
 }
 
@@ -1437,5 +1749,131 @@ mod tests {
             Session::new(&a, two, BackendKind::Dise(DiseStrategy::evaluate_inline(true))),
             Err(DebugError::Unsupported { .. })
         ));
+    }
+
+    /// The copy-on-write tentpole contract: a perturbing group forking
+    /// every sub-batch from one loaded template is bit-identical to the
+    /// sub-batches' private `run_session_batch` calls — across all three
+    /// perturbing backends, including binary rewriting, whose *image*
+    /// itself is the product of the shared `build_program`.
+    #[test]
+    fn perturbing_group_matches_private_batches_bit_for_bit() {
+        let a = app(8);
+        let wp = scalar_wp(&a, "watched");
+        let cheap = CpuConfig { debugger_transition_cost: 5_000, ..CpuConfig::default() };
+        let narrow = CpuConfig { width: 1, commit_width: 1, ..CpuConfig::default() };
+        let mut small = CpuConfig::default();
+        small.engine.replacement_entries = 64;
+        let batches = vec![
+            vec![CpuConfig::default(), cheap],
+            vec![narrow],
+            vec![small, CpuConfig { debugger_transition_cost: 5_000, ..small }],
+        ];
+        for backend in
+            [BackendKind::SingleStep, BackendKind::BinaryRewrite, BackendKind::dise_default()]
+        {
+            let grouped = run_perturbing_group(&a, vec![wp], backend, &batches).unwrap();
+            assert_eq!(grouped.len(), batches.len());
+            for (cpus, got) in batches.iter().zip(grouped) {
+                let private = run_session_batch(&a, vec![wp], backend, cpus).unwrap();
+                let got = got.unwrap();
+                assert_eq!(got.len(), private.len(), "{backend:?}");
+                for (g, p) in got.iter().zip(&private) {
+                    assert_eq!(g.run, p.run, "{backend:?} forked run diverged");
+                    assert_eq!(g.transitions, p.transitions, "{backend:?}");
+                    assert_eq!(g.error, p.error, "{backend:?}");
+                    assert_eq!(g.text_bytes, p.text_bytes, "{backend:?}");
+                }
+            }
+        }
+    }
+
+    /// Engine-capacity failures are per sub-batch: the sub-batch whose
+    /// configuration cannot hold the productions errs in its own slot
+    /// (exactly as its private batch would), while its siblings off the
+    /// same template still run and still match.
+    #[test]
+    fn perturbing_group_isolates_sub_batch_errors() {
+        let a = app(6);
+        let wp = scalar_wp(&a, "watched");
+        let mut tiny = CpuConfig::default();
+        tiny.engine.pattern_entries = 0;
+        let batches = vec![vec![CpuConfig::default()], vec![tiny], vec![]];
+        let grouped =
+            run_perturbing_group(&a, vec![wp], BackendKind::dise_default(), &batches).unwrap();
+        assert!(matches!(grouped[1], Err(DebugError::Engine(_))), "{:?}", grouped[1]);
+        assert!(grouped[2].as_ref().unwrap().is_empty(), "empty sub-batch yields no reports");
+        let lone =
+            run_session(&a, vec![wp], BackendKind::dise_default(), CpuConfig::default()).unwrap();
+        let got = &grouped[0].as_ref().unwrap()[0];
+        assert_eq!(got.run, lone.run, "the healthy sibling still matches its private run");
+        assert_eq!(got.transitions, lone.transitions);
+    }
+
+    /// Time travel: capture mid-run, finish, rewind, finish again — the
+    /// two futures are byte-identical, and both equal a never-rewound
+    /// run. All state (machine, cycle accounting, backend, watch
+    /// snapshots, transition counts) rolls back together.
+    #[test]
+    fn session_resumes_from_checkpoint_byte_identically() {
+        let a = app(10);
+        let wp = scalar_wp(&a, "watched");
+        for backend in [BackendKind::dise_default(), BackendKind::VirtualMemory] {
+            let reference = run_session(&a, vec![wp], backend, CpuConfig::default()).unwrap();
+            let mut s = Session::with_config(&a, vec![wp], backend, CpuConfig::default()).unwrap();
+            assert!(s.run_budget(40), "machine must still be live at the capture point");
+            let ck = s.checkpoint();
+            assert_eq!(ck.instructions(), 40);
+            s.run_budget(u64::MAX);
+            assert!(s.is_halted());
+            let first = s.report();
+            assert_eq!(first.run, reference.run, "{backend:?} chunked run diverged");
+            assert_eq!(first.transitions, reference.transitions, "{backend:?}");
+
+            s.resume_from(&ck);
+            assert!(!s.is_halted(), "rewound below the halt");
+            assert_eq!(s.executor().instructions(), 40);
+            s.run_budget(u64::MAX);
+            let second = s.report();
+            assert_eq!(second.run, first.run, "{backend:?} replay diverged after rewind");
+            assert_eq!(second.transitions, first.transitions, "{backend:?}");
+            assert_eq!(second.error, first.error, "{backend:?}");
+        }
+    }
+
+    /// The periodic ring: snapshots land every `CHECKPOINT_INTERVAL`
+    /// instructions regardless of how the caller slices its budgets,
+    /// capacity evicts oldest-first, and resuming prunes entries from
+    /// the abandoned future.
+    #[test]
+    fn checkpoint_ring_snapshots_periodically_and_prunes_on_resume() {
+        // A long-enough workload to cross several interval boundaries.
+        let a = app(4000);
+        let wp = scalar_wp(&a, "watched");
+        let mut s =
+            Session::with_config(&a, vec![wp], BackendKind::dise_default(), CpuConfig::default())
+                .unwrap();
+        s.set_checkpoint_ring(3);
+        // Slice the budget unevenly: boundaries must not depend on it.
+        while s.run_budget(2_500) {}
+        let at: Vec<u64> = s.checkpoints().map(|c| c.instructions()).collect();
+        assert_eq!(at.len(), 3, "ring capacity bounds retained snapshots");
+        assert!(at.iter().all(|n| n.is_multiple_of(CHECKPOINT_INTERVAL)), "{at:?}");
+        assert!(at.windows(2).all(|w| w[1] == w[0] + CHECKPOINT_INTERVAL), "{at:?}");
+
+        let resume = s.checkpoints().nth(1).unwrap().clone();
+        let mid = resume.instructions();
+        s.resume_from(&resume);
+        assert_eq!(s.executor().instructions(), mid);
+        assert!(
+            s.checkpoints().all(|c| c.instructions() <= mid),
+            "entries from the abandoned future are pruned"
+        );
+        while s.run_budget(10_000) {}
+        let replay = s.report();
+        let reference =
+            run_session(&a, vec![wp], BackendKind::dise_default(), CpuConfig::default()).unwrap();
+        assert_eq!(replay.run, reference.run, "ringed, rewound run still byte-identical");
+        assert_eq!(replay.transitions, reference.transitions);
     }
 }

@@ -470,6 +470,64 @@ impl Executor {
         self.flush_blocks();
     }
 
+    /// Fork a copy-on-write twin of this machine in O(page-table) time.
+    ///
+    /// The child is state-identical to `self` — registers, PC, DISE
+    /// engine (productions and statistics), replacement context,
+    /// instruction counter, and both decode caches (they describe the
+    /// identical memory image and engine, so they remain valid as-is) —
+    /// except that memory pages are shared copy-on-write and unshare on
+    /// first write by either side. Page protections are deep-copied:
+    /// the child protecting a page never protects the parent's, and
+    /// vice versa. Takes `&mut self` only to account the fork in the
+    /// parent's [`dise_mem::CowStats`]; no architectural state changes.
+    pub fn fork(&mut self) -> Executor {
+        let mem = self.mem.fork();
+        let mut child = self.clone();
+        child.mem = mem;
+        child
+    }
+
+    /// Fork a machine that has not started running under a different
+    /// configuration: copy-on-write memory, registers and PC from
+    /// `self`; a fresh DISE engine with `config`'s capacities; cold
+    /// caches. This is how one loaded image is shared across grid
+    /// cells that disagree on [`CpuConfig::engine`] — a warmed engine
+    /// or block cache would bake in the wrong capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` has already executed instructions: a mid-run
+    /// machine's replacement context and caches are tied to its own
+    /// engine and cannot be re-capacitied. Use [`Executor::fork`] for
+    /// same-configuration forks at any point of a run.
+    pub fn fork_with_config(&mut self, config: CpuConfig) -> Executor {
+        assert_eq!(
+            self.instructions, 0,
+            "fork_with_config shares pre-run templates only; use fork() mid-run"
+        );
+        let mut child = Executor::new(config);
+        child.mem = self.mem.fork();
+        child.regs = self.regs;
+        child.pc = self.pc;
+        child
+    }
+
+    /// Snapshot the whole machine — O(page-table), not O(resident
+    /// bytes), thanks to copy-on-write pages.
+    pub fn checkpoint(&self) -> ExecutorCheckpoint {
+        ExecutorCheckpoint { state: self.clone() }
+    }
+
+    /// Restore the machine to a checkpoint. The restored decode and
+    /// block caches are the ones captured with it — they describe the
+    /// restored memory image and engine exactly, so they come back
+    /// revalidated rather than flushed, and re-running from the
+    /// checkpoint replays the original `Exec` stream byte for byte.
+    pub fn restore(&mut self, ck: &ExecutorCheckpoint) {
+        *self = ck.state.clone();
+    }
+
     #[inline]
     fn decoded_slot(pc: u64) -> usize {
         ((pc >> 2) as usize) & (DECODED_SLOTS - 1)
@@ -1039,6 +1097,28 @@ impl Executor {
 /// The `DISE_BLOCK_CACHE` ablation knob: on by default, `0`/`false`/
 /// `off` disables the block-level decoded-trace cache. Anything else is
 /// a loud error, matching the repo's env-knob conventions.
+/// A frozen snapshot of a whole [`Executor`] — architectural state,
+/// memory (pages shared copy-on-write with the live machine), DISE
+/// engine, replacement context, and decode/block caches. Taking and
+/// restoring one is O(page-table); see [`Executor::checkpoint`] /
+/// [`Executor::restore`].
+#[derive(Clone, Debug)]
+pub struct ExecutorCheckpoint {
+    state: Executor,
+}
+
+impl ExecutorCheckpoint {
+    /// Dynamic instructions the machine had executed when captured.
+    pub fn instructions(&self) -> u64 {
+        self.state.instructions
+    }
+
+    /// The captured PC.
+    pub fn pc(&self) -> u64 {
+        self.state.pc
+    }
+}
+
 fn block_cache_from_env() -> bool {
     match std::env::var("DISE_BLOCK_CACHE") {
         Err(_) => true,
@@ -1653,5 +1733,133 @@ mod tests {
         run(&mut m, 100);
         // la(2) + store-expansion(2) + halt(1)
         assert_eq!(m.instructions(), 5);
+    }
+
+    /// A self-modifying countdown: each iteration stores a changing
+    /// value over data *and* patches its own loop body — the worst case
+    /// for anything sharing pages or cached decodes across a fork.
+    fn self_modifying_src() -> &'static str {
+        "start: lda r1, 6(zero)
+                la r2, v
+                la r3, patch
+                ldq r4, 0(r3)
+         loop:  stq r1, 0(r2)
+         patch: addq r1, 0, r5
+                stq r4, 0(r3)      # rewrite the addq with itself... or not
+                addq r4, 1, r4     # drift the stored word (stays decodable: imm grows)
+                subq r1, 1, r1
+                bgt r1, loop
+                halt
+         .data
+         v: .quad 0"
+    }
+
+    /// Forked continuation == fresh continuation, byte for byte — even
+    /// with self-modifying stores landing on still-shared pages.
+    #[test]
+    fn fork_is_invisible_mid_run() {
+        let src = self_modifying_src();
+        let reference = {
+            let mut m = machine(src);
+            run(&mut m, 1000)
+        };
+        for fork_at in [0usize, 1, 7, 13, 26] {
+            let mut parent = machine(src);
+            for _ in 0..fork_at.min(reference.len()) {
+                parent.step();
+            }
+            let mut child = parent.fork();
+            assert_eq!(child.pc(), parent.pc());
+            assert_eq!(child.instructions(), parent.instructions());
+            // The child continues exactly as the unforked run did...
+            let tail = run(&mut child, 1000);
+            assert_eq!(tail, reference[fork_at.min(reference.len())..], "fork at {fork_at}");
+            // ...and so does the parent, whose pages the child wrote.
+            let parent_tail = run(&mut parent, 1000);
+            assert_eq!(parent_tail, tail, "parent diverged after fork at {fork_at}");
+        }
+    }
+
+    /// The fork shares pages instead of copying them, and the parent's
+    /// memory is untouched by child stores.
+    #[test]
+    fn fork_shares_memory_copy_on_write() {
+        let mut parent = machine(self_modifying_src());
+        let resident = parent.mem().resident_pages();
+        let mut child = parent.fork();
+        assert_eq!(parent.mem().cow_stats().forks, 1);
+        assert_eq!(child.mem().cow_stats().pages_shared, resident as u64);
+        assert_eq!(child.mem().shared_pages(), resident);
+        run(&mut child, 1000);
+        let cs = child.mem().cow_stats();
+        assert!(cs.pages_copied >= 1, "child stores must unshare pages");
+        assert!(cs.pages_copied <= cs.pages_shared, "only shared pages can be copied");
+        assert_eq!(
+            cs.pages_copied + child.mem().shared_pages() as u64,
+            cs.pages_shared,
+            "copied + still-shared == shared-at-fork while the parent is idle"
+        );
+        assert_eq!(parent.mem().cow_stats().pages_copied, 0, "parent never wrote");
+    }
+
+    /// Checkpoint → run → restore → run replays the identical stream,
+    /// with the warm caches revalidated rather than rebuilt.
+    #[test]
+    fn checkpoint_restore_replays_identically() {
+        let mut m = machine(self_modifying_src());
+        for _ in 0..9 {
+            m.step();
+        }
+        let ck = m.checkpoint();
+        assert_eq!(ck.instructions(), 9);
+        assert_eq!(ck.pc(), m.pc());
+        let first = run(&mut m, 1000);
+        let stats_first = (m.decode_cache_stats(), m.block_cache_stats(), m.engine().stats());
+        m.restore(&ck);
+        assert_eq!(m.instructions(), 9);
+        let second = run(&mut m, 1000);
+        assert_eq!(second, first, "restored run must replay the stream byte for byte");
+        let stats_second = (m.decode_cache_stats(), m.block_cache_stats(), m.engine().stats());
+        assert_eq!(
+            stats_second, stats_first,
+            "counters rewind with the machine and re-accumulate identically"
+        );
+    }
+
+    /// Cross-configuration forks share the loaded image but get fresh
+    /// engine capacities, and refuse mid-run templates.
+    #[test]
+    fn fork_with_config_shares_image_with_fresh_engine() {
+        let mut template = machine(
+            "start: la r1, v
+                    stq r2, 0(r1)
+                    halt
+             .data
+             v: .quad 0",
+        );
+        let mut small = CpuConfig::default();
+        small.engine.replacement_entries = 2;
+        let mut child = template.fork_with_config(small);
+        assert_eq!(child.pc(), template.pc());
+        assert_eq!(child.reg(Reg::SP), template.reg(Reg::SP));
+        assert_eq!(child.mem().read_u(child.pc(), 4), template.mem().read_u(template.pc(), 4));
+        assert_eq!(child.engine().config().replacement_entries, 2);
+        let err = Production::new(
+            "pad",
+            Pattern::opclass(OpClass::Store),
+            vec![
+                TemplateInst::Trigger,
+                TemplateInst::Fixed(Instr::Nop),
+                TemplateInst::Fixed(Instr::Nop),
+            ],
+        );
+        assert!(child.engine_mut().install(err).is_err(), "small capacity is really in force");
+        run(&mut child, 100);
+
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            template.step();
+            template.fork_with_config(small)
+        }));
+        assert!(caught.is_err(), "mid-run templates must be refused");
     }
 }

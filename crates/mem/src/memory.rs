@@ -1,7 +1,16 @@
-//! Sparse paged memory with per-page write protection.
+//! Sparse paged memory with per-page write protection and
+//! copy-on-write forking.
+//!
+//! Pages are reference-counted (`Arc`) so cloning a [`Memory`] — or
+//! taking a [`Checkpoint`] — is O(page-table), not O(resident bytes):
+//! both sides share every page until one of them writes, at which point
+//! [`Arc::make_mut`] unshares just the written page. The protection set
+//! is a plain per-`Memory` page-number set, deep-copied on fork, so a
+//! forked child protecting a page never protects its parent's.
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 /// A multiply-fold hasher for `u64` address-like keys (page numbers
 /// here, store-dependence quads in `dise-cpu`). Every simulated memory
@@ -29,7 +38,8 @@ impl Hasher for AddrHasher {
     }
 }
 
-type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE as usize]>, BuildHasherDefault<AddrHasher>>;
+type Page = [u8; PAGE_SIZE as usize];
+type PageMap = HashMap<u64, Arc<Page>, BuildHasherDefault<AddrHasher>>;
 type PageSet = HashSet<u64, BuildHasherDefault<AddrHasher>>;
 
 /// Page size in bytes (4 KB, "on the small end for real systems" per the
@@ -55,6 +65,43 @@ impl std::fmt::Display for ProtFault {
 
 impl std::error::Error for ProtFault {}
 
+/// Copy-on-write bookkeeping for one [`Memory`].
+///
+/// `pages_shared` is the number of resident pages at the most recent
+/// sharing event (fork, or restore from a checkpoint); `pages_copied`
+/// counts every page this memory had to unshare before writing, over
+/// its whole lifetime; `forks` counts how many children were forked
+/// *from* this memory. For a fresh fork child whose parent has not been
+/// written since the fork, `pages_copied + shared_pages() ==
+/// pages_shared` holds at every point of the child's run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CowStats {
+    /// Resident pages at the most recent fork/restore (all shared then).
+    pub pages_shared: u64,
+    /// Lifetime count of pages unshared (physically copied) by writes.
+    pub pages_copied: u64,
+    /// Number of children forked from this memory.
+    pub forks: u64,
+}
+
+/// An O(page-table) snapshot of a [`Memory`].
+///
+/// Holds reference-counted pages and a deep copy of the protection
+/// set; restoring never copies page bytes — pages become shared again
+/// and unshare lazily on the next write to either side.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    pages: PageMap,
+    write_protected: PageSet,
+}
+
+impl Checkpoint {
+    /// Number of pages captured by this checkpoint.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
 /// Sparse 64-bit byte-addressable memory.
 ///
 /// Pages are allocated on first touch and zero-filled. Reads never fault;
@@ -65,6 +112,7 @@ impl std::error::Error for ProtFault {}
 pub struct Memory {
     pages: PageMap,
     write_protected: PageSet,
+    cow: CowStats,
 }
 
 impl Memory {
@@ -93,13 +141,22 @@ impl Memory {
         }
     }
 
+    /// Resolve page number `pn` for writing: allocate a zero page on
+    /// first touch, unshare (physically copy) a page still shared with
+    /// a fork or checkpoint.
+    #[inline]
+    fn page_mut(&mut self, pn: u64) -> &mut Page {
+        let page = self.pages.entry(pn).or_insert_with(|| Arc::new([0; PAGE_SIZE as usize]));
+        if Arc::strong_count(page) > 1 {
+            self.cow.pages_copied += 1;
+        }
+        Arc::make_mut(page)
+    }
+
     /// Write one byte, ignoring protection.
     #[inline]
     pub fn write_u8(&mut self, addr: u64, val: u8) {
-        let page = self
-            .pages
-            .entry(Self::page_of(addr))
-            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+        let page = self.page_mut(Self::page_of(addr));
         page[(addr % PAGE_SIZE) as usize] = val;
     }
 
@@ -142,10 +199,7 @@ impl Memory {
         let off = (addr % PAGE_SIZE) as usize;
         // Fast path: the access lies within one page, resolved once.
         if off + width as usize <= PAGE_SIZE as usize {
-            let page = self
-                .pages
-                .entry(Self::page_of(addr))
-                .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+            let page = self.page_mut(Self::page_of(addr));
             for i in 0..width as usize {
                 page[off + i] = (val >> (8 * i)) as u8;
             }
@@ -210,8 +264,16 @@ impl Memory {
 
     /// Copy a byte slice into memory, ignoring protection (loader use).
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            self.write_u8(addr + i as u64, *b);
+        // Per-page chunks: one lookup (and at most one unshare) per
+        // page instead of one per byte.
+        let mut done = 0usize;
+        while done < bytes.len() {
+            let a = addr + done as u64;
+            let off = (a % PAGE_SIZE) as usize;
+            let take = (PAGE_SIZE as usize - off).min(bytes.len() - done);
+            let page = self.page_mut(Self::page_of(a));
+            page[off..off + take].copy_from_slice(&bytes[done..done + take]);
+            done += take;
         }
     }
 
@@ -236,6 +298,62 @@ impl Memory {
     /// Number of distinct pages that have been touched by writes.
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Bytes backed by resident pages (`resident_pages * PAGE_SIZE`).
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE
+    }
+
+    /// Pages currently shared with at least one fork or checkpoint.
+    ///
+    /// O(page-table); intended for tests and ablation reporting, not
+    /// hot paths.
+    pub fn shared_pages(&self) -> usize {
+        self.pages.values().filter(|p| Arc::strong_count(p) > 1).count()
+    }
+
+    /// Copy-on-write counters for this memory (see [`CowStats`]).
+    pub fn cow_stats(&self) -> CowStats {
+        self.cow
+    }
+
+    /// Fork a copy-on-write child in O(page-table) time.
+    ///
+    /// The child shares every resident page with `self`; either side
+    /// copies a page only when it first writes it. The protection set
+    /// is deep-copied: protections the child adds or removes after the
+    /// fork never affect the parent (and vice versa). The child starts
+    /// with fresh [`CowStats`] (`pages_shared` = resident pages now);
+    /// the parent's `forks` counter is bumped and its `pages_shared`
+    /// re-anchored to the same value.
+    pub fn fork(&mut self) -> Memory {
+        let n = self.pages.len() as u64;
+        self.cow.forks += 1;
+        self.cow.pages_shared = n;
+        Memory {
+            pages: self.pages.clone(),
+            write_protected: self.write_protected.clone(),
+            cow: CowStats { pages_shared: n, pages_copied: 0, forks: 0 },
+        }
+    }
+
+    /// Snapshot the current contents (and protection set) in
+    /// O(page-table) time without copying page bytes.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint { pages: self.pages.clone(), write_protected: self.write_protected.clone() }
+    }
+
+    /// Restore contents and protections from a checkpoint.
+    ///
+    /// O(page-table): pages become shared with the checkpoint again
+    /// and unshare lazily on the next write. `pages_shared` is
+    /// re-anchored to the restored page count; `pages_copied` and
+    /// `forks` remain lifetime counters.
+    pub fn restore(&mut self, ck: &Checkpoint) {
+        self.pages = ck.pages.clone();
+        self.write_protected = ck.write_protected.clone();
+        self.cow.pages_shared = self.pages.len() as u64;
     }
 }
 
@@ -315,6 +433,100 @@ mod tests {
         m.write_bytes(0x500, &[1, 2, 3, 4]);
         assert_eq!(m.read_bytes(0x500, 4), vec![1, 2, 3, 4]);
         assert_eq!(m.read_bytes(0x4fe, 3), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn fork_shares_pages_and_unshares_on_write() {
+        let mut parent = Memory::new();
+        parent.write_u(0x1000, 8, 0x1111);
+        parent.write_u(0x5000, 8, 0x5555);
+        let mut child = parent.fork();
+
+        assert_eq!(parent.cow_stats().forks, 1);
+        assert_eq!(child.cow_stats(), CowStats { pages_shared: 2, pages_copied: 0, forks: 0 });
+        assert_eq!(child.shared_pages(), 2);
+        assert_eq!(child.resident_bytes(), 2 * PAGE_SIZE);
+
+        // Child write unshares exactly one page; the parent's copy is
+        // untouched.
+        child.write_u(0x1000, 8, 0x2222);
+        assert_eq!(child.cow_stats().pages_copied, 1);
+        assert_eq!(child.shared_pages(), 1);
+        assert_eq!(parent.read_u(0x1000, 8), 0x1111);
+        assert_eq!(child.read_u(0x1000, 8), 0x2222);
+
+        // Coherence across the fork's lifetime (parent unwritten):
+        // copied + still-shared == shared-at-fork.
+        let cs = child.cow_stats();
+        assert_eq!(cs.pages_copied + child.shared_pages() as u64, cs.pages_shared);
+
+        // A second write to the now-private page copies nothing more;
+        // a write to a fresh page allocates without copying.
+        child.write_u(0x1008, 8, 7);
+        child.write_u(0x9000, 8, 9);
+        assert_eq!(child.cow_stats().pages_copied, 1);
+        assert_eq!(parent.read_u(0x9000, 8), 0);
+    }
+
+    #[test]
+    fn parent_writes_do_not_leak_into_child() {
+        let mut parent = Memory::new();
+        parent.write_u(0x2000, 8, 1);
+        let child = parent.fork();
+        parent.write_u(0x2000, 8, 2);
+        assert_eq!(parent.cow_stats().pages_copied, 1);
+        assert_eq!(child.read_u(0x2000, 8), 1);
+    }
+
+    #[test]
+    fn fork_protection_sets_are_independent() {
+        let mut parent = Memory::new();
+        parent.write_u(0x3000, 8, 3);
+        parent.protect_page(0x3000, true);
+        let mut child = parent.fork();
+
+        // Child inherits the protections that existed at the fork...
+        assert!(child.page_is_protected(0x3000));
+        // ...but later changes are fully isolated, both directions.
+        child.protect_page(0x7000, true);
+        assert!(!parent.page_is_protected(0x7000));
+        child.protect_page(0x3000, false);
+        assert!(parent.page_is_protected(0x3000));
+        parent.protect_page(0x8000, true);
+        assert!(!child.page_is_protected(0x8000));
+
+        // And protection stays per-memory even for still-shared pages.
+        child.write_checked(0x3000, 8, 4).unwrap();
+        assert!(parent.write_checked(0x3000, 8, 5).is_err());
+        // A faulted write never unshares: the check runs before the
+        // copy-on-write path touches the page.
+        assert_eq!(parent.cow_stats().pages_copied, 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_contents_and_protections() {
+        let mut m = Memory::new();
+        m.write_u(0x1000, 8, 0xaa);
+        m.protect_page(0x1000, true);
+        let ck = m.checkpoint();
+        assert_eq!(ck.resident_pages(), 1);
+
+        m.protect_page(0x1000, false);
+        m.write_u(0x1000, 8, 0xbb);
+        m.write_u(0x4000, 8, 0xcc);
+        m.restore(&ck);
+
+        assert_eq!(m.read_u(0x1000, 8), 0xaa);
+        assert_eq!(m.read_u(0x4000, 8), 0, "post-checkpoint page dropped");
+        assert!(m.page_is_protected(0x1000));
+        assert_eq!(m.cow_stats().pages_shared, 1);
+
+        // Restored pages are shared with the checkpoint; writing after
+        // restore unshares without disturbing the checkpoint.
+        m.write_u(0x1000, 8, 0xdd);
+        let mut again = Memory::new();
+        again.restore(&ck);
+        assert_eq!(again.read_u(0x1000, 8), 0xaa);
     }
 
     #[test]

@@ -359,6 +359,99 @@ proptest! {
         prop_assert_eq!(off_stream, on_stream, "Exec streams must be byte-identical");
     }
 
+    /// Copy-on-write fork invisibility, at every fork point: forking an
+    /// executor mid-run over a self-modifying kernel — whose patch
+    /// stores land on text pages still shared with the parent — must be
+    /// undetectable from inside either machine. The child's
+    /// continuation produces the same `Exec` stream, final data memory
+    /// and DISE engine statistics as a never-forked reference run, and
+    /// the parent, continued *after* the child has run (and unshared
+    /// pages under it), stays bit-identical too.
+    #[test]
+    fn cow_fork_is_invisible_at_any_fork_point(
+        op in any_aluop(),
+        imm: u8,
+        disp in 0i16..8192,
+        use_lda: bool,
+        fork_at in 0u64..24,
+        with_production: bool,
+    ) {
+        let r5 = Reg::gpr(5);
+        let patch = if use_lda {
+            Instr::Lda { rd: r5, base: Reg::ZERO, disp }
+        } else {
+            Instr::Alu { op, rd: r5, ra: Reg::ZERO, rb: Operand::Imm(imm) }
+        };
+        let prog = self_modifying_program(&patch);
+        let fresh = || {
+            let mut e = Executor::from_program(&prog, CpuConfig::default());
+            if with_production {
+                e.engine_mut()
+                    .install(Production::new(
+                        "observer",
+                        Pattern::opclass(OpClass::Store),
+                        vec![
+                            TemplateInst::Trigger,
+                            TemplateInst::Alu {
+                                op: AluOp::Add,
+                                rd: dise_repro::engine::TReg::Lit(Reg::dise(1)),
+                                ra: dise_repro::engine::TReg::Lit(Reg::dise(1)),
+                                rb: dise_repro::engine::TOperand::Imm(1),
+                            },
+                        ],
+                    ))
+                    .unwrap();
+            }
+            e
+        };
+        let finish = |e: &mut Executor, stream: &mut Vec<dise_repro::cpu::Exec>| {
+            let mut guard = 0;
+            while !e.is_halted() {
+                stream.push(e.step());
+                guard += 1;
+                assert!(guard < 10_000);
+            }
+        };
+        let out = prog.symbol("out").unwrap();
+        let data = |e: &Executor| (0..2).map(|i| e.mem().read_u(out + i * 8, 8)).collect::<Vec<_>>();
+
+        let mut reference = fresh();
+        let mut ref_stream = Vec::new();
+        finish(&mut reference, &mut ref_stream);
+
+        let mut parent = fresh();
+        let mut pre = Vec::new();
+        for _ in 0..fork_at {
+            if parent.is_halted() {
+                break;
+            }
+            pre.push(parent.step());
+        }
+        let mut child = parent.fork();
+        prop_assert_eq!(
+            child.mem().cow_stats().pages_shared as usize,
+            child.mem().shared_pages(),
+            "every resident page starts out shared with the parent"
+        );
+
+        // The child's continuation — its self-modifying stores unshare
+        // pages under the parent — completes the reference stream.
+        let mut child_stream = pre.clone();
+        finish(&mut child, &mut child_stream);
+        prop_assert_eq!(&child_stream, &ref_stream, "forked continuation diverged");
+        prop_assert_eq!(data(&child), data(&reference), "forked final memory diverged");
+        prop_assert_eq!(child.engine().stats(), reference.engine().stats());
+        prop_assert_eq!(child.instructions(), reference.instructions());
+
+        // The parent, resumed only now, must be unperturbed by
+        // everything the child did.
+        let mut parent_stream = pre;
+        finish(&mut parent, &mut parent_stream);
+        prop_assert_eq!(&parent_stream, &ref_stream, "parent diverged after child ran");
+        prop_assert_eq!(data(&parent), data(&reference));
+        prop_assert_eq!(parent.engine().stats(), reference.engine().stats());
+    }
+
     /// Functional and timed execution see the same dynamic instruction
     /// stream: instruction counts agree and the timing model's cycle
     /// count is bounded below by instructions/width.
