@@ -14,8 +14,8 @@ use std::sync::Mutex;
 
 use dise_cpu::CpuConfig;
 use dise_debug::{
-    run_perturbing_group, run_session, run_session_batch, BackendKind, BaselineCache, DebugError,
-    ObserverBatch, SessionReport, Watchpoint,
+    run_session, BackendKind, BaselineCache, DebugError, Scheduler, SessionReport, SessionTask,
+    TaskOutput, Watchpoint,
 };
 use dise_workloads::Workload;
 
@@ -63,10 +63,32 @@ impl SessionJob {
     /// Panics if the session reports an execution error (the calibrated
     /// kernels must run clean).
     pub fn overhead(&self, baselines: &BaselineCache) -> Option<f64> {
+        self.overhead_of(self.report(), baselines)
+    }
+
+    /// The resumable form of this cell: a [`SessionTask`] whose output
+    /// [`SessionJob::overhead_of`] converts exactly as
+    /// [`SessionJob::overhead`] would.
+    pub fn task(&self) -> SessionTask {
+        SessionTask::session(self.workload.app(), self.watchpoints.clone(), self.backend, self.cpu)
+    }
+
+    /// Convert a session result (from [`SessionJob::report`] or a
+    /// drained [`SessionTask`]) into this cell's overhead — the one
+    /// conversion both the threaded and the scheduled grid paths share.
+    ///
+    /// # Panics
+    ///
+    /// As [`SessionJob::overhead`].
+    pub fn overhead_of(
+        &self,
+        report: Result<SessionReport, DebugError>,
+        baselines: &BaselineCache,
+    ) -> Option<f64> {
         let base = baselines
             .get_or_run(self.workload.name(), self.workload.app(), self.cpu)
             .expect("kernel assembles");
-        match self.report() {
+        match report {
             Ok(report) => {
                 assert_eq!(report.error, None, "{}: session must run clean", self.workload.name());
                 Some(report.overhead_vs(&base))
@@ -105,15 +127,30 @@ impl SessionBatch {
     ///
     /// As [`SessionJob::overhead`].
     pub fn overheads(&self, baselines: &BaselineCache) -> Vec<Option<f64>> {
+        self.overheads_of(self.task().run_to_completion().into_batch(), baselines)
+    }
+
+    /// The resumable form of this batch: a [`SessionTask`] whose output
+    /// [`SessionBatch::overheads_of`] converts exactly as
+    /// [`SessionBatch::overheads`] would.
+    pub fn task(&self) -> SessionTask {
+        SessionTask::batch(self.workload.app(), self.watchpoints.clone(), self.backend, &self.cpus)
+    }
+
+    /// Convert batch results into per-member overheads — shared by the
+    /// threaded and the scheduled grid paths.
+    ///
+    /// # Panics
+    ///
+    /// As [`SessionJob::overhead`].
+    pub fn overheads_of(
+        &self,
+        reports: Result<Vec<SessionReport>, DebugError>,
+        baselines: &BaselineCache,
+    ) -> Vec<Option<f64>> {
         let base = baselines
             .get_or_run(self.workload.name(), self.workload.app(), self.cpus[0])
             .expect("kernel assembles");
-        let reports = run_session_batch(
-            self.workload.app(),
-            self.watchpoints.clone(),
-            self.backend,
-            &self.cpus,
-        );
         match reports {
             Ok(reports) => reports
                 .iter()
@@ -175,17 +212,40 @@ impl ObserverGroup {
     ///
     /// As [`SessionJob::overhead`].
     pub fn overheads(&self, baselines: &BaselineCache) -> Vec<(usize, Option<f64>)> {
+        self.overheads_of(self.task().run_to_completion().into_observe(), baselines)
+    }
+
+    /// The resumable form of this group: a [`SessionTask`] whose output
+    /// [`ObserverGroup::overheads_of`] converts exactly as
+    /// [`ObserverGroup::overheads`] would.
+    pub fn task(&self) -> SessionTask {
+        SessionTask::observer(
+            self.workload.app(),
+            self.members
+                .iter()
+                .map(|m| (m.backend, m.watchpoints.clone(), m.cpus.clone()))
+                .collect(),
+        )
+    }
+
+    /// Convert shared-pass results into per-cell overheads — shared by
+    /// the threaded and the scheduled grid paths.
+    ///
+    /// # Panics
+    ///
+    /// As [`SessionJob::overhead`].
+    pub fn overheads_of(
+        &self,
+        results: Result<Vec<Result<Vec<SessionReport>, DebugError>>, DebugError>,
+        baselines: &BaselineCache,
+    ) -> Vec<(usize, Option<f64>)> {
         let base = baselines
             .get_or_run(self.workload.name(), self.workload.app(), self.members[0].cpus[0])
             .expect("kernel assembles");
-        let mut batch = ObserverBatch::new(self.workload.app());
-        for m in &self.members {
-            batch.member(m.backend, m.watchpoints.clone(), m.cpus.clone());
-        }
         // The outer error is an assembly failure; watchpoint problems
         // (ill-formed, unsupported) come back per member below, exactly
         // as when each cell runs alone.
-        let results = batch.run().unwrap_or_else(|e| panic!("{}: {e}", self.workload.name()));
+        let results = results.unwrap_or_else(|e| panic!("{}: {e}", self.workload.name()));
         let mut out = Vec::new();
         for (m, result) in self.members.iter().zip(results) {
             match result {
@@ -251,16 +311,36 @@ impl PerturbGroup {
     ///
     /// As [`SessionJob::overhead`].
     pub fn overheads(&self, baselines: &BaselineCache) -> Vec<(usize, Option<f64>)> {
-        let base = baselines
-            .get_or_run(self.workload.name(), self.workload.app(), self.batches[0].cpus[0])
-            .expect("kernel assembles");
+        self.overheads_of(self.task().run_to_completion().into_group(), baselines)
+    }
+
+    /// The resumable form of this group: a [`SessionTask`] whose output
+    /// [`PerturbGroup::overheads_of`] converts exactly as
+    /// [`PerturbGroup::overheads`] would.
+    pub fn task(&self) -> SessionTask {
         let cpus: Vec<Vec<CpuConfig>> = self.batches.iter().map(|b| b.cpus.clone()).collect();
-        let grouped = run_perturbing_group(
+        SessionTask::perturbing_group(
             self.workload.app(),
             self.watchpoints.clone(),
             self.backend,
             &cpus,
-        );
+        )
+    }
+
+    /// Convert group results into per-cell overheads — shared by the
+    /// threaded and the scheduled grid paths.
+    ///
+    /// # Panics
+    ///
+    /// As [`SessionJob::overhead`].
+    pub fn overheads_of(
+        &self,
+        grouped: Result<Vec<Result<Vec<SessionReport>, DebugError>>, DebugError>,
+        baselines: &BaselineCache,
+    ) -> Vec<(usize, Option<f64>)> {
+        let base = baselines
+            .get_or_run(self.workload.name(), self.workload.app(), self.batches[0].cpus[0])
+            .expect("kernel assembles");
         let per_batch = match grouped {
             Ok(per_batch) => per_batch,
             Err(DebugError::Unsupported { .. } | DebugError::InvalidWatchpoint { .. }) => {
@@ -326,6 +406,41 @@ impl CellGroup {
         }
     }
 
+    /// The resumable form of this group — the unit the scheduled grid
+    /// spawns.
+    pub fn task(&self) -> SessionTask {
+        match self {
+            CellGroup::Replay(b) => b.task(),
+            CellGroup::Observe(g) => g.task(),
+            CellGroup::Fork(g) => g.task(),
+        }
+    }
+
+    /// Scatter a drained [`SessionTask`] output back to per-cell
+    /// overheads, byte-identical to [`CellGroup::overheads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `output`'s shape does not match this group (a caller
+    /// bug: the output must come from this group's
+    /// [`CellGroup::task`]), and as [`SessionJob::overhead`].
+    pub fn overheads_from(
+        &self,
+        output: TaskOutput,
+        baselines: &BaselineCache,
+    ) -> Vec<(usize, Option<f64>)> {
+        match self {
+            CellGroup::Replay(b) => b
+                .cells
+                .iter()
+                .copied()
+                .zip(b.overheads_of(output.into_batch(), baselines))
+                .collect(),
+            CellGroup::Observe(g) => g.overheads_of(output.into_observe(), baselines),
+            CellGroup::Fork(g) => g.overheads_of(output.into_group(), baselines),
+        }
+    }
+
     /// Original cell indices covered by this group.
     pub fn cells(&self) -> Vec<usize> {
         match self {
@@ -378,16 +493,40 @@ pub fn batch_session_jobs(jobs: &[SessionJob]) -> Vec<CellGroup> {
 /// # Panics
 ///
 /// Panics on any other value — a typo must fail loudly, not silently
-/// change which economy the grid exercises.
+/// change which economy the grid exercises ([`dise_env::env_flag`]).
 pub fn cow_fork_from_env() -> bool {
-    match std::env::var("DISE_COW_FORK") {
-        Err(_) => true,
-        Ok(v) => match v.as_str() {
-            "" | "1" | "true" | "on" => true,
-            "0" | "false" | "off" => false,
-            other => panic!("DISE_COW_FORK must be 0/1/true/false/on/off, got {other:?}"),
-        },
-    }
+    dise_env::env_flag("DISE_COW_FORK", true)
+}
+
+/// Parse the `DISE_SCHED` knob: unset, empty, `1`, `true`, or `on`
+/// (the default) run the grid's jobs as [`SessionTask`] continuations
+/// on the cooperative [`Scheduler`]; `0`, `false`, or `off` keep the
+/// pre-scheduler thread-per-group pool. Both paths are byte-identical
+/// (the scheduler determinism suite pins them against each other).
+///
+/// # Panics
+///
+/// Panics on any other value ([`dise_env::env_flag`]).
+pub fn sched_from_env() -> bool {
+    dise_env::env_flag("DISE_SCHED", true)
+}
+
+/// Default scheduler slice budget (dynamic instructions per grant):
+/// large enough that slicing overhead is noise, small enough that a
+/// full grid still preempts hundreds of times.
+pub const DEFAULT_SLICE: u64 = 65_536;
+
+/// Parse the `DISE_SLICE` knob: the scheduler's per-grant instruction
+/// budget, [`DEFAULT_SLICE`] when unset. Results are byte-identical
+/// for every value (the determinism suite sweeps it); the knob trades
+/// scheduling overhead against fairness granularity.
+///
+/// # Panics
+///
+/// Panics on an unparsable or zero value ([`dise_env::env_number`];
+/// the [`Scheduler`] rejects zero-instruction slices).
+pub fn slice_from_env() -> u64 {
+    env_number("DISE_SLICE", DEFAULT_SLICE)
 }
 
 /// [`batch_session_jobs`] with the copy-on-write fork knob passed
@@ -505,24 +644,74 @@ pub fn run_overhead_grid(
     baselines: &BaselineCache,
     batching: bool,
 ) -> Vec<Option<f64>> {
-    if !batching {
-        return run_grid_with(cells, workers, |job| job.overhead(baselines));
-    }
-    let groups = batch_session_jobs(cells);
-    let grouped = run_grid_with(&groups, workers, |g| g.overheads(baselines));
+    let sched = sched_from_env().then(slice_from_env);
+    run_overhead_grid_with(cells, workers, baselines, batching, sched)
+}
+
+/// [`run_overhead_grid`] with the scheduler knob passed explicitly:
+/// `None` uses the pre-scheduler thread-per-group pool, `Some(slice)`
+/// multiplexes the grid's jobs as [`SessionTask`] continuations over
+/// `workers` scheduler threads with the given per-grant instruction
+/// budget. Output is byte-identical either way (and for every `slice`)
+/// — the determinism suite pins it.
+pub fn run_overhead_grid_with(
+    cells: &[SessionJob],
+    workers: usize,
+    baselines: &BaselineCache,
+    batching: bool,
+    sched: Option<u64>,
+) -> Vec<Option<f64>> {
+    let Some(slice) = sched else {
+        if !batching {
+            return run_grid_with(cells, workers, |job| job.overhead(baselines));
+        }
+        let groups = batch_session_jobs(cells);
+        let grouped = run_grid_with(&groups, workers, |g| g.overheads(baselines));
+        let mut out = vec![None; cells.len()];
+        for tagged in grouped {
+            for (cell, o) in tagged {
+                out[cell] = o;
+            }
+        }
+        return out;
+    };
+    // The scheduled path: every group (or bare cell when batching is
+    // off) becomes one continuation; task ids are spawn order, so the
+    // drained outputs scatter back deterministically regardless of
+    // worker count, slice budget, or completion order.
     let mut out = vec![None; cells.len()];
-    for tagged in grouped {
-        for (cell, o) in tagged {
-            out[cell] = o;
+    if !batching {
+        let scheduler = Scheduler::new(slice);
+        for job in cells {
+            scheduler.spawn(job.task());
+        }
+        for (id, output) in scheduler.drain(workers) {
+            out[id] = cells[id].overhead_of(
+                output
+                    .into_batch()
+                    .map(|mut reports| reports.pop().expect("a session task is a batch of one")),
+                baselines,
+            );
+        }
+    } else {
+        let groups = batch_session_jobs(cells);
+        let scheduler = Scheduler::new(slice);
+        for group in &groups {
+            scheduler.spawn(group.task());
+        }
+        for (id, output) in scheduler.drain(workers) {
+            for (cell, o) in groups[id].overheads_from(output, baselines) {
+                out[cell] = o;
+            }
         }
     }
     out
 }
 
 /// Parse a numeric environment knob (`DISE_ITERS`, `DISE_JOBS`, …),
-/// `default` when unset — the one shared parser for every binary and
-/// harness, so a typo always fails loudly instead of silently falling
-/// back to the default.
+/// `default` when unset — the loud-on-typo contract, shared with every
+/// crate through [`dise_env::env_number`] (re-exported here because the
+/// bench harness is where most knobs are read).
 ///
 /// # Panics
 ///
@@ -531,13 +720,7 @@ pub fn env_number<T: std::str::FromStr>(name: &str, default: T) -> T
 where
     T::Err: std::fmt::Display,
 {
-    match std::env::var(name) {
-        Ok(s) => s.trim().parse().unwrap_or_else(|e| panic!("invalid {name} value `{s}`: {e}")),
-        Err(std::env::VarError::NotPresent) => default,
-        Err(std::env::VarError::NotUnicode(s)) => {
-            panic!("invalid {name} value {s:?}: not unicode")
-        }
-    }
+    dise_env::env_number(name, default)
 }
 
 /// Worker-pool size from the `DISE_JOBS` environment variable, or the

@@ -32,10 +32,21 @@
 //! of these are byte-identical to the unbatched path, enforced by the
 //! grid determinism tests, and the pass/load savings are pinned by
 //! execution-count assertions (`tests/execution_counts.rs`).
+//!
+//! By default (`DISE_SCHED`, see [`grid::sched_from_env`]) the worker
+//! pool no longer pins one group to one thread: every group becomes a
+//! resumable [`dise_debug::SessionTask`] and `DISE_JOBS` threads drain
+//! one cooperative [`dise_debug::Scheduler`], each session granted
+//! `DISE_SLICE`-instruction slices with least-progress-first priority.
+//! Output stays byte-identical across `DISE_SCHED=0/1`, every worker
+//! count and every slice budget (`tests/scheduler.rs`), and the
+//! [`server`] module serves arbitrary job lists through the same
+//! machinery (`session_server` bin).
 
 mod experiments;
 pub mod grid;
 pub mod paper;
+pub mod server;
 
 pub use experiments::{
     baseline_table, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sensitivity, table1, table2,
@@ -43,8 +54,9 @@ pub use experiments::{
 };
 pub use grid::{
     batch_session_jobs, batch_session_jobs_with, configured_workers, cow_fork_from_env, env_number,
-    run_grid, run_grid_with, run_overhead_grid, CellGroup, ObserverGroup, ObserverMember,
-    PerturbGroup, PerturbSubBatch, SessionBatch, SessionJob,
+    run_grid, run_grid_with, run_overhead_grid, run_overhead_grid_with, sched_from_env,
+    slice_from_env, CellGroup, ObserverGroup, ObserverMember, PerturbGroup, PerturbSubBatch,
+    SessionBatch, SessionJob, DEFAULT_SLICE,
 };
 
 /// Render one figure/table section with a heading.

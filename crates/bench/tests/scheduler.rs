@@ -1,0 +1,165 @@
+//! The cooperative scheduler's contract with the grid and the server:
+//! multiplexing sessions as sliced [`SessionTask`] continuations must
+//! be invisible in every output byte, for every worker count and every
+//! slice budget — and it must buy the liveness it promises (≥1000
+//! sessions concurrently in flight on one core, no session starved
+//! beyond the fairness pin).
+
+use dise_bench::server::{parse_jobs, serve};
+use dise_bench::{run_overhead_grid_with, SessionJob, DEFAULT_SLICE};
+use dise_cpu::CpuConfig;
+use dise_debug::{BackendKind, BaselineCache, Scheduler, SessionTask};
+use dise_workloads::{all, transition_cost_sweep, WatchKind};
+
+/// A mixed grid: perturbing cells that group into copy-on-write forks
+/// (transition-cost sweep per kernel), observing cells that share a
+/// pass, and singleton cells — the same shapes the experiments submit.
+fn mixed_cells(iters: u32) -> Vec<SessionJob> {
+    let mut cells = Vec::new();
+    for w in all(iters) {
+        for (_, cpu) in transition_cost_sweep(CpuConfig::default()) {
+            cells.push(SessionJob::new(
+                w.clone(),
+                vec![w.watchpoint(WatchKind::Hot)],
+                BackendKind::dise_default(),
+                cpu,
+            ));
+        }
+        for backend in
+            [BackendKind::VirtualMemory, BackendKind::hw4(), BackendKind::DiseComparators]
+        {
+            cells.push(SessionJob::new(
+                w.clone(),
+                vec![w.watchpoint(WatchKind::Cold)],
+                backend,
+                CpuConfig::default(),
+            ));
+        }
+        cells.push(SessionJob::new(
+            w.clone(),
+            vec![w.watchpoint(WatchKind::Range)],
+            BackendKind::dise_default(),
+            CpuConfig::default(),
+        ));
+    }
+    cells
+}
+
+/// A tiny deterministic PRNG for budget fuzzing (no external deps, no
+/// wall-clock seed — failures must reproduce).
+fn lcg_budgets(seed: u64, n: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            1 + (state >> 33) % 4096
+        })
+        .collect()
+}
+
+/// The acceptance bar: the grid is byte-identical with the scheduler
+/// off (`DISE_SCHED=0`'s path) and on, under serial and pooled workers,
+/// batched and unbatched, for random slice budgets and the default.
+#[test]
+fn grid_is_identical_with_and_without_the_scheduler() {
+    let cells = mixed_cells(5);
+    let baselines = BaselineCache::new();
+    let mut budgets = lcg_budgets(0x5EED, 3);
+    budgets.push(DEFAULT_SLICE);
+    budgets.push(u64::MAX);
+    for batching in [false, true] {
+        let reference = run_overhead_grid_with(&cells, 1, &baselines, batching, None);
+        for workers in [1, 4] {
+            let legacy = run_overhead_grid_with(&cells, workers, &baselines, batching, None);
+            assert_eq!(
+                reference, legacy,
+                "pre-scheduler grid must not depend on workers (batching={batching})"
+            );
+            for &slice in &budgets {
+                let sched =
+                    run_overhead_grid_with(&cells, workers, &baselines, batching, Some(slice));
+                assert_eq!(
+                    reference, sched,
+                    "scheduler changed the grid (batching={batching}, workers={workers}, \
+                     slice={slice})"
+                );
+            }
+        }
+    }
+}
+
+/// The headline liveness claim: a thousand-session queue is *all* in
+/// flight at once on a single worker — every session admitted and
+/// making progress long before the first long one finishes — and the
+/// fairness pin holds (no session waits more than 2×fleet slices
+/// between grants).
+#[test]
+fn a_thousand_sessions_are_concurrently_in_flight_on_one_worker() {
+    let fleet = 1_100;
+    let workloads = all(2);
+    let sched = Scheduler::new(64);
+    for i in 0..fleet {
+        let w = &workloads[i % workloads.len()];
+        sched.spawn(SessionTask::session(
+            w.app(),
+            vec![w.watchpoint(WatchKind::Hot)],
+            BackendKind::dise_default(),
+            CpuConfig::default(),
+        ));
+    }
+    let outputs = sched.drain(1);
+    let stats = sched.stats();
+    assert_eq!(outputs.len(), fleet);
+    assert_eq!(stats.completed, fleet);
+    assert!(
+        stats.max_in_flight >= 1_000,
+        "expected >=1000 sessions concurrently in flight, saw {}",
+        stats.max_in_flight
+    );
+    assert!(stats.max_wait_slices <= 2 * fleet as u64, "fairness pin violated: {stats:?}");
+    for (id, out) in outputs {
+        let reports = out.into_batch().unwrap_or_else(|e| panic!("session {id} failed: {e}"));
+        assert_eq!(reports.len(), 1, "a session task is a batch of one");
+    }
+}
+
+const SERVER_JOBS: &str = include_str!("data/server_smoke.jobs");
+const SERVER_GOLDEN: &str = include_str!("data/server_smoke.golden");
+
+/// The server transcript is byte-identical for every worker count and
+/// slice budget, matches the committed golden file, streams exactly one
+/// line per session, and honours `after=` gating (the dependent's line
+/// streams after its dependency's).
+#[test]
+fn server_transcript_matches_golden_for_any_workers_and_slice() {
+    let jobs = parse_jobs(SERVER_JOBS).expect("committed job list parses");
+    for workers in [1, 4] {
+        for slice in [64, 512, DEFAULT_SLICE] {
+            let streamed = std::sync::Mutex::new(Vec::new());
+            let outcome = serve(&jobs, workers, slice, |line| {
+                streamed.lock().unwrap().push(line.to_string())
+            });
+            assert_eq!(
+                outcome.transcript, SERVER_GOLDEN,
+                "transcript diverged from tests/data/server_smoke.golden \
+                 (workers={workers}, slice={slice})"
+            );
+            let streamed = streamed.into_inner().unwrap();
+            assert_eq!(streamed.len(), jobs.len(), "one streamed line per session");
+            for (dependent, dep) in
+                jobs.iter().filter_map(|j| j.after.as_ref().map(|d| (&j.name, d)))
+            {
+                let pos = |name: &str| {
+                    streamed
+                        .iter()
+                        .position(|l| l.split_whitespace().nth(1) == Some(name))
+                        .unwrap_or_else(|| panic!("no streamed line for {name}"))
+                };
+                assert!(
+                    pos(dep) < pos(dependent),
+                    "{dependent} streamed before its dependency {dep}"
+                );
+            }
+        }
+    }
+}

@@ -156,8 +156,10 @@ pub(crate) fn classify(changed: bool, pred_ok: bool, wrote_watched: bool) -> Tra
     }
 }
 
-/// Internal interface every backend implements.
-pub(crate) trait BackendImpl {
+/// Internal interface every backend implements. `Send` because a
+/// [`crate::SessionTask`] (which owns one mid-run) migrates between
+/// scheduler worker threads across slices.
+pub(crate) trait BackendImpl: Send {
     /// Produce the program image the session will run: assemble the
     /// application and apply any static transformation or appendices.
     fn build_program(

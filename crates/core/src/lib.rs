@@ -62,9 +62,11 @@ mod backend;
 mod breakpoint;
 mod iwatcher;
 mod region;
+mod sched;
 mod session;
 mod stats;
 mod strategy;
+mod task;
 mod watch;
 
 pub use app::Application;
@@ -72,6 +74,7 @@ pub use backend::BackendKind;
 pub use breakpoint::{Breakpoint, BreakpointBackend, BreakpointReport, BreakpointSession};
 pub use iwatcher::{Monitor, MonitoredRegion};
 pub use region::DebugRegion;
+pub use sched::{max_wait_slices, preemptions, slices_granted, SchedStats, Scheduler};
 pub use session::{
     checkpoint_forks, functional_passes, image_loads, run_baseline, run_perturbing_group,
     run_session, run_session_batch, BaselineCache, DebugError, MachineCheckpoint, ObserverBatch,
@@ -79,4 +82,5 @@ pub use session::{
 };
 pub use stats::{Transition, TransitionStats};
 pub use strategy::{CheckKind, DiseStrategy, MultiMatch};
+pub use task::{SessionTask, Step, TaskOutput, TaskProgress};
 pub use watch::{Condition, WatchExpr, WatchState, WatchValue, Watchpoint};

@@ -8,17 +8,19 @@ use std::sync::Mutex;
 
 use dise_asm::AsmError;
 use dise_cpu::{
-    CpuConfig, Event, ExecError, Executor, ExecutorCheckpoint, Machine, RunStats, TimingBatch,
+    CpuConfig, Event, ExecError, Executor, ExecutorCheckpoint, ForkConfigError, Machine, RunStats,
+    TimingBatch,
 };
 use dise_engine::EngineError;
 
-use crate::backend::{BackendImpl, ObserverImpl};
+use crate::backend::BackendImpl;
+use crate::task::SessionTask;
 use crate::{Application, BackendKind, TransitionStats, WatchExpr, WatchState, Watchpoint};
 
 /// Functional session passes driven since process start (one per driven
 /// `Executor` run: lone sessions, timing batches, and shared observer
 /// passes each count once). See [`functional_passes`].
-static FUNCTIONAL_PASSES: AtomicU64 = AtomicU64::new(0);
+pub(crate) static FUNCTIONAL_PASSES: AtomicU64 = AtomicU64::new(0);
 
 /// Total functional session passes executed by this process — one per
 /// [`Session`] run, one per [`run_session_batch`] (however many timing
@@ -37,11 +39,11 @@ pub fn functional_passes() -> u64 {
 /// start (one per session established through any entry point; the
 /// denominator the checkpoint/fork economy shrinks). See
 /// [`image_loads`].
-static IMAGE_LOADS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static IMAGE_LOADS: AtomicU64 = AtomicU64::new(0);
 
 /// Copy-on-write machine forks taken since process start (one per
 /// [`run_perturbing_group`] sub-batch). See [`checkpoint_forks`].
-static CHECKPOINT_FORKS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static CHECKPOINT_FORKS: AtomicU64 = AtomicU64::new(0);
 
 /// Total program images assembled and loaded into a fresh machine by
 /// this process — one per [`Session`], [`run_session_batch`] and
@@ -85,6 +87,10 @@ pub enum DebugError {
         /// Why.
         reason: String,
     },
+    /// A cross-configuration fork was requested from a template that had
+    /// already run ([`Executor::fork_with_config`] shares pre-run
+    /// templates only — see [`ForkConfigError`]).
+    Fork(ForkConfigError),
 }
 
 impl fmt::Display for DebugError {
@@ -98,6 +104,7 @@ impl fmt::Display for DebugError {
             DebugError::InvalidWatchpoint { reason } => {
                 write!(f, "invalid watchpoint: {reason}")
             }
+            DebugError::Fork(e) => write!(f, "cross-configuration fork failed: {e}"),
         }
     }
 }
@@ -107,6 +114,12 @@ impl std::error::Error for DebugError {}
 impl From<AsmError> for DebugError {
     fn from(e: AsmError) -> DebugError {
         DebugError::Asm(e)
+    }
+}
+
+impl From<ForkConfigError> for DebugError {
+    fn from(e: ForkConfigError) -> DebugError {
+        DebugError::Fork(e)
     }
 }
 
@@ -193,31 +206,7 @@ pub fn run_session_batch(
     backend: BackendKind,
     cpus: &[CpuConfig],
 ) -> Result<Vec<SessionReport>, DebugError> {
-    validate_watchpoints(&watchpoints)?;
-    let mut backend = backend.instantiate();
-    let prog = backend.build_program(app, &watchpoints)?;
-    let cfgs: Vec<CpuConfig> = cpus.iter().map(|&c| backend.cpu_config(c)).collect();
-    let Some((first, rest)) = cfgs.split_first() else {
-        return Ok(Vec::new());
-    };
-    assert!(
-        rest.iter().all(|c| c.engine == first.engine),
-        "batched sessions must agree on the functional (DISE engine) configuration"
-    );
-    let mut exec = Executor::from_program(&prog, *first);
-    IMAGE_LOADS.fetch_add(1, Ordering::Relaxed);
-    backend.configure(&mut exec, &watchpoints)?;
-    let mut watch = WatchState::new(&watchpoints, exec.mem());
-    let mut timings = TimingBatch::new(&cfgs);
-    let mut stats = TransitionStats::default();
-    FUNCTIONAL_PASSES.fetch_add(1, Ordering::Relaxed);
-    let error = drive(&mut exec, &mut timings, backend.as_mut(), &mut watch, &mut stats, u64::MAX);
-    let text_bytes = prog.text_bytes();
-    Ok(timings
-        .finish()
-        .into_iter()
-        .map(|run| SessionReport { run, transitions: stats, error, text_bytes })
-        .collect())
+    SessionTask::batch(app, watchpoints, backend, cpus).run_to_completion().into_batch()
 }
 
 /// Run a whole *perturbing* cell group — one workload, one watchpoint
@@ -262,60 +251,16 @@ pub fn run_perturbing_group(
     backend: BackendKind,
     batches: &[Vec<CpuConfig>],
 ) -> Result<Vec<Result<Vec<SessionReport>, DebugError>>, DebugError> {
-    validate_watchpoints(&watchpoints)?;
-    let mut built = backend.instantiate();
-    let prog = built.build_program(app, &watchpoints)?;
-    let text_bytes = prog.text_bytes();
-    // The warmed template: image loaded, PC at entry, SP set, never
-    // stepped. Its engine configuration is irrelevant — every sub-batch
-    // forks with its own capacities.
-    let mut template: Option<Executor> = None;
-    let mut out = Vec::with_capacity(batches.len());
-    for cpus in batches {
-        let cfgs: Vec<CpuConfig> = cpus.iter().map(|&c| built.cpu_config(c)).collect();
-        let Some((first, rest)) = cfgs.split_first() else {
-            out.push(Ok(Vec::new()));
-            continue;
-        };
-        assert!(
-            rest.iter().all(|c| c.engine == first.engine),
-            "batched sessions must agree on the functional (DISE engine) configuration"
-        );
-        let template = match &mut template {
-            Some(t) => t,
-            None => {
-                let t = Executor::from_program(&prog, *first);
-                IMAGE_LOADS.fetch_add(1, Ordering::Relaxed);
-                template.insert(t)
-            }
-        };
-        let mut exec = template.fork_with_config(*first);
-        CHECKPOINT_FORKS.fetch_add(1, Ordering::Relaxed);
-        let mut backend = built.boxed_clone();
-        if let Err(e) = backend.configure(&mut exec, &watchpoints) {
-            out.push(Err(e));
-            continue;
-        }
-        let mut watch = WatchState::new(&watchpoints, exec.mem());
-        let mut timings = TimingBatch::new(&cfgs);
-        let mut stats = TransitionStats::default();
-        FUNCTIONAL_PASSES.fetch_add(1, Ordering::Relaxed);
-        let error =
-            drive(&mut exec, &mut timings, backend.as_mut(), &mut watch, &mut stats, u64::MAX);
-        out.push(Ok(timings
-            .finish()
-            .into_iter()
-            .map(|run| SessionReport { run, transitions: stats, error, text_bytes })
-            .collect()));
-    }
-    Ok(out)
+    SessionTask::perturbing_group(app, watchpoints, backend, batches)
+        .run_to_completion()
+        .into_group()
 }
 
 /// Reject watchpoint specifications that no backend can give meaning
 /// to, so they fail loudly at session setup instead of silently never
 /// firing (`Condition` compares scalars; a `Range` value is a byte
 /// snapshot).
-fn validate_watchpoints(wps: &[Watchpoint]) -> Result<(), DebugError> {
+pub(crate) fn validate_watchpoints(wps: &[Watchpoint]) -> Result<(), DebugError> {
     for w in wps {
         if w.condition.is_some() && matches!(w.expr, WatchExpr::Range { .. }) {
             return Err(DebugError::InvalidWatchpoint {
@@ -464,71 +409,9 @@ impl<'a> ObserverBatch<'a> {
     /// as if each had been run on its own, and the rest still share the
     /// pass.
     pub fn run(self) -> Result<Vec<Result<Vec<SessionReport>, DebugError>>, DebugError> {
-        let prog = self.app.program()?;
-
-        struct Live {
-            member: usize,
-            observer: Box<dyn ObserverImpl>,
-            watch: WatchState,
-            timings: TimingBatch,
-            stats: TransitionStats,
-        }
-
-        let mut results: Vec<Result<Vec<SessionReport>, DebugError>> =
-            self.members.iter().map(|_| Ok(Vec::new())).collect();
-        // The executor's configuration only matters functionally through
-        // its DISE engine capacities, and no observer installs
-        // productions; any member's configuration (or the default) loads
-        // the same machine.
-        let cfg = self.members.iter().find_map(|m| m.cpus.first()).copied().unwrap_or_default();
-        let mut exec = Executor::from_program(&prog, cfg);
-        IMAGE_LOADS.fetch_add(1, Ordering::Relaxed);
-        let mut live: Vec<Live> = Vec::new();
-        for (i, m) in self.members.iter().enumerate() {
-            let admitted = validate_watchpoints(&m.watchpoints)
-                .and_then(|()| m.backend.instantiate_observer(&m.watchpoints));
-            match admitted {
-                Ok(observer) => live.push(Live {
-                    member: i,
-                    observer,
-                    watch: WatchState::new(&m.watchpoints, exec.mem()),
-                    timings: TimingBatch::new(&m.cpus),
-                    stats: TransitionStats::default(),
-                }),
-                Err(e) => results[i] = Err(e),
-            }
-        }
-        if live.is_empty() {
-            return Ok(results);
-        }
-
-        FUNCTIONAL_PASSES.fetch_add(1, Ordering::Relaxed);
-        let mut error = None;
-        while !exec.is_halted() {
-            let e = exec.step();
-            for l in &mut live {
-                l.timings.consume(&e);
-                if let Some(t) = l.observer.observe(&e, exec.mem(), &mut l.watch, &mut l.stats) {
-                    l.stats.count(t);
-                    if t.is_spurious() {
-                        l.timings.debugger_stall();
-                    }
-                }
-            }
-            if let Some(Event::Error(err)) = e.event {
-                error = Some(err);
-            }
-        }
-        let text_bytes = prog.text_bytes();
-        for l in live {
-            results[l.member] = Ok(l
-                .timings
-                .finish()
-                .into_iter()
-                .map(|run| SessionReport { run, transitions: l.stats, error, text_bytes })
-                .collect());
-        }
-        Ok(results)
+        let members =
+            self.members.into_iter().map(|m| (m.backend, m.watchpoints, m.cpus)).collect();
+        SessionTask::observer(self.app, members).run_to_completion().into_observe()
     }
 }
 
@@ -541,7 +424,7 @@ impl<'a> ObserverBatch<'a> {
 /// ([`FUNCTIONAL_PASSES`]) — `drive` may legally be called many times
 /// on one session (budgeted stepping, checkpoint rings) without the
 /// session executing more than one pass.
-fn drive(
+pub(crate) fn drive(
     exec: &mut Executor,
     timings: &mut TimingBatch,
     backend: &mut dyn BackendImpl,
@@ -680,15 +563,9 @@ const CHECKPOINT_INTERVAL: u64 = 4096;
 /// checkpoints [`Session`] keeps in its ring while running. Unset,
 /// empty, or `0` disables the ring (the default — no cost unless asked
 /// for). Anything non-numeric panics loudly rather than silently
-/// dropping the feature the user asked for.
+/// dropping the feature the user asked for ([`dise_env::env_number`]).
 fn checkpoint_ring_from_env() -> usize {
-    match std::env::var("DISE_CHECKPOINTS") {
-        Err(_) => 0,
-        Ok(v) if v.is_empty() => 0,
-        Ok(v) => v
-            .parse::<usize>()
-            .unwrap_or_else(|_| panic!("DISE_CHECKPOINTS must be a number, got {v:?}")),
-    }
+    dise_env::env_number("DISE_CHECKPOINTS", 0)
 }
 
 /// An interactive debugging session: an application, a set of

@@ -1,0 +1,862 @@
+//! Resumable session execution: every run-to-completion entry point in
+//! [`crate::session`], refactored into a [`SessionTask`] state machine
+//! that can be driven one bounded slice at a time.
+//!
+//! A task is a *continuation*: [`SessionTask::poll`] advances it by at
+//! most `budget` dynamic instructions and reports
+//! [`Step::Yielded`] (more to do), [`Step::Blocked`] (parked on an
+//! external gate), or [`Step::Done`] (the finished [`TaskOutput`]).
+//! Because the simulator is deterministic and PR 7 proved budgeted
+//! stepping slicing-invariant, a task polled under *any* sequence of
+//! budgets produces the byte-identical `Exec` stream, reports, and
+//! instrumentation counters as one `u64::MAX` run — which is what lets
+//! [`crate::Scheduler`] multiplex thousands of sessions over a few
+//! worker threads without perturbing a single result (the grid
+//! determinism suites in `dise-bench` hold it to that).
+//!
+//! The legacy entry points ([`crate::run_session_batch`],
+//! [`crate::run_perturbing_group`], [`crate::ObserverBatch::run`]) are
+//! now thin wrappers over [`SessionTask::run_to_completion`], so the
+//! scheduled and unscheduled paths share one implementation and cannot
+//! drift apart.
+//!
+//! ## Lifecycle
+//!
+//! ```text
+//! spawn ──▶ Pending ──(first poll: admission)──▶ Running ──▶ Done
+//!              │                                    ▲
+//!              └── gate set ──▶ Blocked ──unblock───┘
+//! ```
+//!
+//! Admission — watchpoint validation, backend instantiation,
+//! `build_program`, the image load — is *lazy*: it happens at the first
+//! granted slice, not at construction. A spawned-but-unstarted task is
+//! just plain data (an [`Application`] and some configurations), which
+//! is how a scheduler holds >1000 concurrently in-flight sessions
+//! cheaply on a single core.
+
+use std::sync::atomic::Ordering;
+
+use dise_asm::Program;
+use dise_cpu::{CpuConfig, Event, ExecError, Executor, TimingBatch};
+
+use crate::backend::{BackendImpl, ObserverImpl};
+use crate::session::{
+    drive, validate_watchpoints, DebugError, SessionReport, CHECKPOINT_FORKS, FUNCTIONAL_PASSES,
+    IMAGE_LOADS,
+};
+use crate::{Application, BackendKind, TransitionStats, WatchState, Watchpoint};
+
+/// What one [`SessionTask::poll`] call reports.
+#[derive(Debug)]
+pub enum Step {
+    /// The budget ran out with work remaining; poll again to continue.
+    Yielded(TaskProgress),
+    /// The task is parked behind a gate ([`SessionTask::block`] /
+    /// `Scheduler::spawn_after`) and consumed none of the budget; it
+    /// must be unblocked before it can run.
+    Blocked(String),
+    /// The task finished; it must not be polled again.
+    Done(TaskOutput),
+}
+
+/// Virtual progress of a yielded task — the scheduler's priority key
+/// (least-progressed first, so long sessions cannot starve short ones).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaskProgress {
+    /// Dynamic instructions this task has retired so far, across every
+    /// machine it has driven (a perturbing group accumulates over its
+    /// sub-batch forks).
+    pub instructions: u64,
+}
+
+/// The finished result of a [`SessionTask`], shaped exactly like the
+/// run-to-completion entry point the task wraps.
+#[derive(Debug)]
+pub enum TaskOutput {
+    /// From [`SessionTask::batch`] / [`SessionTask::session`]: what
+    /// [`crate::run_session_batch`] returns.
+    Batch(Result<Vec<SessionReport>, DebugError>),
+    /// From [`SessionTask::perturbing_group`]: what
+    /// [`crate::run_perturbing_group`] returns.
+    Group(Result<Vec<Result<Vec<SessionReport>, DebugError>>, DebugError>),
+    /// From [`SessionTask::observer`]: what
+    /// [`crate::ObserverBatch::run`] returns.
+    Observe(Result<Vec<Result<Vec<SessionReport>, DebugError>>, DebugError>),
+}
+
+impl TaskOutput {
+    /// Unwrap a [`TaskOutput::Batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the task was not constructed by
+    /// [`SessionTask::batch`] or [`SessionTask::session`] — a shape
+    /// mismatch is a caller bug, never data-dependent.
+    pub fn into_batch(self) -> Result<Vec<SessionReport>, DebugError> {
+        match self {
+            TaskOutput::Batch(r) => r,
+            other => panic!("expected a batch task output, got {}", other.shape()),
+        }
+    }
+
+    /// Unwrap a [`TaskOutput::Group`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the task was not constructed by
+    /// [`SessionTask::perturbing_group`].
+    pub fn into_group(self) -> Result<Vec<Result<Vec<SessionReport>, DebugError>>, DebugError> {
+        match self {
+            TaskOutput::Group(r) => r,
+            other => panic!("expected a perturbing-group task output, got {}", other.shape()),
+        }
+    }
+
+    /// Unwrap a [`TaskOutput::Observe`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the task was not constructed by
+    /// [`SessionTask::observer`].
+    pub fn into_observe(self) -> Result<Vec<Result<Vec<SessionReport>, DebugError>>, DebugError> {
+        match self {
+            TaskOutput::Observe(r) => r,
+            other => panic!("expected an observer task output, got {}", other.shape()),
+        }
+    }
+
+    fn shape(&self) -> &'static str {
+        match self {
+            TaskOutput::Batch(_) => "batch",
+            TaskOutput::Group(_) => "perturbing group",
+            TaskOutput::Observe(_) => "observer",
+        }
+    }
+}
+
+/// A resumable debugging-session continuation: one of the three
+/// run-to-completion shapes ([`crate::run_session_batch`],
+/// [`crate::run_perturbing_group`], [`crate::ObserverBatch`]) driven a
+/// bounded number of instructions per [`SessionTask::poll`].
+pub struct SessionTask {
+    gate: Option<String>,
+    progress: u64,
+    state: State,
+}
+
+enum State {
+    PendingBatch(BatchSpec),
+    Batch(Pass),
+    PendingGroup(GroupSpec),
+    Group(Box<GroupRun>),
+    PendingObserve(ObserveSpec),
+    Observe(ObserveRun),
+    Finished,
+}
+
+struct BatchSpec {
+    app: Application,
+    watchpoints: Vec<Watchpoint>,
+    backend: BackendKind,
+    cpus: Vec<CpuConfig>,
+}
+
+struct GroupSpec {
+    app: Application,
+    watchpoints: Vec<Watchpoint>,
+    backend: BackendKind,
+    batches: Vec<Vec<CpuConfig>>,
+}
+
+struct ObserveSpec {
+    app: Application,
+    members: Vec<(BackendKind, Vec<Watchpoint>, Vec<CpuConfig>)>,
+}
+
+/// One live functional pass: the machine, its fanned-out timing models,
+/// the backend, and the debugger bookkeeping — everything
+/// [`crate::session::drive`] needs, owned so it survives between polls.
+struct Pass {
+    exec: Executor,
+    timings: TimingBatch,
+    backend: Box<dyn BackendImpl>,
+    watch: WatchState,
+    stats: TransitionStats,
+    error: Option<ExecError>,
+    text_bytes: u64,
+}
+
+impl Pass {
+    /// Drive at most `budget` further instructions; returns how many
+    /// actually retired (the caller's progress/budget accounting).
+    fn drive_budget(&mut self, budget: u64) -> u64 {
+        let before = self.exec.instructions();
+        let error = drive(
+            &mut self.exec,
+            &mut self.timings,
+            self.backend.as_mut(),
+            &mut self.watch,
+            &mut self.stats,
+            budget,
+        );
+        if error.is_some() {
+            // The machine halts on its first error, so at most one
+            // slice ever reports one.
+            self.error = error;
+        }
+        self.exec.instructions() - before
+    }
+
+    fn done(&self) -> bool {
+        self.exec.is_halted()
+    }
+
+    fn finish(self) -> Vec<SessionReport> {
+        let (stats, error, text_bytes) = (self.stats, self.error, self.text_bytes);
+        self.timings
+            .finish()
+            .into_iter()
+            .map(|run| SessionReport { run, transitions: stats, error, text_bytes })
+            .collect()
+    }
+}
+
+/// The perturbing-group continuation: the built backend and program
+/// (static work, done once at admission), the warmed copy-on-write
+/// template, and the cursor over sub-batches. Exactly
+/// `run_perturbing_group`'s loop, with the current sub-batch's pass
+/// lifted into a resumable field.
+struct GroupRun {
+    built: Box<dyn BackendImpl>,
+    prog: Program,
+    text_bytes: u64,
+    watchpoints: Vec<Watchpoint>,
+    batches: Vec<Vec<CpuConfig>>,
+    /// The warmed template: image loaded, PC at entry, SP set, never
+    /// stepped. Its engine configuration is irrelevant — every
+    /// sub-batch forks with its own capacities.
+    template: Option<Executor>,
+    next: usize,
+    current: Option<Pass>,
+    out: Vec<Result<Vec<SessionReport>, DebugError>>,
+}
+
+impl GroupRun {
+    /// Advance by at most `budget` instructions; `Some(results)` when
+    /// the whole group has finished.
+    fn advance(
+        &mut self,
+        mut budget: u64,
+        progress: &mut u64,
+    ) -> Option<Vec<Result<Vec<SessionReport>, DebugError>>> {
+        loop {
+            if let Some(pass) = self.current.as_mut() {
+                let ran = pass.drive_budget(budget);
+                *progress += ran;
+                budget -= ran;
+                if !pass.done() {
+                    return None; // budget exhausted mid-sub-batch
+                }
+                let pass = self.current.take().expect("current pass present");
+                self.out.push(Ok(pass.finish()));
+            }
+            let Some(cpus) = self.batches.get(self.next) else {
+                return Some(std::mem::take(&mut self.out));
+            };
+            self.next += 1;
+            let cfgs: Vec<CpuConfig> = cpus.iter().map(|&c| self.built.cpu_config(c)).collect();
+            let Some((first, rest)) = cfgs.split_first() else {
+                self.out.push(Ok(Vec::new()));
+                continue;
+            };
+            assert!(
+                rest.iter().all(|c| c.engine == first.engine),
+                "batched sessions must agree on the functional (DISE engine) configuration"
+            );
+            let template = match &mut self.template {
+                Some(t) => t,
+                None => {
+                    let t = Executor::from_program(&self.prog, *first);
+                    IMAGE_LOADS.fetch_add(1, Ordering::Relaxed);
+                    self.template.insert(t)
+                }
+            };
+            let mut exec = match template.fork_with_config(*first) {
+                Ok(exec) => exec,
+                Err(e) => {
+                    self.out.push(Err(e.into()));
+                    continue;
+                }
+            };
+            CHECKPOINT_FORKS.fetch_add(1, Ordering::Relaxed);
+            let mut backend = self.built.boxed_clone();
+            if let Err(e) = backend.configure(&mut exec, &self.watchpoints) {
+                self.out.push(Err(e));
+                continue;
+            }
+            let watch = WatchState::new(&self.watchpoints, exec.mem());
+            let timings = TimingBatch::new(&cfgs);
+            FUNCTIONAL_PASSES.fetch_add(1, Ordering::Relaxed);
+            self.current = Some(Pass {
+                exec,
+                timings,
+                backend,
+                watch,
+                stats: TransitionStats::default(),
+                error: None,
+                text_bytes: self.text_bytes,
+            });
+        }
+    }
+}
+
+/// One admitted member of an observer pass: its replayable detector and
+/// private accounting, fed the shared `Exec` stream.
+struct LiveObserver {
+    member: usize,
+    observer: Box<dyn ObserverImpl>,
+    watch: WatchState,
+    timings: TimingBatch,
+    stats: TransitionStats,
+}
+
+/// The observer-batch continuation: one shared machine and every
+/// admitted member's detector — `ObserverBatch::run`'s loop with the
+/// instruction cursor lifted out.
+struct ObserveRun {
+    exec: Executor,
+    live: Vec<LiveObserver>,
+    results: Vec<Result<Vec<SessionReport>, DebugError>>,
+    error: Option<ExecError>,
+    text_bytes: u64,
+}
+
+impl ObserveRun {
+    fn drive_budget(&mut self, budget: u64) -> u64 {
+        let mut n = 0u64;
+        while !self.exec.is_halted() && n < budget {
+            let e = self.exec.step();
+            n += 1;
+            for l in &mut self.live {
+                l.timings.consume(&e);
+                if let Some(t) = l.observer.observe(&e, self.exec.mem(), &mut l.watch, &mut l.stats)
+                {
+                    l.stats.count(t);
+                    if t.is_spurious() {
+                        l.timings.debugger_stall();
+                    }
+                }
+            }
+            if let Some(Event::Error(err)) = e.event {
+                self.error = Some(err);
+            }
+        }
+        n
+    }
+
+    fn done(&self) -> bool {
+        self.exec.is_halted()
+    }
+
+    fn finish(self) -> Vec<Result<Vec<SessionReport>, DebugError>> {
+        let mut results = self.results;
+        for l in self.live {
+            results[l.member] = Ok(l
+                .timings
+                .finish()
+                .into_iter()
+                .map(|run| SessionReport {
+                    run,
+                    transitions: l.stats,
+                    error: self.error,
+                    text_bytes: self.text_bytes,
+                })
+                .collect());
+        }
+        results
+    }
+}
+
+impl SessionTask {
+    /// A task for one session under one timing configuration — a batch
+    /// of one, exactly as [`crate::Session`] is internally.
+    pub fn session(
+        app: &Application,
+        watchpoints: Vec<Watchpoint>,
+        backend: BackendKind,
+        cpu: CpuConfig,
+    ) -> SessionTask {
+        SessionTask::batch(app, watchpoints, backend, &[cpu])
+    }
+
+    /// A task that will perform [`crate::run_session_batch`]: one
+    /// functional pass under `backend`, accounted against all of `cpus`.
+    pub fn batch(
+        app: &Application,
+        watchpoints: Vec<Watchpoint>,
+        backend: BackendKind,
+        cpus: &[CpuConfig],
+    ) -> SessionTask {
+        SessionTask::pending(State::PendingBatch(BatchSpec {
+            app: app.clone(),
+            watchpoints,
+            backend,
+            cpus: cpus.to_vec(),
+        }))
+    }
+
+    /// A task that will perform [`crate::run_perturbing_group`]: one
+    /// image load, one copy-on-write fork per engine-configuration
+    /// sub-batch.
+    pub fn perturbing_group(
+        app: &Application,
+        watchpoints: Vec<Watchpoint>,
+        backend: BackendKind,
+        batches: &[Vec<CpuConfig>],
+    ) -> SessionTask {
+        SessionTask::pending(State::PendingGroup(GroupSpec {
+            app: app.clone(),
+            watchpoints,
+            backend,
+            batches: batches.to_vec(),
+        }))
+    }
+
+    /// A task that will perform [`crate::ObserverBatch::run`]: one
+    /// shared functional pass fanned out to every `(backend,
+    /// watchpoints, cpus)` member.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a member backend is perturbing, as
+    /// [`crate::ObserverBatch::member`] does.
+    pub fn observer(
+        app: &Application,
+        members: Vec<(BackendKind, Vec<Watchpoint>, Vec<CpuConfig>)>,
+    ) -> SessionTask {
+        for (backend, ..) in &members {
+            assert!(
+                backend.observation_only(),
+                "{backend:?} perturbs the functional stream and must replay privately \
+                 (run_session_batch)"
+            );
+        }
+        SessionTask::pending(State::PendingObserve(ObserveSpec { app: app.clone(), members }))
+    }
+
+    fn pending(state: State) -> SessionTask {
+        SessionTask { gate: None, progress: 0, state }
+    }
+
+    /// Builder form of [`SessionTask::block`]: the task starts parked.
+    #[must_use]
+    pub fn gated(mut self, reason: impl Into<String>) -> SessionTask {
+        self.block(reason);
+        self
+    }
+
+    /// Park the task: until [`SessionTask::unblock`], every poll
+    /// reports [`Step::Blocked`] without consuming budget. How a
+    /// scheduler expresses "run session B only after session A" without
+    /// burning slices on B.
+    pub fn block(&mut self, reason: impl Into<String>) {
+        self.gate = Some(reason.into());
+    }
+
+    /// Open the gate set by [`SessionTask::block`].
+    pub fn unblock(&mut self) {
+        self.gate = None;
+    }
+
+    /// True while the task is parked behind a gate.
+    pub fn is_blocked(&self) -> bool {
+        self.gate.is_some()
+    }
+
+    /// Dynamic instructions retired so far — the virtual-progress
+    /// priority key.
+    pub fn progress(&self) -> u64 {
+        self.progress
+    }
+
+    /// Advance by at most `budget` dynamic instructions.
+    ///
+    /// Admission (validation, backend build, image load) happens lazily
+    /// at the first unblocked poll and is not charged against the
+    /// budget; instrumentation counters tick at exactly the points the
+    /// wrapped run-to-completion path would tick them. Any slicing of
+    /// budgets yields byte-identical results and counters to a single
+    /// `poll(u64::MAX)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called again after [`Step::Done`] — a completed
+    /// continuation has no state left to run.
+    pub fn poll(&mut self, budget: u64) -> Step {
+        if let Some(reason) = &self.gate {
+            return Step::Blocked(reason.clone());
+        }
+        match std::mem::replace(&mut self.state, State::Finished) {
+            State::PendingBatch(spec) => match admit_batch(spec) {
+                Ok(Some(pass)) => self.state = State::Batch(pass),
+                Ok(None) => return Step::Done(TaskOutput::Batch(Ok(Vec::new()))),
+                Err(e) => return Step::Done(TaskOutput::Batch(Err(e))),
+            },
+            State::PendingGroup(spec) => match admit_group(spec) {
+                Ok(run) => self.state = State::Group(Box::new(run)),
+                Err(e) => return Step::Done(TaskOutput::Group(Err(e))),
+            },
+            State::PendingObserve(spec) => match admit_observe(spec) {
+                Ok(Admitted::Live(run)) => self.state = State::Observe(*run),
+                Ok(Admitted::Settled(results)) => {
+                    return Step::Done(TaskOutput::Observe(Ok(results)))
+                }
+                Err(e) => return Step::Done(TaskOutput::Observe(Err(e))),
+            },
+            State::Finished => panic!("SessionTask polled after completion"),
+            running => self.state = running,
+        }
+        match &mut self.state {
+            State::Batch(pass) => {
+                self.progress += pass.drive_budget(budget);
+                if pass.done() {
+                    let State::Batch(pass) = std::mem::replace(&mut self.state, State::Finished)
+                    else {
+                        unreachable!("state checked above");
+                    };
+                    return Step::Done(TaskOutput::Batch(Ok(pass.finish())));
+                }
+            }
+            State::Group(run) => {
+                if let Some(out) = run.advance(budget, &mut self.progress) {
+                    self.state = State::Finished;
+                    return Step::Done(TaskOutput::Group(Ok(out)));
+                }
+            }
+            State::Observe(run) => {
+                self.progress += run.drive_budget(budget);
+                if run.done() {
+                    let State::Observe(run) = std::mem::replace(&mut self.state, State::Finished)
+                    else {
+                        unreachable!("state checked above");
+                    };
+                    return Step::Done(TaskOutput::Observe(Ok(run.finish())));
+                }
+            }
+            State::PendingBatch(_)
+            | State::PendingGroup(_)
+            | State::PendingObserve(_)
+            | State::Finished => {
+                unreachable!("pending states were admitted above")
+            }
+        }
+        Step::Yielded(TaskProgress { instructions: self.progress })
+    }
+
+    /// Drive the task to completion in unbounded slices — the legacy
+    /// entry points' implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the task is gated: nothing here can unblock it.
+    pub fn run_to_completion(mut self) -> TaskOutput {
+        loop {
+            match self.poll(u64::MAX) {
+                Step::Done(out) => return out,
+                Step::Yielded(_) => {}
+                Step::Blocked(reason) => {
+                    panic!("cannot run a gated task to completion: blocked on {reason}")
+                }
+            }
+        }
+    }
+}
+
+/// Admission for a batch task: `run_session_batch` up to (and
+/// including) the `FUNCTIONAL_PASSES` tick, stopping short of driving.
+/// `Ok(None)` is the empty-configuration batch (no pass to run).
+fn admit_batch(spec: BatchSpec) -> Result<Option<Pass>, DebugError> {
+    validate_watchpoints(&spec.watchpoints)?;
+    let mut backend = spec.backend.instantiate();
+    let prog = backend.build_program(&spec.app, &spec.watchpoints)?;
+    let cfgs: Vec<CpuConfig> = spec.cpus.iter().map(|&c| backend.cpu_config(c)).collect();
+    let Some((first, rest)) = cfgs.split_first() else {
+        return Ok(None);
+    };
+    assert!(
+        rest.iter().all(|c| c.engine == first.engine),
+        "batched sessions must agree on the functional (DISE engine) configuration"
+    );
+    let mut exec = Executor::from_program(&prog, *first);
+    IMAGE_LOADS.fetch_add(1, Ordering::Relaxed);
+    backend.configure(&mut exec, &spec.watchpoints)?;
+    let watch = WatchState::new(&spec.watchpoints, exec.mem());
+    let timings = TimingBatch::new(&cfgs);
+    FUNCTIONAL_PASSES.fetch_add(1, Ordering::Relaxed);
+    Ok(Some(Pass {
+        exec,
+        timings,
+        backend,
+        watch,
+        stats: TransitionStats::default(),
+        error: None,
+        text_bytes: prog.text_bytes(),
+    }))
+}
+
+/// Admission for a perturbing group: the group-wide static work
+/// (validation, instantiation, `build_program`). The image load and
+/// per-sub-batch forks happen as the run reaches them.
+fn admit_group(spec: GroupSpec) -> Result<GroupRun, DebugError> {
+    validate_watchpoints(&spec.watchpoints)?;
+    let mut built = spec.backend.instantiate();
+    let prog = built.build_program(&spec.app, &spec.watchpoints)?;
+    let text_bytes = prog.text_bytes();
+    Ok(GroupRun {
+        built,
+        prog,
+        text_bytes,
+        watchpoints: spec.watchpoints,
+        batches: spec.batches,
+        template: None,
+        next: 0,
+        current: None,
+        out: Vec::new(),
+    })
+}
+
+enum Admitted {
+    Live(Box<ObserveRun>),
+    /// Every member failed admission (or there were none): the results
+    /// are already final and no pass runs (or is counted).
+    Settled(Vec<Result<Vec<SessionReport>, DebugError>>),
+}
+
+/// Admission for an observer batch: `ObserverBatch::run` up to the
+/// `FUNCTIONAL_PASSES` tick. Member admission failures settle into
+/// their slots exactly as before; the shared machine is loaded (and
+/// counted) even if every member then fails, as the eager path did.
+fn admit_observe(spec: ObserveSpec) -> Result<Admitted, DebugError> {
+    let prog = spec.app.program()?;
+    let mut results: Vec<Result<Vec<SessionReport>, DebugError>> =
+        spec.members.iter().map(|_| Ok(Vec::new())).collect();
+    // The executor's configuration only matters functionally through
+    // its DISE engine capacities, and no observer installs productions;
+    // any member's configuration (or the default) loads the same
+    // machine.
+    let cfg = spec.members.iter().find_map(|(.., cpus)| cpus.first()).copied().unwrap_or_default();
+    let exec = Executor::from_program(&prog, cfg);
+    IMAGE_LOADS.fetch_add(1, Ordering::Relaxed);
+    let mut live: Vec<LiveObserver> = Vec::new();
+    for (i, (backend, watchpoints, cpus)) in spec.members.iter().enumerate() {
+        let admitted = validate_watchpoints(watchpoints)
+            .and_then(|()| backend.instantiate_observer(watchpoints));
+        match admitted {
+            Ok(observer) => live.push(LiveObserver {
+                member: i,
+                observer,
+                watch: WatchState::new(watchpoints, exec.mem()),
+                timings: TimingBatch::new(cpus),
+                stats: TransitionStats::default(),
+            }),
+            Err(e) => results[i] = Err(e),
+        }
+    }
+    if live.is_empty() {
+        return Ok(Admitted::Settled(results));
+    }
+    FUNCTIONAL_PASSES.fetch_add(1, Ordering::Relaxed);
+    Ok(Admitted::Live(Box::new(ObserveRun {
+        exec,
+        live,
+        results,
+        error: None,
+        text_bytes: prog.text_bytes(),
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_perturbing_group, run_session_batch, WatchExpr};
+    use dise_asm::{parse_asm, Layout};
+    use dise_isa::Width;
+
+    fn app(iters: u32) -> Application {
+        let src = format!(
+            "start:  la r1, watched
+                     lda r4, {iters}(zero)
+             loop:   .stmt
+                     stq r4, 0(r1)
+                     subq r4, 1, r4
+                     bgt r4, loop
+                     halt
+             .data
+             watched: .quad 0
+            "
+        );
+        Application::new(parse_asm(&src).unwrap(), Layout::default())
+    }
+
+    fn wp(app: &Application) -> Watchpoint {
+        let addr = app.program().unwrap().symbol("watched").unwrap();
+        Watchpoint::new(WatchExpr::Scalar { addr, width: Width::Q })
+    }
+
+    /// Scheduler workers hand tasks across threads between slices.
+    #[test]
+    fn session_tasks_are_send() {
+        fn is_send<T: Send>() {}
+        is_send::<SessionTask>();
+        is_send::<TaskOutput>();
+        is_send::<Step>();
+    }
+
+    /// The tentpole invariant: any budget slicing yields byte-identical
+    /// reports to the run-to-completion path, for all three shapes.
+    #[test]
+    fn sliced_polls_match_run_to_completion_for_every_shape() {
+        let a = app(20);
+        let cpus = [CpuConfig::default(), CpuConfig { commit_width: 2, ..CpuConfig::default() }];
+        let budgets = [1u64, 7, 23, 97, 512];
+
+        let reference_batch =
+            run_session_batch(&a, vec![wp(&a)], BackendKind::dise_default(), &cpus).unwrap();
+        let batches = vec![cpus.to_vec(), cpus.to_vec()];
+        let reference_group =
+            run_perturbing_group(&a, vec![wp(&a)], BackendKind::dise_default(), &batches).unwrap();
+        let members = vec![(BackendKind::VirtualMemory, vec![wp(&a)], cpus.to_vec())];
+        let reference_obs =
+            SessionTask::observer(&a, members.clone()).run_to_completion().into_observe().unwrap();
+
+        for (i, &budget) in budgets.iter().enumerate() {
+            let mut task = SessionTask::batch(&a, vec![wp(&a)], BackendKind::dise_default(), &cpus);
+            let out = poll_until_done(&mut task, budget);
+            assert_eq!(out.into_batch().unwrap(), reference_batch, "batch, budget {budget}");
+
+            let mut task = SessionTask::perturbing_group(
+                &a,
+                vec![wp(&a)],
+                BackendKind::dise_default(),
+                &batches,
+            );
+            let out = poll_until_done(&mut task, budgets[budgets.len() - 1 - i]);
+            assert_eq!(out.into_group().unwrap(), reference_group, "group, budget {budget}");
+
+            let mut task = SessionTask::observer(&a, members.clone());
+            let out = poll_until_done(&mut task, budget);
+            assert_eq!(out.into_observe().unwrap(), reference_obs, "observe, budget {budget}");
+        }
+    }
+
+    fn poll_until_done(task: &mut SessionTask, budget: u64) -> TaskOutput {
+        let mut yields = 0u64;
+        loop {
+            match task.poll(budget) {
+                Step::Done(out) => {
+                    assert!(yields > 0 || budget >= task.progress(), "small budgets must yield");
+                    return out;
+                }
+                Step::Yielded(p) => {
+                    yields += 1;
+                    assert_eq!(p.instructions, task.progress());
+                }
+                Step::Blocked(reason) => panic!("ungated task reported blocked: {reason}"),
+            }
+        }
+    }
+
+    /// Progress is monotone and counts real retired instructions.
+    #[test]
+    fn progress_tracks_retired_instructions() {
+        let a = app(10);
+        let mut task = SessionTask::session(
+            &a,
+            vec![wp(&a)],
+            BackendKind::VirtualMemory,
+            CpuConfig::default(),
+        );
+        let mut last = 0;
+        loop {
+            match task.poll(16) {
+                Step::Yielded(p) => {
+                    assert!(p.instructions > last, "each slice makes progress");
+                    assert!(p.instructions <= last + 16, "never exceeds the budget");
+                    last = p.instructions;
+                }
+                Step::Done(out) => {
+                    let reports = out.into_batch().unwrap();
+                    assert_eq!(reports[0].run.instructions, task.progress());
+                    break;
+                }
+                Step::Blocked(reason) => panic!("ungated task reported blocked: {reason}"),
+            }
+        }
+    }
+
+    /// A gated task consumes no budget and does no admission work until
+    /// unblocked.
+    #[test]
+    fn gated_tasks_block_without_progress() {
+        let a = app(5);
+        let mut task = SessionTask::session(
+            &a,
+            vec![wp(&a)],
+            BackendKind::VirtualMemory,
+            CpuConfig::default(),
+        )
+        .gated("after warmup");
+        assert!(task.is_blocked());
+        let passes_before = crate::functional_passes();
+        match task.poll(u64::MAX) {
+            Step::Blocked(reason) => assert_eq!(reason, "after warmup"),
+            _ => panic!("gated task must report Blocked"),
+        }
+        assert_eq!(task.progress(), 0);
+        assert_eq!(crate::functional_passes(), passes_before, "no admission while gated");
+        task.unblock();
+        assert!(matches!(task.poll(u64::MAX), Step::Done(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "polled after completion")]
+    fn polling_a_finished_task_panics() {
+        let a = app(2);
+        let mut task = SessionTask::session(
+            &a,
+            vec![wp(&a)],
+            BackendKind::VirtualMemory,
+            CpuConfig::default(),
+        );
+        while !matches!(task.poll(u64::MAX), Step::Done(_)) {}
+        let _ = task.poll(1);
+    }
+
+    /// Satellite regression: the `ForkConfigError` → `DebugError`
+    /// conversion both exists and renders usefully.
+    #[test]
+    fn fork_config_error_converts_to_debug_error() {
+        let err: DebugError = dise_cpu::ForkConfigError { instructions: 7 }.into();
+        assert_eq!(err, DebugError::Fork(dise_cpu::ForkConfigError { instructions: 7 }));
+        let msg = err.to_string();
+        assert!(msg.contains("retired 7 instructions"), "{msg}");
+    }
+
+    /// An invalid watchpoint settles a task at admission, identically
+    /// to the eager path.
+    #[test]
+    fn admission_errors_settle_the_task() {
+        let a = app(3);
+        let addr = a.program().unwrap().symbol("watched").unwrap();
+        let bad = Watchpoint::new(WatchExpr::Range { base: addr, len: 0 });
+        let mut task =
+            SessionTask::session(&a, vec![bad], BackendKind::VirtualMemory, CpuConfig::default());
+        match task.poll(u64::MAX) {
+            Step::Done(out) => {
+                assert!(matches!(out.into_batch(), Err(DebugError::InvalidWatchpoint { .. })));
+            }
+            _ => panic!("invalid watchpoints settle at the first poll"),
+        }
+    }
+}

@@ -121,6 +121,30 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// The error [`Executor::fork_with_config`] returns when handed a
+/// template that has already run: a mid-run machine's replacement
+/// context and caches are tied to its own engine capacities and cannot
+/// be re-capacitied, so sharing it cross-configuration would corrupt
+/// the child. Callers that want a mid-run twin use [`Executor::fork`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ForkConfigError {
+    /// Dynamic instructions the would-be template had already retired.
+    pub instructions: u64,
+}
+
+impl fmt::Display for ForkConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fork_with_config shares pre-run templates only, but the parent has retired {} \
+             instructions (use fork() for mid-run, same-configuration twins)",
+            self.instructions
+        )
+    }
+}
+
+impl std::error::Error for ForkConfigError {}
+
 /// Notable outcomes of one instruction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Event {
@@ -495,22 +519,23 @@ impl Executor {
     /// cells that disagree on [`CpuConfig::engine`] — a warmed engine
     /// or block cache would bake in the wrong capacities.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `self` has already executed instructions: a mid-run
-    /// machine's replacement context and caches are tied to its own
-    /// engine and cannot be re-capacitied. Use [`Executor::fork`] for
-    /// same-configuration forks at any point of a run.
-    pub fn fork_with_config(&mut self, config: CpuConfig) -> Executor {
-        assert_eq!(
-            self.instructions, 0,
-            "fork_with_config shares pre-run templates only; use fork() mid-run"
-        );
+    /// Returns [`ForkConfigError`] if `self` has already executed
+    /// instructions: a mid-run machine's replacement context and caches
+    /// are tied to its own engine and cannot be re-capacitied. Use
+    /// [`Executor::fork`] for same-configuration forks at any point of
+    /// a run. (This used to be a debug-adjacent `assert!`; it is a
+    /// recoverable error so misuse fails loudly on every build.)
+    pub fn fork_with_config(&mut self, config: CpuConfig) -> Result<Executor, ForkConfigError> {
+        if self.instructions != 0 {
+            return Err(ForkConfigError { instructions: self.instructions });
+        }
         let mut child = Executor::new(config);
         child.mem = self.mem.fork();
         child.regs = self.regs;
         child.pc = self.pc;
-        child
+        Ok(child)
     }
 
     /// Snapshot the whole machine — O(page-table), not O(resident
@@ -1120,14 +1145,7 @@ impl ExecutorCheckpoint {
 }
 
 fn block_cache_from_env() -> bool {
-    match std::env::var("DISE_BLOCK_CACHE") {
-        Err(_) => true,
-        Ok(v) => match v.trim() {
-            "" | "1" | "true" | "on" => true,
-            "0" | "false" | "off" => false,
-            other => panic!("DISE_BLOCK_CACHE must be 0 or 1, got {other:?}"),
-        },
-    }
+    dise_env::env_flag("DISE_BLOCK_CACHE", true)
 }
 
 #[inline]
@@ -1839,7 +1857,7 @@ mod tests {
         );
         let mut small = CpuConfig::default();
         small.engine.replacement_entries = 2;
-        let mut child = template.fork_with_config(small);
+        let mut child = template.fork_with_config(small).expect("pre-run template forks");
         assert_eq!(child.pc(), template.pc());
         assert_eq!(child.reg(Reg::SP), template.reg(Reg::SP));
         assert_eq!(child.mem().read_u(child.pc(), 4), template.mem().read_u(template.pc(), 4));
@@ -1856,10 +1874,11 @@ mod tests {
         assert!(child.engine_mut().install(err).is_err(), "small capacity is really in force");
         run(&mut child, 100);
 
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            template.step();
-            template.fork_with_config(small)
-        }));
-        assert!(caught.is_err(), "mid-run templates must be refused");
+        // Regression: a mid-run template is refused with a recoverable
+        // error naming how far the parent had run, not a debug assert.
+        template.step();
+        let err = template.fork_with_config(small).unwrap_err();
+        assert_eq!(err, ForkConfigError { instructions: 1 });
+        assert!(err.to_string().contains("retired 1 instructions"), "{err}");
     }
 }

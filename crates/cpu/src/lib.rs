@@ -51,7 +51,7 @@ mod timing;
 pub use config::CpuConfig;
 pub use exec::{
     BlockCacheStats, Branch, BranchKind, Event, Exec, ExecError, Executor, ExecutorCheckpoint,
-    FlushKind, MemOp, NUM_REGS,
+    FlushKind, ForkConfigError, MemOp, NUM_REGS,
 };
 pub use predictor::{BpredConfig, Predictor};
 pub use timing::{RunStats, Timing, TimingBatch};
