@@ -9,13 +9,14 @@
 //! of jobs); `DISE_JOBS=1` runs every job inline on the calling thread.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use dise_cpu::CpuConfig;
 use dise_debug::{
-    run_session, BackendKind, BaselineCache, DebugError, Scheduler, SessionReport, SessionTask,
-    TaskOutput, Watchpoint,
+    app_fingerprint, run_session, BackendKind, BaselineCache, DebugError, Scheduler, SessionReport,
+    SessionTask, TaskOutput, Watchpoint,
 };
 use dise_workloads::Workload;
 
@@ -219,13 +220,59 @@ impl ObserverGroup {
     /// [`ObserverGroup::overheads_of`] converts exactly as
     /// [`ObserverGroup::overheads`] would.
     pub fn task(&self) -> SessionTask {
-        SessionTask::observer(
-            self.workload.app(),
-            self.members
-                .iter()
-                .map(|m| (m.backend, m.watchpoints.clone(), m.cpus.clone()))
-                .collect(),
-        )
+        SessionTask::observer(self.workload.app(), self.member_specs())
+    }
+
+    /// [`ObserverGroup::overheads`] through the persistent trace store
+    /// at `trace` (`None` behaves exactly as [`ObserverGroup::overheads`]
+    /// — see [`trace_dir_from_env`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`SessionJob::overhead`]; additionally, a stale or corrupt
+    /// stored trace fails the run loudly ([`DebugError::Trace`]) — it is
+    /// never silently re-recorded, because a trace that stops matching
+    /// its fingerprinted kernel means the store is being misused.
+    pub fn overheads_traced(
+        &self,
+        baselines: &BaselineCache,
+        trace: Option<&Path>,
+    ) -> Vec<(usize, Option<f64>)> {
+        self.overheads_of(self.task_traced(trace).run_to_completion().into_observe(), baselines)
+    }
+
+    /// The resumable form of [`ObserverGroup::overheads_traced`]: with a
+    /// trace directory, the group's shared pass is **replayed** from the
+    /// store when a trace for this kernel (keyed by name + program
+    /// fingerprint) already exists — zero functional passes — and
+    /// recorded into the store on miss, so the next run replays.
+    pub fn task_traced(&self, trace: Option<&Path>) -> SessionTask {
+        let Some(path) = trace.and_then(|dir| self.trace_path(dir)) else {
+            return self.task();
+        };
+        if path.exists() {
+            SessionTask::observer_replay(self.workload.app(), self.member_specs(), &path)
+        } else {
+            SessionTask::observer_recorded(self.workload.app(), self.member_specs(), &path)
+        }
+    }
+
+    /// Where this group's shared pass lives inside the trace store at
+    /// `dir`: keyed by kernel name *and* program fingerprint, so two
+    /// scales of one kernel — or any edit to it — never collide, and a
+    /// recorded trace is valid forever. `None` when the kernel fails to
+    /// assemble (the normal, traceless path reports that error in the
+    /// shape callers expect). Creates `dir` on first use.
+    pub fn trace_path(&self, dir: &Path) -> Option<PathBuf> {
+        let fp = app_fingerprint(self.workload.app()).ok()?;
+        // A missing store directory is "first recording", not an error;
+        // if creation truly failed, recording into it fails loudly.
+        let _ = std::fs::create_dir_all(dir);
+        Some(dir.join(format!("{}-{fp:016x}.dtrc", self.workload.name())))
+    }
+
+    fn member_specs(&self) -> Vec<(BackendKind, Vec<Watchpoint>, Vec<CpuConfig>)> {
+        self.members.iter().map(|m| (m.backend, m.watchpoints.clone(), m.cpus.clone())).collect()
     }
 
     /// Convert shared-pass results into per-cell overheads — shared by
@@ -416,6 +463,35 @@ impl CellGroup {
         }
     }
 
+    /// [`CellGroup::overheads`] through the persistent trace store:
+    /// observer groups record on miss and replay on hit (see
+    /// [`ObserverGroup::overheads_traced`]); perturbing groups change
+    /// the functional stream and always execute, trace or no trace.
+    ///
+    /// # Panics
+    ///
+    /// As [`CellGroup::overheads`], and loudly on a stale or corrupt
+    /// stored trace.
+    pub fn overheads_traced(
+        &self,
+        baselines: &BaselineCache,
+        trace: Option<&Path>,
+    ) -> Vec<(usize, Option<f64>)> {
+        match self {
+            CellGroup::Observe(g) => g.overheads_traced(baselines, trace),
+            CellGroup::Replay(_) | CellGroup::Fork(_) => self.overheads(baselines),
+        }
+    }
+
+    /// The resumable form of [`CellGroup::overheads_traced`] — what the
+    /// scheduled grid spawns when a trace store is configured.
+    pub fn task_traced(&self, trace: Option<&Path>) -> SessionTask {
+        match self {
+            CellGroup::Observe(g) => g.task_traced(trace),
+            CellGroup::Replay(_) | CellGroup::Fork(_) => self.task(),
+        }
+    }
+
     /// Scatter a drained [`SessionTask`] output back to per-cell
     /// overheads, byte-identical to [`CellGroup::overheads`].
     ///
@@ -496,6 +572,22 @@ pub fn batch_session_jobs(jobs: &[SessionJob]) -> Vec<CellGroup> {
 /// change which economy the grid exercises ([`dise_env::env_flag`]).
 pub fn cow_fork_from_env() -> bool {
     dise_env::env_flag("DISE_COW_FORK", true)
+}
+
+/// Parse the `DISE_TRACE_DIR` knob: the persistent trace-store
+/// directory, `None` (no store — every observer group executes its own
+/// pass) when unset or empty. With a store configured, the grid
+/// **records** each observer group's shared functional pass on first
+/// encounter and **replays** it from disk ever after — zero functional
+/// passes, zero image loads, byte-identical output, with stale or
+/// corrupt traces rejected loudly rather than silently re-run (see
+/// [`ObserverGroup::task_traced`]).
+///
+/// # Panics
+///
+/// Panics on a non-unicode value ([`dise_env::env_string`]).
+pub fn trace_dir_from_env() -> Option<PathBuf> {
+    dise_env::env_string("DISE_TRACE_DIR").map(PathBuf::from)
 }
 
 /// Parse the `DISE_SCHED` knob: unset, empty, `1`, `true`, or `on`
@@ -645,28 +737,34 @@ pub fn run_overhead_grid(
     batching: bool,
 ) -> Vec<Option<f64>> {
     let sched = sched_from_env().then(slice_from_env);
-    run_overhead_grid_with(cells, workers, baselines, batching, sched)
+    let trace = trace_dir_from_env();
+    run_overhead_grid_with(cells, workers, baselines, batching, sched, trace.as_deref())
 }
 
-/// [`run_overhead_grid`] with the scheduler knob passed explicitly:
-/// `None` uses the pre-scheduler thread-per-group pool, `Some(slice)`
-/// multiplexes the grid's jobs as [`SessionTask`] continuations over
-/// `workers` scheduler threads with the given per-grant instruction
-/// budget. Output is byte-identical either way (and for every `slice`)
-/// — the determinism suite pins it.
+/// [`run_overhead_grid`] with the scheduler and trace-store knobs
+/// passed explicitly: `sched: None` uses the pre-scheduler
+/// thread-per-group pool, `Some(slice)` multiplexes the grid's jobs as
+/// [`SessionTask`] continuations over `workers` scheduler threads with
+/// the given per-grant instruction budget; `trace: Some(dir)` routes
+/// every observer group through the persistent trace store at `dir`
+/// (record on miss, replay on hit — see [`trace_dir_from_env`]).
+/// Output is byte-identical for every combination — the determinism
+/// suite pins cold-vs-warm store runs against the traceless reference
+/// across both scheduler paths.
 pub fn run_overhead_grid_with(
     cells: &[SessionJob],
     workers: usize,
     baselines: &BaselineCache,
     batching: bool,
     sched: Option<u64>,
+    trace: Option<&Path>,
 ) -> Vec<Option<f64>> {
     let Some(slice) = sched else {
         if !batching {
             return run_grid_with(cells, workers, |job| job.overhead(baselines));
         }
         let groups = batch_session_jobs(cells);
-        let grouped = run_grid_with(&groups, workers, |g| g.overheads(baselines));
+        let grouped = run_grid_with(&groups, workers, |g| g.overheads_traced(baselines, trace));
         let mut out = vec![None; cells.len()];
         for tagged in grouped {
             for (cell, o) in tagged {
@@ -697,7 +795,7 @@ pub fn run_overhead_grid_with(
         let groups = batch_session_jobs(cells);
         let scheduler = Scheduler::new(slice);
         for group in &groups {
-            scheduler.spawn(group.task());
+            scheduler.spawn(group.task_traced(trace));
         }
         for (id, output) in scheduler.drain(workers) {
             for (cell, o) in groups[id].overheads_from(output, baselines) {

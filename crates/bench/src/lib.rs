@@ -55,8 +55,8 @@ pub use experiments::{
 pub use grid::{
     batch_session_jobs, batch_session_jobs_with, configured_workers, cow_fork_from_env, env_number,
     run_grid, run_grid_with, run_overhead_grid, run_overhead_grid_with, sched_from_env,
-    slice_from_env, CellGroup, ObserverGroup, ObserverMember, PerturbGroup, PerturbSubBatch,
-    SessionBatch, SessionJob, DEFAULT_SLICE,
+    slice_from_env, trace_dir_from_env, CellGroup, ObserverGroup, ObserverMember, PerturbGroup,
+    PerturbSubBatch, SessionBatch, SessionJob, DEFAULT_SLICE,
 };
 
 /// Render one figure/table section with a heading.

@@ -13,14 +13,23 @@
 //! copy-on-write fork off a loaded template — a perturbing group over K
 //! engine configurations must pay 1 load + K forks, not K loads.
 //!
+//! And to the persistent trace store: `dise_debug::trace_records()` /
+//! `trace_replays()` count recordings and stored-stream replays — a
+//! grid run against a warm `DISE_TRACE_DIR` must perform **zero**
+//! functional passes and zero image loads, with byte-identical output.
+//!
 //! This file deliberately holds a single `#[test]`: the counters are
 //! process-global, and sibling tests in the same binary would race the
 //! deltas.
 
-use dise_bench::{batch_session_jobs_with, run_overhead_grid, CellGroup, SessionJob};
+use dise_bench::{
+    batch_session_jobs_with, run_overhead_grid, run_overhead_grid_with, CellGroup, SessionJob,
+    DEFAULT_SLICE,
+};
 use dise_cpu::CpuConfig;
 use dise_debug::{
-    checkpoint_forks, functional_passes, image_loads, BackendKind, BaselineCache, DiseStrategy,
+    checkpoint_forks, functional_passes, image_loads, trace_records, trace_replays, BackendKind,
+    BaselineCache, DiseStrategy,
 };
 use dise_workloads::{all, transition_cost_sweep, watchpoint_set_sweep, WatchKind};
 
@@ -198,4 +207,41 @@ fn grids_execute_once_per_functional_stream_not_once_per_cell() {
     assert_eq!(image_loads() - l0, 1, "forked: ONE image load for the whole group");
     assert_eq!(checkpoint_forks() - f0, 3, "forked: one copy-on-write fork per sub-batch");
     assert_eq!(forked, unforked, "sharing the image must not change a single byte");
+
+    // The persistent-trace economy: the 12-cell observer grid from
+    // above, run through a trace store. Cold, the shared pass is
+    // recorded as it executes (still exactly one pass, one load, plus
+    // one trace record); warm, the grid performs **zero** functional
+    // passes and zero image loads — the stream comes from the file —
+    // and renders byte-identical output, under both grid paths.
+    let dir = std::env::temp_dir().join(format!("dise-exec-counts-{}", std::process::id()));
+    let (p0, l0, r0, y0) = (functional_passes(), image_loads(), trace_records(), trace_replays());
+    let cold = run_overhead_grid_with(&observer_cells, 1, &baselines, true, None, Some(&dir));
+    assert_eq!(functional_passes() - p0, 1, "cold store: recording is the one honest pass");
+    assert_eq!(image_loads() - l0, 1, "cold store: recording loads the image once");
+    assert_eq!(trace_records() - r0, 1, "cold store: one trace recorded for the workload");
+    assert_eq!(trace_replays() - y0, 0, "cold store: nothing to replay yet");
+    assert_eq!(cold, batched, "recording must not change a single byte");
+
+    let (p0, l0, r0, y0) = (functional_passes(), image_loads(), trace_records(), trace_replays());
+    let warm = run_overhead_grid_with(&observer_cells, 1, &baselines, true, None, Some(&dir));
+    assert_eq!(functional_passes() - p0, 0, "warm store: ZERO functional passes");
+    assert_eq!(image_loads() - l0, 0, "warm store: ZERO image loads");
+    assert_eq!(trace_records() - r0, 0, "warm store: nothing re-recorded");
+    assert_eq!(trace_replays() - y0, 1, "warm store: the stored stream replayed once");
+    assert_eq!(warm, batched, "replaying must not change a single byte");
+
+    let (p0, y0) = (functional_passes(), trace_replays());
+    let warm_sched = run_overhead_grid_with(
+        &observer_cells,
+        2,
+        &baselines,
+        true,
+        Some(DEFAULT_SLICE),
+        Some(&dir),
+    );
+    assert_eq!(functional_passes() - p0, 0, "scheduled warm store: still zero passes");
+    assert_eq!(trace_replays() - y0, 1, "scheduled warm store: still one replay");
+    assert_eq!(warm_sched, batched, "the scheduled warm grid must not change a single byte");
+    let _ = std::fs::remove_dir_all(&dir);
 }

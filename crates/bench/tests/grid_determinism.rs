@@ -8,7 +8,10 @@
 //! run explicitly by CI (`-- --include-ignored`); a light three-
 //! experiment variant keeps every `cargo test -q` on the parallel path.
 
-use dise_bench::{batch_session_jobs_with, run_grid_with, CellGroup, Experiment, SessionJob};
+use dise_bench::{
+    batch_session_jobs_with, run_grid_with, run_overhead_grid_with, CellGroup, Experiment,
+    SessionJob, DEFAULT_SLICE,
+};
 use dise_cpu::CpuConfig;
 use dise_debug::{BackendKind, BaselineCache};
 use dise_workloads::{all, transition_cost_sweep, WatchKind};
@@ -164,6 +167,79 @@ fn forked_and_unforked_grids_are_byte_identical_across_worker_counts() {
             "cow_fork={cow_fork} workers={workers} diverged"
         );
     }
+}
+
+/// The persistent trace store's contract at grid level: a grid run cold
+/// (observer groups *record* their shared passes into the store) and
+/// then warm (the same groups *replay* from the store, executing zero
+/// functional passes) renders byte-identical overheads — against the
+/// traceless reference, across both scheduler paths (thread-per-group
+/// and cooperative, at two slice budgets) and across worker counts 1
+/// and 4, the DISE_SCHED × DISE_JOBS matrix CI sweeps. The knobs are
+/// passed explicitly so one process pins every combination without
+/// racing the environment.
+#[test]
+fn traced_grids_are_byte_identical_cold_and_warm() {
+    let workloads = all(10);
+    let mut jobs = Vec::new();
+    for w in workloads.iter().take(2) {
+        // Observing cells route through the store; the perturbing DISE
+        // cells prove traced and untraced groups coexist in one grid.
+        for backend in [
+            BackendKind::VirtualMemory,
+            BackendKind::hw4(),
+            BackendKind::DiseComparators,
+            BackendKind::dise_default(),
+        ] {
+            for (_, cpu) in transition_cost_sweep(CpuConfig::default()).into_iter().take(2) {
+                jobs.push(SessionJob::new(
+                    w.clone(),
+                    vec![w.watchpoint(WatchKind::Hot)],
+                    backend,
+                    cpu,
+                ));
+            }
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("dise-grid-determinism-{}", std::process::id()));
+    let baselines = BaselineCache::new();
+    let reference = run_overhead_grid_with(&jobs, 1, &baselines, true, None, None);
+
+    // Cold: first traced run records each workload's shared pass.
+    let cold = run_overhead_grid_with(&jobs, 1, &baselines, true, None, Some(&dir));
+    assert_eq!(cold, reference, "recording must be invisible in the output");
+    let stored = std::fs::read_dir(&dir).expect("store exists").count();
+    assert_eq!(stored, 2, "one trace per workload, whatever the member count");
+
+    // Warm: every later run replays, across the scheduler × worker
+    // matrix.
+    for (sched, workers) in [(None, 1), (None, 4), (Some(DEFAULT_SLICE), 1), (Some(777), 4)] {
+        let warm = run_overhead_grid_with(&jobs, workers, &baselines, true, sched, Some(&dir));
+        assert_eq!(warm, reference, "sched={sched:?} workers={workers} warm replay diverged");
+    }
+
+    // A damaged store fails the grid loudly — it never silently
+    // re-records or replays wrong bytes.
+    let victim = std::fs::read_dir(&dir)
+        .expect("store exists")
+        .next()
+        .expect("a stored trace")
+        .expect("dir entry")
+        .path();
+    let mut bytes = std::fs::read(&victim).expect("trace readable");
+    bytes[40] ^= 0x01;
+    std::fs::write(&victim, &bytes).expect("rewrite");
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_overhead_grid_with(&jobs, 1, &baselines, true, None, Some(&dir))
+    }))
+    .expect_err("a corrupt stored trace must fail the grid, not be papered over");
+    let msg = panic.downcast_ref::<String>().cloned().unwrap_or_else(|| {
+        panic.downcast_ref::<&str>().map(ToString::to_string).unwrap_or_default()
+    });
+    assert!(msg.contains("trace"), "the panic names the trace store: {msg}");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// `run_grid_with(.., 1, ..)` is exactly the serial map, including for

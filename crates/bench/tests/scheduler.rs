@@ -68,16 +68,22 @@ fn grid_is_identical_with_and_without_the_scheduler() {
     budgets.push(DEFAULT_SLICE);
     budgets.push(u64::MAX);
     for batching in [false, true] {
-        let reference = run_overhead_grid_with(&cells, 1, &baselines, batching, None);
+        let reference = run_overhead_grid_with(&cells, 1, &baselines, batching, None, None);
         for workers in [1, 4] {
-            let legacy = run_overhead_grid_with(&cells, workers, &baselines, batching, None);
+            let legacy = run_overhead_grid_with(&cells, workers, &baselines, batching, None, None);
             assert_eq!(
                 reference, legacy,
                 "pre-scheduler grid must not depend on workers (batching={batching})"
             );
             for &slice in &budgets {
-                let sched =
-                    run_overhead_grid_with(&cells, workers, &baselines, batching, Some(slice));
+                let sched = run_overhead_grid_with(
+                    &cells,
+                    workers,
+                    &baselines,
+                    batching,
+                    Some(slice),
+                    None,
+                );
                 assert_eq!(
                     reference, sched,
                     "scheduler changed the grid (batching={batching}, workers={workers}, \

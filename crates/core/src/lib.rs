@@ -67,6 +67,7 @@ mod session;
 mod stats;
 mod strategy;
 mod task;
+mod trace;
 mod watch;
 
 pub use app::Application;
@@ -83,4 +84,8 @@ pub use session::{
 pub use stats::{Transition, TransitionStats};
 pub use strategy::{CheckKind, DiseStrategy, MultiMatch};
 pub use task::{SessionTask, Step, TaskOutput, TaskProgress};
+pub use trace::{app_fingerprint, record_session, replay_from_trace, trace_records, trace_replays};
 pub use watch::{Condition, WatchExpr, WatchState, WatchValue, Watchpoint};
+
+// Callers matching on `DebugError::Trace` need the nested error type.
+pub use dise_trace::TraceError;

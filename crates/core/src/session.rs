@@ -12,6 +12,7 @@ use dise_cpu::{
     TimingBatch,
 };
 use dise_engine::EngineError;
+use dise_trace::TraceError;
 
 use crate::backend::BackendImpl;
 use crate::task::SessionTask;
@@ -91,6 +92,12 @@ pub enum DebugError {
     /// already run ([`Executor::fork_with_config`] shares pre-run
     /// templates only — see [`ForkConfigError`]).
     Fork(ForkConfigError),
+    /// A persistent `Exec` trace was rejected: stale (fingerprint
+    /// mismatch), corrupt (CRC/framing), truncated, unreadable, or the
+    /// wrong format version. Replays fail loudly here rather than ever
+    /// replaying silently wrong — see [`dise_trace::TraceError`] for
+    /// the per-class breakdown.
+    Trace(TraceError),
 }
 
 impl fmt::Display for DebugError {
@@ -105,6 +112,7 @@ impl fmt::Display for DebugError {
                 write!(f, "invalid watchpoint: {reason}")
             }
             DebugError::Fork(e) => write!(f, "cross-configuration fork failed: {e}"),
+            DebugError::Trace(e) => write!(f, "trace store rejected: {e}"),
         }
     }
 }
@@ -114,6 +122,12 @@ impl std::error::Error for DebugError {}
 impl From<AsmError> for DebugError {
     fn from(e: AsmError) -> DebugError {
         DebugError::Asm(e)
+    }
+}
+
+impl From<TraceError> for DebugError {
+    fn from(e: TraceError) -> DebugError {
+        DebugError::Trace(e)
     }
 }
 
@@ -412,6 +426,43 @@ impl<'a> ObserverBatch<'a> {
         let members =
             self.members.into_iter().map(|m| (m.backend, m.watchpoints, m.cpus)).collect();
         SessionTask::observer(self.app, members).run_to_completion().into_observe()
+    }
+
+    /// Like [`ObserverBatch::run`], but record the shared functional
+    /// pass to `trace` as it is driven. The file appears atomically on
+    /// completion and can serve any number of later
+    /// [`ObserverBatch::run_from_trace`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ObserverBatch::run`], plus [`DebugError::Trace`]
+    /// when the trace file cannot be created.
+    pub fn run_recorded(
+        self,
+        trace: &std::path::Path,
+    ) -> Result<Vec<Result<Vec<SessionReport>, DebugError>>, DebugError> {
+        let members =
+            self.members.into_iter().map(|m| (m.backend, m.watchpoints, m.cpus)).collect();
+        SessionTask::observer_recorded(self.app, members, trace).run_to_completion().into_observe()
+    }
+
+    /// Like [`ObserverBatch::run`], but drive every member from the
+    /// stored `Exec` stream at `trace` instead of executing the
+    /// application: **zero** functional passes, zero image loads,
+    /// bit-identical results (enforced by the conformance suite).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ObserverBatch::run`], plus [`DebugError::Trace`]
+    /// when the trace is stale (fingerprint mismatch), corrupt,
+    /// truncated, the wrong version, or unreadable.
+    pub fn run_from_trace(
+        self,
+        trace: &std::path::Path,
+    ) -> Result<Vec<Result<Vec<SessionReport>, DebugError>>, DebugError> {
+        let members =
+            self.members.into_iter().map(|m| (m.backend, m.watchpoints, m.cpus)).collect();
+        SessionTask::observer_replay(self.app, members, trace).run_to_completion().into_observe()
     }
 }
 

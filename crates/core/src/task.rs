@@ -35,16 +35,22 @@
 //! is how a scheduler holds >1000 concurrently in-flight sessions
 //! cheaply on a single core.
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
 
 use dise_asm::Program;
-use dise_cpu::{CpuConfig, Event, ExecError, Executor, TimingBatch};
+use dise_cpu::{
+    program_fingerprint, CpuConfig, Event, ExecError, Executor, TimingBatch, TraceReader,
+    TraceWriter,
+};
+use dise_mem::Memory;
 
 use crate::backend::{BackendImpl, ObserverImpl};
 use crate::session::{
     drive, validate_watchpoints, DebugError, SessionReport, CHECKPOINT_FORKS, FUNCTIONAL_PASSES,
     IMAGE_LOADS,
 };
+use crate::trace::{TRACE_RECORDS, TRACE_REPLAYS};
 use crate::{Application, BackendKind, TransitionStats, WatchState, Watchpoint};
 
 /// What one [`SessionTask::poll`] call reports.
@@ -152,6 +158,8 @@ enum State {
     Group(Box<GroupRun>),
     PendingObserve(ObserveSpec),
     Observe(ObserveRun),
+    PendingReplay(ReplaySpec),
+    Replay(Box<ReplayRun>),
     Finished,
 }
 
@@ -172,6 +180,15 @@ struct GroupSpec {
 struct ObserveSpec {
     app: Application,
     members: Vec<(BackendKind, Vec<Watchpoint>, Vec<CpuConfig>)>,
+    /// Record the shared functional pass to this trace file as a side
+    /// effect ([`SessionTask::observer_recorded`]).
+    record: Option<PathBuf>,
+}
+
+struct ReplaySpec {
+    app: Application,
+    members: Vec<(BackendKind, Vec<Watchpoint>, Vec<CpuConfig>)>,
+    trace: PathBuf,
 }
 
 /// One live functional pass: the machine, its fanned-out timing models,
@@ -330,6 +347,9 @@ struct ObserveRun {
     results: Vec<Result<Vec<SessionReport>, DebugError>>,
     error: Option<ExecError>,
     text_bytes: u64,
+    /// When recording, the persistent-trace writer fed every stepped
+    /// record — the "record on miss" half of the trace economy.
+    writer: Option<TraceWriter>,
 }
 
 impl ObserveRun {
@@ -338,6 +358,9 @@ impl ObserveRun {
         while !self.exec.is_halted() && n < budget {
             let e = self.exec.step();
             n += 1;
+            if let Some(w) = self.writer.as_mut() {
+                w.record(&e);
+            }
             for l in &mut self.live {
                 l.timings.consume(&e);
                 if let Some(t) = l.observer.observe(&e, self.exec.mem(), &mut l.watch, &mut l.stats)
@@ -359,22 +382,100 @@ impl ObserveRun {
         self.exec.is_halted()
     }
 
-    fn finish(self) -> Vec<Result<Vec<SessionReport>, DebugError>> {
-        let mut results = self.results;
-        for l in self.live {
-            results[l.member] = Ok(l
-                .timings
-                .finish()
-                .into_iter()
-                .map(|run| SessionReport {
-                    run,
-                    transitions: l.stats,
-                    error: self.error,
-                    text_bytes: self.text_bytes,
-                })
-                .collect());
+    fn finish(mut self) -> Vec<Result<Vec<SessionReport>, DebugError>> {
+        if let Some(writer) = self.writer.take() {
+            // A recording the caller asked for must either be sealed or
+            // fail loudly — a silently missing trace would re-pay the
+            // functional pass forever without anyone noticing.
+            if let Err(e) = writer.finish() {
+                panic!("failed to persist the recorded session trace: {e}");
+            }
         }
-        results
+        finish_members(self.live, self.results, self.error, self.text_bytes)
+    }
+}
+
+/// Scatter the finished members into their result slots — shared by the
+/// live-pass and replay continuations, which must agree bit-for-bit.
+fn finish_members(
+    live: Vec<LiveObserver>,
+    mut results: Vec<Result<Vec<SessionReport>, DebugError>>,
+    error: Option<ExecError>,
+    text_bytes: u64,
+) -> Vec<Result<Vec<SessionReport>, DebugError>> {
+    for l in live {
+        results[l.member] = Ok(l
+            .timings
+            .finish()
+            .into_iter()
+            .map(|run| SessionReport { run, transitions: l.stats, error, text_bytes })
+            .collect());
+    }
+    results
+}
+
+/// The observer-batch continuation running entirely from a stored
+/// trace: the `Exec` stream comes from a [`TraceReader`] instead of a
+/// machine, with a shadow [`Memory`] kept exact by applying each
+/// record's store effect — so `WatchState` re-evaluation reads the
+/// same bytes it would have read live. No functional pass, no image
+/// load; the counters prove it.
+struct ReplayRun {
+    reader: TraceReader,
+    mem: Memory,
+    live: Vec<LiveObserver>,
+    results: Vec<Result<Vec<SessionReport>, DebugError>>,
+    error: Option<ExecError>,
+    text_bytes: u64,
+    exhausted: bool,
+}
+
+impl ReplayRun {
+    fn drive_budget(&mut self, budget: u64) -> u64 {
+        let mut n = 0u64;
+        while !self.exhausted && n < budget {
+            let e = match self.reader.next() {
+                Ok(Some(e)) => e,
+                Ok(None) => {
+                    self.exhausted = true;
+                    break;
+                }
+                // `TraceReader::open` validated every CRC eagerly, so a
+                // mid-stream decode failure means hand-damaged bytes
+                // that still satisfied their checksum — reject loudly,
+                // never deliver a silently wrong replay.
+                Err(e) => panic!("trace replay failed mid-stream: {e}"),
+            };
+            n += 1;
+            // Mirror the live order: the machine performs a store
+            // before observers see its record.
+            if let Some(m) = e.mem {
+                if m.is_store {
+                    self.mem.write_u(m.addr, m.width, m.new_value);
+                }
+            }
+            for l in &mut self.live {
+                l.timings.consume(&e);
+                if let Some(t) = l.observer.observe(&e, &self.mem, &mut l.watch, &mut l.stats) {
+                    l.stats.count(t);
+                    if t.is_spurious() {
+                        l.timings.debugger_stall();
+                    }
+                }
+            }
+            if let Some(Event::Error(err)) = e.event {
+                self.error = Some(err);
+            }
+        }
+        n
+    }
+
+    fn done(&self) -> bool {
+        self.exhausted
+    }
+
+    fn finish(self) -> Vec<Result<Vec<SessionReport>, DebugError>> {
+        finish_members(self.live, self.results, self.error, self.text_bytes)
     }
 }
 
@@ -435,14 +536,58 @@ impl SessionTask {
         app: &Application,
         members: Vec<(BackendKind, Vec<Watchpoint>, Vec<CpuConfig>)>,
     ) -> SessionTask {
-        for (backend, ..) in &members {
-            assert!(
-                backend.observation_only(),
-                "{backend:?} perturbs the functional stream and must replay privately \
-                 (run_session_batch)"
-            );
-        }
-        SessionTask::pending(State::PendingObserve(ObserveSpec { app: app.clone(), members }))
+        assert_observation_only(&members);
+        SessionTask::pending(State::PendingObserve(ObserveSpec {
+            app: app.clone(),
+            members,
+            record: None,
+        }))
+    }
+
+    /// [`SessionTask::observer`], additionally persisting the shared
+    /// functional pass to `trace` — the same single pass serves the
+    /// members *and* every future replay. The trace appears atomically
+    /// when the pass completes; an abandoned task publishes nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a member backend is perturbing, as
+    /// [`SessionTask::observer`] does.
+    pub fn observer_recorded(
+        app: &Application,
+        members: Vec<(BackendKind, Vec<Watchpoint>, Vec<CpuConfig>)>,
+        trace: &Path,
+    ) -> SessionTask {
+        assert_observation_only(&members);
+        SessionTask::pending(State::PendingObserve(ObserveSpec {
+            app: app.clone(),
+            members,
+            record: Some(trace.to_path_buf()),
+        }))
+    }
+
+    /// An observer batch that runs entirely from the stored trace at
+    /// `trace`: zero functional passes, zero image loads, results
+    /// bit-identical to [`SessionTask::observer`] on the live machine.
+    /// Admission fingerprints `app` and rejects a stale, corrupt, or
+    /// truncated trace with [`DebugError::Trace`] — loudly, never a
+    /// silently wrong replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a member backend is perturbing, as
+    /// [`SessionTask::observer`] does.
+    pub fn observer_replay(
+        app: &Application,
+        members: Vec<(BackendKind, Vec<Watchpoint>, Vec<CpuConfig>)>,
+        trace: &Path,
+    ) -> SessionTask {
+        assert_observation_only(&members);
+        SessionTask::pending(State::PendingReplay(ReplaySpec {
+            app: app.clone(),
+            members,
+            trace: trace.to_path_buf(),
+        }))
     }
 
     fn pending(state: State) -> SessionTask {
@@ -514,6 +659,13 @@ impl SessionTask {
                 }
                 Err(e) => return Step::Done(TaskOutput::Observe(Err(e))),
             },
+            State::PendingReplay(spec) => match admit_replay(spec) {
+                Ok(ReplayAdmitted::Live(run)) => self.state = State::Replay(run),
+                Ok(ReplayAdmitted::Settled(results)) => {
+                    return Step::Done(TaskOutput::Observe(Ok(results)))
+                }
+                Err(e) => return Step::Done(TaskOutput::Observe(Err(e))),
+            },
             State::Finished => panic!("SessionTask polled after completion"),
             running => self.state = running,
         }
@@ -544,9 +696,20 @@ impl SessionTask {
                     return Step::Done(TaskOutput::Observe(Ok(run.finish())));
                 }
             }
+            State::Replay(run) => {
+                self.progress += run.drive_budget(budget);
+                if run.done() {
+                    let State::Replay(run) = std::mem::replace(&mut self.state, State::Finished)
+                    else {
+                        unreachable!("state checked above");
+                    };
+                    return Step::Done(TaskOutput::Observe(Ok(run.finish())));
+                }
+            }
             State::PendingBatch(_)
             | State::PendingGroup(_)
             | State::PendingObserve(_)
+            | State::PendingReplay(_)
             | State::Finished => {
                 unreachable!("pending states were admitted above")
             }
@@ -633,14 +796,56 @@ enum Admitted {
     Settled(Vec<Result<Vec<SessionReport>, DebugError>>),
 }
 
+enum ReplayAdmitted {
+    Live(Box<ReplayRun>),
+    Settled(Vec<Result<Vec<SessionReport>, DebugError>>),
+}
+
+fn assert_observation_only(members: &[(BackendKind, Vec<Watchpoint>, Vec<CpuConfig>)]) {
+    for (backend, ..) in members {
+        assert!(
+            backend.observation_only(),
+            "{backend:?} perturbs the functional stream and must replay privately \
+             (run_session_batch)"
+        );
+    }
+}
+
+/// Per-member admission shared by the live and replay observer paths:
+/// validate and instantiate each member against the loaded memory
+/// image, settling failures into their result slots. The two paths
+/// must admit identically or replayed results could diverge from live
+/// ones in *shape*, not just content.
+fn admit_members(
+    members: &[(BackendKind, Vec<Watchpoint>, Vec<CpuConfig>)],
+    mem: &Memory,
+) -> (Vec<LiveObserver>, Vec<Result<Vec<SessionReport>, DebugError>>) {
+    let mut results: Vec<Result<Vec<SessionReport>, DebugError>> =
+        members.iter().map(|_| Ok(Vec::new())).collect();
+    let mut live: Vec<LiveObserver> = Vec::new();
+    for (i, (backend, watchpoints, cpus)) in members.iter().enumerate() {
+        let admitted = validate_watchpoints(watchpoints)
+            .and_then(|()| backend.instantiate_observer(watchpoints));
+        match admitted {
+            Ok(observer) => live.push(LiveObserver {
+                member: i,
+                observer,
+                watch: WatchState::new(watchpoints, mem),
+                timings: TimingBatch::new(cpus),
+                stats: TransitionStats::default(),
+            }),
+            Err(e) => results[i] = Err(e),
+        }
+    }
+    (live, results)
+}
+
 /// Admission for an observer batch: `ObserverBatch::run` up to the
 /// `FUNCTIONAL_PASSES` tick. Member admission failures settle into
 /// their slots exactly as before; the shared machine is loaded (and
 /// counted) even if every member then fails, as the eager path did.
 fn admit_observe(spec: ObserveSpec) -> Result<Admitted, DebugError> {
     let prog = spec.app.program()?;
-    let mut results: Vec<Result<Vec<SessionReport>, DebugError>> =
-        spec.members.iter().map(|_| Ok(Vec::new())).collect();
     // The executor's configuration only matters functionally through
     // its DISE engine capacities, and no observer installs productions;
     // any member's configuration (or the default) loads the same
@@ -648,24 +853,20 @@ fn admit_observe(spec: ObserveSpec) -> Result<Admitted, DebugError> {
     let cfg = spec.members.iter().find_map(|(.., cpus)| cpus.first()).copied().unwrap_or_default();
     let exec = Executor::from_program(&prog, cfg);
     IMAGE_LOADS.fetch_add(1, Ordering::Relaxed);
-    let mut live: Vec<LiveObserver> = Vec::new();
-    for (i, (backend, watchpoints, cpus)) in spec.members.iter().enumerate() {
-        let admitted = validate_watchpoints(watchpoints)
-            .and_then(|()| backend.instantiate_observer(watchpoints));
-        match admitted {
-            Ok(observer) => live.push(LiveObserver {
-                member: i,
-                observer,
-                watch: WatchState::new(watchpoints, exec.mem()),
-                timings: TimingBatch::new(cpus),
-                stats: TransitionStats::default(),
-            }),
-            Err(e) => results[i] = Err(e),
-        }
-    }
+    let (live, results) = admit_members(&spec.members, exec.mem());
     if live.is_empty() {
+        // No pass runs, so nothing is recorded either: a group that
+        // settles at admission stays settled — and cold — forever.
         return Ok(Admitted::Settled(results));
     }
+    let writer = match &spec.record {
+        Some(path) => {
+            let w = TraceWriter::create(path, program_fingerprint(&prog))?;
+            TRACE_RECORDS.fetch_add(1, Ordering::Relaxed);
+            Some(w)
+        }
+        None => None,
+    };
     FUNCTIONAL_PASSES.fetch_add(1, Ordering::Relaxed);
     Ok(Admitted::Live(Box::new(ObserveRun {
         exec,
@@ -673,6 +874,34 @@ fn admit_observe(spec: ObserveSpec) -> Result<Admitted, DebugError> {
         results,
         error: None,
         text_bytes: prog.text_bytes(),
+        writer,
+    })))
+}
+
+/// Admission for a replayed observer batch: open and fully validate
+/// the trace (magic, version, CRCs, fingerprint against the assembled
+/// program — every corruption class surfaces here as
+/// [`DebugError::Trace`]), build the shadow memory, and admit members
+/// exactly as the live path does. Ticks neither `FUNCTIONAL_PASSES`
+/// nor `IMAGE_LOADS`: nothing executes and no machine is loaded.
+fn admit_replay(spec: ReplaySpec) -> Result<ReplayAdmitted, DebugError> {
+    let prog = spec.app.program()?;
+    let reader = TraceReader::open(&spec.trace, Some(program_fingerprint(&prog)))?;
+    let mut mem = Memory::new();
+    prog.load(&mut mem);
+    let (live, results) = admit_members(&spec.members, &mem);
+    if live.is_empty() {
+        return Ok(ReplayAdmitted::Settled(results));
+    }
+    TRACE_REPLAYS.fetch_add(1, Ordering::Relaxed);
+    Ok(ReplayAdmitted::Live(Box::new(ReplayRun {
+        reader,
+        mem,
+        live,
+        results,
+        error: None,
+        text_bytes: prog.text_bytes(),
+        exhausted: false,
     })))
 }
 

@@ -1,0 +1,105 @@
+//! Persistent session traces: record one functional pass of the
+//! unmodified application, replay it forever.
+//!
+//! The in-memory [`crate::ObserverBatch`] already shares one functional
+//! pass across watchpoint sets × observing backends × timing
+//! configurations *within* a process. This module extends the economy
+//! *across* processes and runs: [`record_session`] persists the shared
+//! `Exec` stream (delta + run-length compressed, CRC-protected — see
+//! `dise-trace`), and [`replay_from_trace`] runs a whole observer batch
+//! from the stored stream with **zero** functional passes and zero
+//! image loads — pinned by the [`trace_records`] / [`trace_replays`]
+//! counters next to the existing
+//! [`functional_passes`](crate::functional_passes) economy counters.
+//!
+//! Replay soundness rests on two facts the conformance suite enforces:
+//! observing backends read only the `Exec` record and the memory image
+//! (never machine internals), and every memory mutation of the
+//! unmodified application appears as a store `MemOp` in its own record
+//! — so a shadow memory updated record-by-record shows each observer
+//! exactly the bytes the live machine would have.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dise_cpu::{program_fingerprint, CpuConfig, Executor, TraceStats, TraceWriter};
+
+use crate::session::{DebugError, SessionReport, FUNCTIONAL_PASSES, IMAGE_LOADS};
+use crate::{Application, BackendKind, SessionTask, Watchpoint};
+
+/// How many standalone trace recordings this process has performed
+/// ([`record_session`] and every recording observer pass).
+pub(crate) static TRACE_RECORDS: AtomicU64 = AtomicU64::new(0);
+
+/// How many stored-trace replays have substituted for a functional
+/// pass in this process.
+pub(crate) static TRACE_REPLAYS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of trace recordings — the "record once" half of
+/// the persistent-trace economy.
+pub fn trace_records() -> u64 {
+    TRACE_RECORDS.load(Ordering::Relaxed)
+}
+
+/// Process-wide count of stored-trace replays, each of which replaced
+/// one functional pass (and one image load) with a file read.
+pub fn trace_replays() -> u64 {
+    TRACE_REPLAYS.load(Ordering::Relaxed)
+}
+
+/// The kernel fingerprint a trace of `app` carries: everything that
+/// determines its functional `Exec` stream. Replays are only admitted
+/// against a matching fingerprint.
+///
+/// # Errors
+///
+/// [`DebugError::Asm`] when the application fails to assemble.
+pub fn app_fingerprint(app: &Application) -> Result<u64, DebugError> {
+    Ok(program_fingerprint(&app.program()?))
+}
+
+/// Record `app`'s full functional stream to `trace` — one honest,
+/// counted functional pass of the unmodified application, with no
+/// debugger attached. The file appears atomically on success.
+///
+/// # Errors
+///
+/// [`DebugError::Asm`] when `app` fails to assemble;
+/// [`DebugError::Trace`] when the trace cannot be persisted.
+pub fn record_session(app: &Application, trace: &Path) -> Result<TraceStats, DebugError> {
+    let prog = app.program()?;
+    let mut writer = TraceWriter::create(trace, program_fingerprint(&prog))?;
+    let mut exec = Executor::from_program(&prog, CpuConfig::default());
+    IMAGE_LOADS.fetch_add(1, Ordering::Relaxed);
+    FUNCTIONAL_PASSES.fetch_add(1, Ordering::Relaxed);
+    TRACE_RECORDS.fetch_add(1, Ordering::Relaxed);
+    while !exec.is_halted() {
+        writer.record(&exec.step());
+    }
+    Ok(writer.finish()?)
+}
+
+/// Run an observer batch entirely from the stored trace at `trace`:
+/// the moral equivalent of [`crate::ObserverBatch::run`] with zero
+/// functional passes and zero image loads, bit-identical to the live
+/// run. See [`crate::ObserverBatch::run_from_trace`] for the builder
+/// form.
+///
+/// # Errors
+///
+/// The outer `Err` is scenario-wide, exactly as in
+/// [`crate::ObserverBatch::run`], plus [`DebugError::Trace`] when the
+/// trace is stale, corrupt, truncated, or unreadable. Per-member
+/// admission failures land in their own slots.
+///
+/// # Panics
+///
+/// Panics when a member backend is perturbing — perturbing backends
+/// change the functional stream and can never run from a shared trace.
+pub fn replay_from_trace(
+    app: &Application,
+    members: Vec<(BackendKind, Vec<Watchpoint>, Vec<CpuConfig>)>,
+    trace: &Path,
+) -> Result<Vec<Result<Vec<SessionReport>, DebugError>>, DebugError> {
+    SessionTask::observer_replay(app, members, trace).run_to_completion().into_observe()
+}

@@ -38,7 +38,11 @@
 //!   configs** (every member carries its own set and detector) — equal
 //!   each member's private replay **bit for bit** (cycles, transitions,
 //!   text bytes), and a member's `Unsupported` error matches its
-//!   standalone error.
+//!   standalone error;
+//! * the persistent trace layer: a recorded trace reads back the live
+//!   `Exec` stream **record for record**, and the same batch run
+//!   entirely from the stored trace ([`ObserverBatch::run_from_trace`],
+//!   zero functional passes) equals the live batch bit for bit.
 //!
 //! Scenarios come from `dise_workloads::synthetic` — store scripts
 //! spanning quad-aligned quads, single bytes, straddling longwords and
@@ -49,15 +53,27 @@
 //! vendored proptest's shrinker — which now shrinks through
 //! `prop_map`/`prop_oneof!` too.
 
-use dise_cpu::{CpuConfig, Executor};
+use dise_cpu::{CpuConfig, Executor, TraceReader};
 use dise_debug::{
-    run_session, Application, BackendKind, CheckKind, DebugError, DiseStrategy, ObserverBatch,
-    Session, SessionReport, WatchExpr, WatchState, WatchValue, Watchpoint,
+    record_session, run_session, Application, BackendKind, CheckKind, DebugError, DiseStrategy,
+    ObserverBatch, Session, SessionReport, WatchExpr, WatchState, WatchValue, Watchpoint,
 };
 use dise_mem::Memory;
 use dise_workloads::synthetic::{scenario_sets, StoreOp, WatchSpec, SLOTS};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
+
+/// A unique trace path per call: proptest cases run concurrently across
+/// test threads, and a shared path would interleave recordings.
+fn scratch_trace_path() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "dise-conformance-{}-{}.dtrc",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
 
 fn any_store_op() -> impl Strategy<Value = StoreOp> {
     prop_oneof![
@@ -500,6 +516,45 @@ fn check_scenario(
         Ok(results) => results,
         Err(e) => return Err(TestCaseError::fail(format!("observer batch setup failed: {e}"))),
     };
+
+    // ---- Persistent trace == live stream == live batch, bit for bit ---
+    // Record the scenario once, then (a) read the stored stream back
+    // against a live machine record for record, and (b) run the whole
+    // observer batch from the file — zero functional passes — and
+    // demand the exact results the live batch produced.
+    let trace = scratch_trace_path();
+    record_session(&app, &trace).map_err(|e| TestCaseError::fail(format!("recording: {e}")))?;
+    let mut reader = TraceReader::open(&trace, None)
+        .map_err(|e| TestCaseError::fail(format!("fresh trace rejected: {e}")))?;
+    let prog = app.program().expect("assembles");
+    let mut live = Executor::from_program(&prog, cpu);
+    let mut position = 0u64;
+    while !live.is_halted() {
+        let want = live.step();
+        let got = reader
+            .next()
+            .map_err(|e| TestCaseError::fail(format!("trace died at record {position}: {e}")))?;
+        prop_assert_eq!(got, Some(want), "stored stream diverged at record {}", position);
+        position += 1;
+    }
+    let trailing =
+        reader.next().map_err(|e| TestCaseError::fail(format!("trace end rejected: {e}")))?;
+    prop_assert_eq!(trailing, None, "stored stream outlived the live machine");
+
+    let mut replayed = ObserverBatch::new(&app);
+    for (b, set) in &members {
+        replayed.member(*b, (*set).clone(), cpus.clone());
+    }
+    let replayed = replayed
+        .run_from_trace(&trace)
+        .map_err(|e| TestCaseError::fail(format!("trace replay rejected: {e}")))?;
+    prop_assert_eq!(
+        &replayed,
+        &results,
+        "a batch replayed from the stored trace must equal the live batch bit for bit"
+    );
+    let _ = std::fs::remove_file(&trace);
+
     for ((backend, set), result) in members.into_iter().zip(results) {
         match result {
             Ok(reports) => {

@@ -1,0 +1,170 @@
+//! Loud-rejection tests for the persistent trace store: a stored
+//! `Exec` stream that is stale, corrupt, truncated, or the wrong
+//! format version must fail **before** any member observes a single
+//! record — each failure class with its own [`TraceError`] variant, so
+//! callers (and error messages) can tell "re-record, the kernel
+//! changed" from "the file is damaged" from "wrong tool version".
+//!
+//! Every test damages a freshly recorded, provably good trace — the
+//! happy path is asserted first, so a failure here is the rejection
+//! logic, never the recording.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dise_asm::{parse_asm, Layout};
+use dise_cpu::CpuConfig;
+use dise_debug::{
+    record_session, replay_from_trace, Application, BackendKind, DebugError, TraceError, WatchExpr,
+    Watchpoint,
+};
+use dise_isa::Width;
+
+/// Unique scratch path per test (tests share one process and may run
+/// concurrently).
+fn scratch(name: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "dise-store-{name}-{}-{}.dtrc",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn app(iters: u32) -> Application {
+    Application::new(
+        parse_asm(&format!(
+            "        la      r1, x
+                     lda     r4, {iters}(zero)
+             loop:   stq     r4, 0(r1)
+                     subq    r4, 1, r4
+                     bgt     r4, loop
+                     halt
+             .data
+             x:      .quad 0"
+        ))
+        .expect("kernel parses"),
+        Layout::default(),
+    )
+}
+
+fn watch(app: &Application) -> Vec<Watchpoint> {
+    let x = app.program().expect("assembles").symbol("x").expect("x exists");
+    vec![Watchpoint::new(WatchExpr::Scalar { addr: x, width: Width::Q })]
+}
+
+/// Record a known-good trace and prove it replays before any test
+/// damages it.
+fn good_trace(name: &str, a: &Application) -> PathBuf {
+    let path = scratch(name);
+    record_session(a, &path).expect("recording succeeds");
+    let members = vec![(BackendKind::VirtualMemory, watch(a), vec![CpuConfig::default()])];
+    let replayed = replay_from_trace(a, members, &path).expect("pristine trace replays");
+    assert!(replayed[0].is_ok(), "pristine replay runs clean");
+    path
+}
+
+fn replay_err(a: &Application, path: &Path) -> DebugError {
+    let members = vec![(BackendKind::VirtualMemory, watch(a), vec![CpuConfig::default()])];
+    replay_from_trace(a, members, path).expect_err("damaged trace must be rejected")
+}
+
+#[test]
+fn truncated_trace_is_rejected_as_truncated() {
+    let a = app(50);
+    let path = good_trace("truncated", &a);
+    let bytes = std::fs::read(&path).expect("trace readable");
+    // Cut mid-stream: the end chunk (and with it the declared record
+    // count) is gone, which is exactly what a crashed writer would
+    // leave if staging did not already prevent publishing it.
+    std::fs::write(&path, &bytes[..bytes.len() - 10]).expect("rewrite");
+    assert!(
+        matches!(replay_err(&a, &path), DebugError::Trace(TraceError::Truncated { .. })),
+        "a cut-off file is truncation, not generic corruption"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn flipped_payload_byte_is_rejected_by_crc() {
+    let a = app(50);
+    let path = good_trace("crc", &a);
+    let mut bytes = std::fs::read(&path).expect("trace readable");
+    // Flip one byte inside the first data chunk's payload: header is
+    // 20 bytes, chunk header 9, so offset 40 is well inside the
+    // payload for any non-trivial kernel.
+    bytes[40] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("rewrite");
+    assert!(
+        matches!(replay_err(&a, &path), DebugError::Trace(TraceError::CorruptChunk { .. })),
+        "a flipped bit must be caught by the chunk CRC"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn wrong_format_version_is_rejected_as_version() {
+    let a = app(50);
+    let path = good_trace("version", &a);
+    let mut bytes = std::fs::read(&path).expect("trace readable");
+    // The version field is the u32 after the 8-byte magic.
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    std::fs::write(&path, &bytes).expect("rewrite");
+    assert!(
+        matches!(
+            replay_err(&a, &path),
+            DebugError::Trace(TraceError::BadVersion { found: 99, .. })
+        ),
+        "a future format version is rejected by name, not misread"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mangled_magic_is_rejected_as_not_a_trace() {
+    let a = app(50);
+    let path = good_trace("magic", &a);
+    let mut bytes = std::fs::read(&path).expect("trace readable");
+    bytes[0] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("rewrite");
+    assert!(
+        matches!(replay_err(&a, &path), DebugError::Trace(TraceError::BadMagic { .. })),
+        "a file that is not a trace at all gets its own rejection"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn stale_trace_for_an_edited_kernel_is_rejected_by_fingerprint() {
+    // Record the 50-iteration kernel, then "edit" it to 60 iterations:
+    // same symbols, same shape, different program — the trace is stale
+    // and must be rejected before any member replays a wrong stream.
+    let recorded = app(50);
+    let edited = app(60);
+    let path = good_trace("stale", &recorded);
+    assert!(
+        matches!(
+            replay_err(&edited, &path),
+            DebugError::Trace(TraceError::FingerprintMismatch { .. })
+        ),
+        "an edited kernel must never silently replay its old trace"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn rejection_happens_before_any_member_runs() {
+    // The error is scenario-wide (outer Err), not smeared across
+    // members: nobody gets half a replay.
+    let a = app(50);
+    let path = good_trace("outer", &a);
+    let bytes = std::fs::read(&path).expect("trace readable");
+    std::fs::write(&path, &bytes[..30]).expect("rewrite");
+    let members = vec![
+        (BackendKind::VirtualMemory, watch(&a), vec![CpuConfig::default()]),
+        (BackendKind::hw4(), watch(&a), vec![CpuConfig::default()]),
+    ];
+    let err = replay_from_trace(&a, members, &path).expect_err("rejected for every member at once");
+    assert!(matches!(err, DebugError::Trace(_)), "outer error carries the trace failure: {err}");
+    let _ = std::fs::remove_file(&path);
+}

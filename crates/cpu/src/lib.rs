@@ -47,6 +47,7 @@ mod config;
 mod exec;
 mod predictor;
 mod timing;
+mod trace;
 
 pub use config::CpuConfig;
 pub use exec::{
@@ -55,6 +56,10 @@ pub use exec::{
 };
 pub use predictor::{BpredConfig, Predictor};
 pub use timing::{RunStats, Timing, TimingBatch};
+pub use trace::{
+    program_fingerprint, replay_timing, ExecDecoder, ExecEncoder, TraceReader, TraceStats,
+    TraceWriter,
+};
 
 use dise_asm::Program;
 

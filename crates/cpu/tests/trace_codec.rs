@@ -1,0 +1,142 @@
+//! The trace codec against the real machine: a tight-loop kernel's
+//! recorded bytes are pinned to a golden fixture (any codec or format
+//! change must be a conscious, reviewed decision — it invalidates every
+//! stored trace), and timing replay from a trace is proven equal to the
+//! live machine.
+//!
+//! Regenerate the fixture after a *deliberate* format change with:
+//!
+//! ```text
+//! DISE_BLESS_TRACE=1 cargo test -p dise-cpu --test trace_codec
+//! ```
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dise_asm::{parse_asm, Layout, Program};
+use dise_cpu::{
+    program_fingerprint, replay_timing, CpuConfig, Executor, Machine, TraceReader, TraceWriter,
+};
+
+/// The known tight-loop stream the fixture pins: a counted store loop,
+/// the shape the RLE + delta codec is built for.
+const TIGHT_LOOP: &str = "
+    start:  la r1, hot
+            lda r4, 2000(zero)
+    loop:   stq r4, 0(r1)
+            subq r4, 1, r4
+            bgt r4, loop
+            halt
+    .data
+    hot:    .quad 0
+";
+
+fn tight_loop() -> Program {
+    parse_asm(TIGHT_LOOP).expect("parses").assemble(Layout::default()).expect("assembles")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!("dise-trace-codec-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(format!("{}-{name}", UNIQUE.fetch_add(1, Ordering::Relaxed)))
+}
+
+/// Record `prog`'s full functional stream to `path`, returning the
+/// stats.
+fn record(prog: &Program, path: &std::path::Path) -> dise_cpu::TraceStats {
+    let mut writer = TraceWriter::create(path, program_fingerprint(prog)).expect("create");
+    let mut exec = Executor::from_program(prog, CpuConfig::default());
+    while !exec.is_halted() {
+        writer.record(&exec.step());
+    }
+    writer.finish().expect("finish")
+}
+
+#[test]
+fn tight_loop_encoding_matches_the_golden_fixture() {
+    let fixture: &[u8] = include_bytes!("data/tight_loop.dtrc");
+    let prog = tight_loop();
+    let path = scratch("tight_loop.dtrc");
+    record(&prog, &path);
+    let fresh = std::fs::read(&path).expect("recorded trace");
+    if std::env::var_os("DISE_BLESS_TRACE").is_some() {
+        let dest = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/tight_loop.dtrc");
+        std::fs::write(&dest, &fresh).expect("bless fixture");
+        return;
+    }
+    assert_eq!(
+        fresh, fixture,
+        "the on-disk trace encoding changed; if deliberate, bump the format version \
+         and re-bless with DISE_BLESS_TRACE=1"
+    );
+}
+
+#[test]
+fn golden_fixture_replays_bit_identically_to_the_live_stream() {
+    // Decode the *committed* fixture (not a fresh recording) against a
+    // live machine: proves stored traces survive codec refactors.
+    let fixture: &[u8] = include_bytes!("data/tight_loop.dtrc");
+    let path = scratch("fixture_copy.dtrc");
+    std::fs::write(&path, fixture).expect("write fixture copy");
+    let prog = tight_loop();
+    let mut reader =
+        TraceReader::open(&path, Some(program_fingerprint(&prog))).expect("valid fixture");
+    let mut exec = Executor::from_program(&prog, CpuConfig::default());
+    let mut n = 0u64;
+    while !exec.is_halted() {
+        let live = exec.step();
+        let replayed = reader.next().expect("decodes").expect("stream long enough");
+        assert_eq!(live, replayed, "record {n} diverged");
+        n += 1;
+    }
+    assert_eq!(reader.next().expect("clean end"), None, "trace must end with the stream");
+    assert_eq!(reader.records(), n);
+}
+
+#[test]
+fn tight_loop_compresses_at_least_ten_fold() {
+    let prog = tight_loop();
+    let path = scratch("ratio.dtrc");
+    let stats = record(&prog, &path);
+    assert!(
+        stats.compression() >= 10.0,
+        "tight loop must compress ≥10× vs in-memory records, got {:.1}× \
+         ({} records, {} file bytes)",
+        stats.compression(),
+        stats.records,
+        stats.file_bytes
+    );
+}
+
+#[test]
+fn timing_replay_from_trace_equals_the_live_machine() {
+    let prog = tight_loop();
+    let path = scratch("timing.dtrc");
+    record(&prog, &path);
+
+    let cheap = CpuConfig { debugger_transition_cost: 5, ..CpuConfig::default() };
+    let live_default = Machine::from_program(&prog).run();
+    let live_cheap = Machine::with_config(&prog, cheap).run();
+
+    let mut reader =
+        TraceReader::open(&path, Some(program_fingerprint(&prog))).expect("valid trace");
+    let replayed = replay_timing(&mut reader, &[CpuConfig::default(), cheap]).expect("replays");
+    assert_eq!(replayed, vec![live_default, live_cheap], "timing from trace must be exact");
+}
+
+#[test]
+fn stale_trace_is_rejected_by_fingerprint() {
+    let prog = tight_loop();
+    let path = scratch("stale.dtrc");
+    record(&prog, &path);
+    let other =
+        parse_asm("start: halt\n").expect("parses").assemble(Layout::default()).expect("assembles");
+    let err = TraceReader::open(&path, Some(program_fingerprint(&other)))
+        .err()
+        .expect("stale trace must be rejected");
+    assert!(
+        matches!(err, dise_trace::TraceError::FingerprintMismatch { .. }),
+        "wrong variant: {err:?}"
+    );
+}

@@ -7,7 +7,7 @@
 //! fall back to a default the user did not ask for — a mistyped
 //! `DISE_SCHED=ture` that quietly kept the scheduler on would
 //! invalidate an ablation without anyone noticing. This crate holds the
-//! two parsers ([`env_number`], [`env_flag`]) so `dise-cpu`,
+//! parsers ([`env_number`], [`env_flag`], [`env_string`]) so `dise-cpu`,
 //! `dise-debug` and `dise-bench` cannot drift apart on that contract
 //! (and so the core crates need no dependency on the bench harness,
 //! where the helper first lived).
@@ -58,6 +58,35 @@ pub fn env_flag(name: &str, default: bool) -> bool {
             "0" | "false" | "off" => false,
             other => panic!("{name} must be 0/1/true/false/on/off, got {other:?}"),
         },
+    }
+}
+
+/// Read a free-form string knob (e.g. `DISE_TRACE_DIR`), `None` when
+/// unset or empty/whitespace-only.
+///
+/// The value is trimmed: shells and CI matrices routinely pass
+/// `DISE_FOO=` or pad values, and a path knob of pure whitespace is
+/// "not configured", not a directory name.
+///
+/// # Panics
+///
+/// Panics on a non-unicode value — the loud-on-typo contract. (There
+/// is no further validation here: what makes a *valid* string is knob
+/// specific, so consumers fail loudly themselves.)
+pub fn env_string(name: &str) -> Option<String> {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(s)) => {
+            panic!("invalid {name} value {s:?}: not unicode")
+        }
+        Ok(v) => {
+            let v = v.trim();
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.to_string())
+            }
+        }
     }
 }
 
@@ -130,6 +159,23 @@ mod tests {
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("DISE_ENV_TEST_FLAG_TYPO"), "panic names the knob: {msg}");
         assert!(msg.contains("ture"), "panic shows the bad value: {msg}");
+    }
+
+    #[test]
+    fn strings_trim_and_treat_empty_as_unset() {
+        assert_eq!(env_string("DISE_ENV_TEST_STR_UNSET"), None);
+        std::env::set_var("DISE_ENV_TEST_STR_SET", "/tmp/traces");
+        assert_eq!(env_string("DISE_ENV_TEST_STR_SET").as_deref(), Some("/tmp/traces"));
+        std::env::set_var("DISE_ENV_TEST_STR_PADDED", "  relative/dir ");
+        assert_eq!(
+            env_string("DISE_ENV_TEST_STR_PADDED").as_deref(),
+            Some("relative/dir"),
+            "whitespace is trimmed"
+        );
+        std::env::set_var("DISE_ENV_TEST_STR_EMPTY", "");
+        assert_eq!(env_string("DISE_ENV_TEST_STR_EMPTY"), None, "empty means unset");
+        std::env::set_var("DISE_ENV_TEST_STR_BLANK", "   ");
+        assert_eq!(env_string("DISE_ENV_TEST_STR_BLANK"), None, "blank means unset");
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! A bounded, lock-free single-producer/single-consumer ring.
+//!
+//! Recording a trace splits the work across two threads: the session
+//! thread *produces* `Exec` records at simulation speed, and a writer
+//! thread *consumes* them — encoding and flushing to disk. The ring
+//! decouples the two so the hot producer almost never waits on the cold
+//! consumer, while its bounded capacity applies back-pressure instead
+//! of buffering an entire multi-million-record pass in memory when the
+//! disk falls behind.
+//!
+//! The implementation is the classic Lamport queue: one atomic `head`
+//! (consumer cursor) and one atomic `tail` (producer cursor) over a
+//! fixed slot array. Each side owns exactly one cursor, so plain
+//! release/acquire pairs are sufficient — no CAS, no locks. Each half
+//! also publishes liveness with an atomic flag so the other side can
+//! distinguish "empty right now" from "empty forever" (and a producer
+//! can learn its consumer died rather than spinning eternally on a full
+//! ring).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Create a bounded SPSC ring with room for `capacity` in-flight items.
+///
+/// The two halves are independently `Send`, so the producer can stay on
+/// the session thread while the consumer moves to a writer thread.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero — a zero-capacity ring can never
+/// transfer anything.
+pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "ring capacity must be at least 1");
+    let shared = Arc::new(Shared {
+        slots: (0..capacity).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        producer_alive: AtomicBool::new(true),
+        consumer_alive: AtomicBool::new(true),
+    });
+    (Producer { shared: Arc::clone(&shared) }, Consumer { shared })
+}
+
+struct Shared<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the consumer will read. Only the consumer stores it.
+    head: AtomicUsize,
+    /// Next slot the producer will write. Only the producer stores it.
+    tail: AtomicUsize,
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+}
+
+// The slot array is shared across the two threads, but the cursor
+// protocol guarantees each slot is accessed by exactly one side at a
+// time: the producer only writes slots in [tail, head+capacity), the
+// consumer only reads slots in [head, tail).
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Both halves are gone; drop whatever is still in flight.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        let mut i = head;
+        while i != tail {
+            let slot = self.slots[i % self.slots.len()].get_mut();
+            unsafe { slot.assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+/// The sending half — exactly one exists per ring.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half — exactly one exists per ring.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Why a [`Producer::try_push`] did not enqueue; the rejected value is
+/// handed back in both cases.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The ring is at capacity — back-pressure; retry after the
+    /// consumer drains.
+    Full(T),
+    /// The consumer is gone; no push can ever succeed again.
+    Disconnected(T),
+}
+
+/// Why a [`Consumer::try_pop`] returned no item.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPopError {
+    /// Nothing in flight right now, but the producer is still alive.
+    Empty,
+    /// The producer is gone and everything it sent has been drained.
+    Disconnected,
+}
+
+/// The error of a blocking [`Producer::push`]: the consumer is gone.
+/// Hands the rejected value back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Disconnected<T>(pub T);
+
+impl<T: Send> Producer<T> {
+    /// Enqueue without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryPushError::Full`] when the ring is at capacity,
+    /// [`TryPushError::Disconnected`] when the consumer is gone; the
+    /// value is returned in both cases.
+    pub fn try_push(&mut self, value: T) -> Result<(), TryPushError<T>> {
+        if !self.shared.consumer_alive.load(Ordering::Acquire) {
+            return Err(TryPushError::Disconnected(value));
+        }
+        let tail = self.shared.tail.load(Ordering::Relaxed);
+        let head = self.shared.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == self.shared.slots.len() {
+            return Err(TryPushError::Full(value));
+        }
+        unsafe {
+            (*self.shared.slots[tail % self.shared.slots.len()].get()).write(value);
+        }
+        self.shared.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Enqueue, spinning (with scheduler yields) while the ring is full
+    /// — the back-pressure path.
+    ///
+    /// # Errors
+    ///
+    /// [`Disconnected`] with the value when the consumer is gone, so a
+    /// dead writer thread surfaces instead of deadlocking the session.
+    pub fn push(&mut self, value: T) -> Result<(), Disconnected<T>> {
+        let mut value = value;
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return Ok(()),
+                Err(TryPushError::Disconnected(v)) => return Err(Disconnected(v)),
+                Err(TryPushError::Full(v)) => {
+                    value = v;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Number of items currently in flight.
+    pub fn len(&self) -> usize {
+        let tail = self.shared.tail.load(Ordering::Relaxed);
+        let head = self.shared.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity this ring was created with.
+    pub fn capacity(&self) -> usize {
+        self.shared.slots.len()
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.shared.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+impl<T: Send> Consumer<T> {
+    /// Dequeue without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryPopError::Empty`] when nothing is in flight but the
+    /// producer lives; [`TryPopError::Disconnected`] only once the
+    /// producer is gone *and* every item it pushed has been drained —
+    /// dropping the producer never loses in-flight records.
+    pub fn try_pop(&mut self) -> Result<T, TryPopError> {
+        let head = self.shared.head.load(Ordering::Relaxed);
+        let mut tail = self.shared.tail.load(Ordering::Acquire);
+        if head == tail {
+            if self.shared.producer_alive.load(Ordering::Acquire) {
+                return Err(TryPopError::Empty);
+            }
+            // The producer died; its final pushes happen-before the
+            // liveness store we just observed, so one re-read of `tail`
+            // sees everything it ever enqueued.
+            tail = self.shared.tail.load(Ordering::Acquire);
+            if head == tail {
+                return Err(TryPopError::Disconnected);
+            }
+        }
+        let value = unsafe {
+            (*self.shared.slots[head % self.shared.slots.len()].get()).assume_init_read()
+        };
+        self.shared.head.store(head.wrapping_add(1), Ordering::Release);
+        Ok(value)
+    }
+
+    /// Dequeue, spinning (with scheduler yields) while the ring is
+    /// empty. Returns `None` once the producer is gone and the ring is
+    /// fully drained — the writer thread's "stream over" signal.
+    pub fn pop(&mut self) -> Option<T> {
+        loop {
+            match self.try_pop() {
+                Ok(value) => return Some(value),
+                Err(TryPopError::Disconnected) => return None,
+                Err(TryPopError::Empty) => std::thread::yield_now(),
+            }
+        }
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.shared.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_capacity_applies_back_pressure() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        for i in 0..4 {
+            assert_eq!(tx.try_push(i), Ok(()));
+        }
+        // Slot five must be refused, value handed back intact.
+        assert_eq!(tx.try_push(99), Err(TryPushError::Full(99)));
+        assert_eq!(tx.len(), 4);
+        // Draining one slot readmits exactly one push.
+        assert_eq!(rx.try_pop(), Ok(0));
+        assert_eq!(tx.try_push(99), Ok(()));
+        assert_eq!(tx.try_push(100), Err(TryPushError::Full(100)));
+    }
+
+    #[test]
+    fn empty_ring_reports_empty_while_producer_lives() {
+        let (tx, mut rx) = ring::<u32>(2);
+        assert_eq!(rx.try_pop(), Err(TryPopError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_pop(), Err(TryPopError::Disconnected));
+    }
+
+    #[test]
+    fn cross_thread_ordering_is_producer_order() {
+        // A small ring forces many wrap-arounds and real back-pressure;
+        // the consumer must still see 0..N in exact producer order.
+        const N: u64 = 100_000;
+        let (mut tx, mut rx) = ring::<u64>(8);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.push(i).expect("consumer lives until all items are sent");
+            }
+        });
+        for expect in 0..N {
+            assert_eq!(rx.pop(), Some(expect), "items must arrive in push order");
+        }
+        assert_eq!(rx.pop(), None, "after producer drop + drain: disconnected");
+        producer.join().expect("producer thread");
+    }
+
+    #[test]
+    fn drain_after_producer_drop_loses_nothing() {
+        let (mut tx, mut rx) = ring::<u32>(8);
+        for i in 0..5 {
+            tx.push(i).unwrap();
+        }
+        drop(tx);
+        // Everything pushed before the drop is still there, in order,
+        // and only then does the ring report disconnection.
+        for expect in 0..5 {
+            assert_eq!(rx.try_pop(), Ok(expect));
+        }
+        assert_eq!(rx.try_pop(), Err(TryPopError::Disconnected));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn push_fails_fast_when_consumer_is_gone() {
+        let (mut tx, rx) = ring::<u32>(2);
+        drop(rx);
+        assert_eq!(tx.try_push(7), Err(TryPushError::Disconnected(7)));
+        assert_eq!(tx.push(8), Err(Disconnected(8)), "blocking push must not spin forever");
+    }
+
+    #[test]
+    fn in_flight_items_are_dropped_with_the_ring() {
+        // Type whose drops are observable: if the ring leaked in-flight
+        // items, the strong count would stay above 1.
+        let tracker = Arc::new(());
+        let (mut tx, rx) = ring::<Arc<()>>(4);
+        for _ in 0..3 {
+            tx.push(Arc::clone(&tracker)).unwrap();
+        }
+        assert_eq!(Arc::strong_count(&tracker), 4);
+        drop(tx);
+        drop(rx);
+        assert_eq!(Arc::strong_count(&tracker), 1, "undrained items must be dropped");
+    }
+}

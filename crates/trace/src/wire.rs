@@ -1,0 +1,156 @@
+//! The integer vocabulary of the trace format: unsigned LEB128-style
+//! varints, zigzag-folded signed deltas, and CRC-32 (IEEE).
+//!
+//! Delta + varint is where the compression comes from: consecutive
+//! `Exec` records differ by tiny amounts (PC advances by one
+//! instruction, a store address walks an array), so most fields encode
+//! in a single byte. Zigzag folding maps small negative deltas (loop
+//! back-edges, downward-counting induction variables) to small unsigned
+//! values so they stay single-byte too.
+
+/// Append `v` as an unsigned LEB128 varint (7 payload bits per byte,
+/// high bit = continuation). Values below 128 take one byte.
+pub fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Read a varint written by [`write_uvarint`] from `buf` at `*pos`,
+/// advancing `*pos` past it. Returns `None` on a truncated or
+/// over-long (not representable in 64 bits) encoding.
+pub fn read_uvarint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && b & 0x7E != 0) {
+            return None;
+        }
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-fold a signed value so small magnitudes of either sign become
+/// small unsigned values: 0, -1, 1, -2, 2, … → 0, 1, 2, 3, 4, …
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Invert [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// The zigzag-folded wrapping difference `to - from`, ready for
+/// [`write_uvarint`]. Inverted by [`apply_delta`].
+pub fn delta(from: u64, to: u64) -> u64 {
+    zigzag(to.wrapping_sub(from) as i64)
+}
+
+/// Apply a delta produced by [`delta`]: reconstruct `to` from `from`.
+pub fn apply_delta(from: u64, d: u64) -> u64 {
+    from.wrapping_add(unzigzag(d) as u64)
+}
+
+/// The standard CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) lookup
+/// table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the per-chunk integrity check of the
+/// on-disk container.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_round_trips_edge_values() {
+        for v in
+            [0u64, 1, 127, 128, 129, 16_383, 16_384, u64::from(u32::MAX), u64::MAX - 1, u64::MAX]
+        {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_uvarint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len(), "the whole encoding must be consumed");
+        }
+    }
+
+    #[test]
+    fn uvarint_single_byte_below_128() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 127);
+        assert_eq!(buf, [127], "small values must cost one byte");
+        buf.clear();
+        write_uvarint(&mut buf, 128);
+        assert_eq!(buf, [0x80, 0x01]);
+    }
+
+    #[test]
+    fn uvarint_rejects_truncation_and_overflow() {
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&[0x80], &mut pos), None, "dangling continuation bit");
+        // 11 continuation bytes can never fit in 64 bits.
+        let overlong = [0xFFu8; 11];
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&overlong, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_folds_small_magnitudes_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for v in [0i64, 1, -1, 4, -4, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn delta_round_trips_including_wrapping() {
+        for (from, to) in [(0u64, 0u64), (100, 96), (96, 100), (u64::MAX, 0), (0, u64::MAX)] {
+            assert_eq!(apply_delta(from, delta(from, to)), to);
+        }
+        // A 4-byte backward branch must be a cheap delta.
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, delta(0x1_0010, 0x1_0000));
+        assert_eq!(buf.len(), 1, "small backward PC deltas must cost one byte");
+    }
+
+    #[test]
+    fn crc32_matches_the_standard_check_value() {
+        // The canonical CRC-32/IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}
