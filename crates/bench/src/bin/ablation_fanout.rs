@@ -1,0 +1,275 @@
+//! Chunked fan-out ablation: what slice-based observer dispatch with
+//! per-member store-interval prefilters buys over record-at-a-time
+//! fan-out. The observer batch runs a watch-sparse kernel — every store
+//! lands pages away from every watched cell — once per chunk size
+//! (`DISE_CHUNK=1` *is* the per-record fan-out: every record becomes a
+//! singleton chunk), on both the live-execution and trace-replay paths,
+//! for each observing backend solo and for the 4-member batch. A middle
+//! row per configuration (chunked, `DISE_TIMING_SHARE=0`) splits the
+//! win between chunk dispatch/prefiltering and copy-on-write timing
+//! groups. Output is asserted byte-identical across chunk sizes and
+//! sharing modes before any throughput is reported, and the whole table
+//! is also emitted as machine-readable `BENCH_fanout.json`.
+
+use std::path::Path;
+use std::time::Instant;
+
+use dise_asm::{parse_asm, Layout};
+use dise_cpu::CpuConfig;
+use dise_debug::{
+    fanout_chunks, fanout_chunks_scanned, fanout_chunks_skipped, Application, BackendKind,
+    ObserverBatch, SessionReport, WatchExpr, Watchpoint,
+};
+use dise_isa::Width;
+
+/// One member of the ablation batch: a display name, an observing
+/// backend, and the watched address.
+type Member = (&'static str, BackendKind, u64);
+
+/// One measured configuration, ready for both the console table and the
+/// JSON emission.
+struct Sample {
+    label: &'static str,
+    mode: &'static str,
+    chunk: u64,
+    share: bool,
+    records_per_sec: f64,
+    chunks: u64,
+    skipped: u64,
+    scanned: u64,
+    reports: Vec<Vec<SessionReport>>,
+}
+
+fn watchpoint(addr: u64) -> Watchpoint {
+    Watchpoint::new(WatchExpr::Scalar { addr, width: Width::Q })
+}
+
+fn batch<'a>(app: &'a Application, members: &[Member]) -> ObserverBatch<'a> {
+    let mut b = ObserverBatch::new(app);
+    for &(_, backend, addr) in members {
+        b.member(backend, vec![watchpoint(addr)], vec![CpuConfig::default()]);
+    }
+    b
+}
+
+/// Run `members` over `app` at the given chunk size, best-of-`reps`
+/// wall time, and return the throughput, chunk-counter deltas, and the
+/// reports (for the byte-identity assertion).
+#[allow(clippy::cast_precision_loss)]
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    label: &'static str,
+    app: &Application,
+    members: &[Member],
+    records: u64,
+    chunk: u64,
+    share: bool,
+    trace: Option<&Path>,
+    reps: u32,
+) -> Sample {
+    std::env::set_var("DISE_CHUNK", chunk.to_string());
+    std::env::set_var("DISE_TIMING_SHARE", if share { "1" } else { "0" });
+    let mode = if trace.is_some() { "replay" } else { "live" };
+    let (c0, s0, k0) = (fanout_chunks(), fanout_chunks_scanned(), fanout_chunks_skipped());
+    let mut best = f64::INFINITY;
+    let mut reports = Vec::new();
+    for _ in 0..reps.max(1) {
+        let b = batch(app, members);
+        let t = Instant::now();
+        let out = match trace {
+            Some(path) => b.run_from_trace(path),
+            None => b.run(),
+        };
+        best = best.min(t.elapsed().as_secs_f64());
+        reports = out
+            .expect("ablation batch runs")
+            .into_iter()
+            .map(|r| r.expect("every member is observable"))
+            .collect();
+    }
+    let reps = u64::from(reps.max(1));
+    let (chunks, scanned, skipped) = (
+        (fanout_chunks() - c0) / reps,
+        (fanout_chunks_scanned() - s0) / reps,
+        (fanout_chunks_skipped() - k0) / reps,
+    );
+    assert_eq!(
+        scanned + skipped,
+        members.len() as u64 * chunks,
+        "{label}/{mode}: every (member, chunk) pair is scanned xor skipped"
+    );
+    Sample {
+        label,
+        mode,
+        chunk,
+        share,
+        records_per_sec: records as f64 / best,
+        chunks,
+        skipped,
+        scanned,
+        reports,
+    }
+}
+
+fn json_row(s: &Sample) -> String {
+    format!(
+        "    {{\"config\": \"{}\", \"mode\": \"{}\", \"chunk\": {}, \"timing_share\": {}, \
+         \"records_per_sec\": {:.0}, \"chunks\": {}, \"skipped\": {}, \"scanned\": {}}}",
+        s.label, s.mode, s.chunk, s.share, s.records_per_sec, s.chunks, s.skipped, s.scanned
+    )
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let iters: u32 = dise_bench::env_number("DISE_ITERS", 20_000);
+    let reps: u32 = dise_bench::env_number("DISE_REPS", 5);
+    let chunk: u64 = dise_bench::env_number("DISE_CHUNK", 64);
+    assert!(chunk > 1, "the ablation compares DISE_CHUNK={chunk} against the per-record 1");
+
+    // The watch-sparse kernel: a tight store loop hammering `hot`,
+    // with every watched cell a page or more away — no store ever
+    // intersects a member's filter, so every clean chunk is skippable
+    // by every member. This isolates the dispatch cost the tentpole
+    // removes; the conformance and property suites already prove the
+    // dense/retargeting cases byte-identical.
+    // `lda` carries a 14-bit displacement; synthesize larger iteration
+    // counts as base * 2^k with a run of doublings.
+    let (mut base, mut doublings) = (i64::from(iters), String::new());
+    while base > 8191 {
+        base = (base + 1) / 2;
+        doublings.push_str("addq r4, r4, r4\n");
+    }
+    let app = Application::new(
+        parse_asm(&format!(
+            "        la      r1, hot
+                     lda     r4, {base}(zero)
+                     {doublings}
+             loop:   stq     r4, 0(r1)
+                     subq    r4, 1, r4
+                     bgt     r4, loop
+                     halt
+             .data
+             hot:    .quad 0
+                     .space 4096
+             cold:   .quad 0
+                     .space 4096
+             cold2:  .quad 0"
+        ))
+        .expect("kernel parses"),
+        Layout::default(),
+    );
+    let prog = app.program().expect("kernel assembles");
+    let (cold, cold2) = (prog.symbol("cold").unwrap(), prog.symbol("cold2").unwrap());
+    let records =
+        dise_debug::run_baseline(&app, CpuConfig::default()).expect("kernel runs").instructions;
+
+    let solo: [Member; 3] = [
+        ("virtual_memory", BackendKind::VirtualMemory, cold),
+        ("hw_registers", BackendKind::hw4(), cold),
+        ("dise_comparators", BackendKind::DiseComparators, cold),
+    ];
+    let batch4: [Member; 4] = [
+        ("virtual_memory", BackendKind::VirtualMemory, cold),
+        ("hw_registers", BackendKind::hw4(), cold),
+        ("dise_comparators", BackendKind::DiseComparators, cold),
+        ("virtual_memory", BackendKind::VirtualMemory, cold2),
+    ];
+
+    // One recorded pass feeds every replay measurement.
+    let dir = std::env::temp_dir().join(format!("dise-fanout-ablation-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let trace = dir.join("kernel.dtrc");
+    dise_debug::record_session(&app, &trace).expect("kernel records");
+
+    println!("Chunked fan-out ablation ({iters}-iteration kernel, {records} records)\n");
+    println!(
+        "{:<22}{:>8}{:>7}{:>7}{:>13}{:>9}{:>9}{:>9}",
+        "config", "mode", "chunk", "share", "Mrec/s", "chunks", "skipped", "scanned"
+    );
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut speedups = Vec::new();
+    for members in
+        std::iter::once(&batch4[..]).chain(solo.iter().map(std::slice::from_ref::<Member>))
+    {
+        let label = if members.len() == 4 { "batch4" } else { members[0].0 };
+        for trace in [None, Some(trace.as_path())] {
+            // The baseline is the pre-chunking fan-out: every record
+            // dispatched alone, every member consuming privately. The
+            // middle row isolates the dispatch/prefilter win from the
+            // shared-timing win.
+            let per_record = measure(label, &app, members, records, 1, false, trace, reps);
+            let chunked_priv = measure(label, &app, members, records, chunk, false, trace, reps);
+            let chunked = measure(label, &app, members, records, chunk, true, trace, reps);
+            assert_eq!(
+                chunked_priv.reports, per_record.reports,
+                "{label}: chunked fan-out must be byte-identical to per-record"
+            );
+            assert_eq!(
+                chunked.reports, per_record.reports,
+                "{label}: shared timing must be byte-identical to private timing"
+            );
+            let speedup = chunked.records_per_sec / per_record.records_per_sec;
+            let mode = chunked.mode;
+            for s in [per_record, chunked_priv, chunked] {
+                println!(
+                    "{:<22}{:>8}{:>7}{:>7}{:>13.2}{:>9}{:>9}{:>9}",
+                    s.label,
+                    s.mode,
+                    s.chunk,
+                    s.share,
+                    s.records_per_sec / 1e6,
+                    s.chunks,
+                    s.skipped,
+                    s.scanned
+                );
+                samples.push(s);
+            }
+            if label == "batch4" {
+                speedups.push((mode, speedup));
+            }
+        }
+    }
+
+    println!(
+        "\n4-member batch, chunked shared-timing fan-out (DISE_CHUNK={chunk}) over \
+         per-record private-timing dispatch (DISE_CHUNK=1, DISE_TIMING_SHARE=0):"
+    );
+    for (mode, speedup) in &speedups {
+        println!("  {mode:<7} {speedup:.2}x records/sec");
+    }
+    let best = speedups.iter().map(|&(_, s)| s).fold(0.0f64, f64::max);
+    assert!(
+        best >= 2.0,
+        "acceptance bar: >=2x records/sec on the watch-sparse 4-member batch, got {best:.2}x"
+    );
+
+    let rows: Vec<String> = samples.iter().map(json_row).collect();
+    let json = format!(
+        "{{\n  \"kernel\": \"cold_watch_loop\",\n  \"iters\": {iters},\n  \
+         \"records\": {records},\n  \"chunk\": {chunk},\n  \"reps\": {reps},\n  \
+         \"batch4_speedup\": {{{}}},\n  \"configs\": [\n{}\n  ]\n}}\n",
+        speedups
+            .iter()
+            .map(|(mode, s)| format!("\"{mode}\": {s:.3}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_fanout.json", &json).expect("write BENCH_fanout.json");
+    println!("\nwrote BENCH_fanout.json");
+
+    println!(
+        "\nThe skipped column is the dispatch half of the tentpole: on a \
+         watch-sparse stream the summary/filter intersection rejects whole \
+         chunks per member, so no member's observer ever touches a clean \
+         record. The share column is the timing half: members with identical \
+         CpuConfig lists hold bit-identical timing state until their first \
+         spurious stall, so one copy-on-write timing group consumes each \
+         chunk once instead of {} times. Per-record private-timing dispatch \
+         (chunk 1, share off) — the pre-chunking fan-out — pays both costs \
+         on every kernel instruction.",
+        batch4.len()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -28,8 +28,9 @@ use dise_bench::{
 };
 use dise_cpu::CpuConfig;
 use dise_debug::{
-    checkpoint_forks, functional_passes, image_loads, trace_records, trace_replays, BackendKind,
-    BaselineCache, DiseStrategy,
+    checkpoint_forks, fanout_chunks, fanout_chunks_scanned, fanout_chunks_skipped,
+    functional_passes, image_loads, trace_records, trace_replays, BackendKind, BaselineCache,
+    DiseStrategy,
 };
 use dise_workloads::{all, transition_cost_sweep, watchpoint_set_sweep, WatchKind};
 
@@ -97,6 +98,7 @@ fn grids_execute_once_per_functional_stream_not_once_per_cell() {
     let unbatched = run_overhead_grid(&observer_cells, 1, &baselines, false);
     assert_eq!(functional_passes() - before, 12, "unbatched watchpoint axis: one pass per cell");
     let before = functional_passes();
+    let (fc0, fs0, fk0) = (fanout_chunks(), fanout_chunks_scanned(), fanout_chunks_skipped());
     let batched = run_overhead_grid(&observer_cells, 1, &baselines, true);
     assert_eq!(
         functional_passes() - before,
@@ -104,6 +106,28 @@ fn grids_execute_once_per_functional_stream_not_once_per_cell() {
         "batched: ONE pass per workload across watchpoint sets x backends x timing"
     );
     assert_eq!(batched, unbatched, "the watchpoint axis must not change a single byte");
+
+    // The chunked fan-out conservation bar: every (member, chunk) pair
+    // is skipped wholesale or scanned record-by-record — never both,
+    // never neither. The shared pass carries 6 members (3 watchpoint
+    // sets x 2 observing backends; timing configs ride *inside* a
+    // member's TimingBatch and do not multiply the fan-out).
+    let (fc, fs, fk) =
+        (fanout_chunks() - fc0, fanout_chunks_scanned() - fs0, fanout_chunks_skipped() - fk0);
+    assert!(fc > 0, "the shared observer pass must be chunked");
+    assert_eq!(fs + fk, 6 * fc, "skipped + scanned == members x chunks");
+
+    // Solo member: the invariant in its literal per-member form,
+    // `skipped + scanned == chunks`.
+    let solo =
+        [SessionJob::new(w.clone(), wp.clone(), BackendKind::VirtualMemory, CpuConfig::default())];
+    let (fc0, fs0, fk0) = (fanout_chunks(), fanout_chunks_scanned(), fanout_chunks_skipped());
+    run_overhead_grid(&solo, 1, &baselines, true);
+    assert_eq!(
+        (fanout_chunks_scanned() - fs0) + (fanout_chunks_skipped() - fk0),
+        fanout_chunks() - fc0,
+        "solo member: skipped + scanned == chunks"
+    );
 
     // Perturbing cells are unchanged by the new axis: adding a DISE
     // cell per watchpoint set costs exactly one private replay per set

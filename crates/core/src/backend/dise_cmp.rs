@@ -43,7 +43,9 @@ use dise_mem::Memory;
 
 use crate::backend::{classify, BackendImpl, ObserverImpl};
 use crate::session::DebugError;
-use crate::{Application, Transition, TransitionStats, WatchExpr, WatchState, Watchpoint};
+use crate::{
+    Application, Transition, TransitionStats, WatchExpr, WatchFilter, WatchState, Watchpoint,
+};
 
 /// Bound-register pairs the organisation provides: the paper's engine
 /// tables are tens of entries, and each pair needs two address
@@ -144,6 +146,16 @@ impl ObserverImpl for CmpObserver {
         _stats: &mut TransitionStats,
     ) -> Option<Transition> {
         observe_store(e, mem, watch)
+    }
+
+    /// The bound pairs mirror the watchpoints' *current* intervals —
+    /// for an indirect watch that is both the pointer cell and the
+    /// present target, so a retargeting store always hits the filter
+    /// and forces the scan that reprograms the pairs. Dynamic exactly
+    /// when some expression follows run-time state.
+    fn filter(&self, watch: &WatchState, mem: &Memory) -> WatchFilter {
+        let dynamic = watch.watchpoints().any(|w| !w.expr.statically_addressable());
+        WatchFilter::new(watch.watched_intervals(mem), dynamic)
     }
 }
 

@@ -12,7 +12,9 @@ use crate::backend::{
     BackendImpl, ObserverImpl,
 };
 use crate::session::DebugError;
-use crate::{Application, Transition, TransitionStats, WatchExpr, WatchState, Watchpoint};
+use crate::{
+    Application, Transition, TransitionStats, WatchExpr, WatchFilter, WatchState, Watchpoint,
+};
 
 /// How a register budget covers a watchpoint set: the quad-aligned
 /// addresses loaded into the comparators, and the pages protected for
@@ -161,5 +163,14 @@ impl ObserverImpl for HwObserver {
             return Some(classify(changed, pred_ok, wrote));
         }
         None
+    }
+
+    /// Comparators match quad-aligned quads and the overflow fallback
+    /// traps whole pages; the filter is the union of both — static by
+    /// construction (only scalar watchpoints survive [`plan`]).
+    fn filter(&self, _watch: &WatchState, _mem: &Memory) -> WatchFilter {
+        let mut intervals: Vec<(u64, u64)> = self.quads.iter().map(|&q| (q, 8)).collect();
+        intervals.extend(self.fallback_pages.iter().map(|&p| (p, dise_mem::PAGE_SIZE)));
+        WatchFilter::new(intervals, false)
     }
 }

@@ -8,7 +8,7 @@ use dise_mem::{Memory, PAGE_SIZE};
 
 use crate::backend::{classify, BackendImpl, ObserverImpl};
 use crate::session::DebugError;
-use crate::{Application, Transition, TransitionStats, WatchState, Watchpoint};
+use crate::{Application, Transition, TransitionStats, WatchFilter, WatchState, Watchpoint};
 
 #[derive(Clone, Debug, Default)]
 pub(crate) struct VirtualMemory;
@@ -89,6 +89,13 @@ impl ObserverImpl for VmObserver {
         let wrote = watch.store_overlaps(mem, m.addr, m.width);
         let (changed, pred_ok) = watch.reevaluate(mem);
         Some(classify(changed, pred_ok, wrote))
+    }
+
+    /// Page protection traps on whole pages, so the filter is exactly
+    /// the protected pages — static by construction (indirect
+    /// watchpoints were rejected at [`VmObserver::new`]).
+    fn filter(&self, _watch: &WatchState, _mem: &Memory) -> WatchFilter {
+        WatchFilter::new(self.pages.iter().map(|&p| (p, PAGE_SIZE)).collect(), false)
     }
 }
 

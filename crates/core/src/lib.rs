@@ -83,9 +83,12 @@ pub use session::{
 };
 pub use stats::{Transition, TransitionStats};
 pub use strategy::{CheckKind, DiseStrategy, MultiMatch};
-pub use task::{SessionTask, Step, TaskOutput, TaskProgress};
+pub use task::{
+    fanout_chunks, fanout_chunks_scanned, fanout_chunks_skipped, SessionTask, Step, TaskOutput,
+    TaskProgress,
+};
 pub use trace::{app_fingerprint, record_session, replay_from_trace, trace_records, trace_replays};
-pub use watch::{Condition, WatchExpr, WatchState, WatchValue, Watchpoint};
+pub use watch::{Condition, WatchExpr, WatchFilter, WatchState, WatchValue, Watchpoint};
 
 // Callers matching on `DebugError::Trace` need the nested error type.
 pub use dise_trace::TraceError;

@@ -36,12 +36,12 @@
 //! cheaply on a single core.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use dise_asm::Program;
 use dise_cpu::{
-    program_fingerprint, CpuConfig, Event, ExecError, Executor, TimingBatch, TraceReader,
-    TraceWriter,
+    chunk_capacity_from_env, program_fingerprint, CpuConfig, Event, Exec, ExecChunk, ExecError,
+    Executor, RunStats, TimingBatch, TraceReader, TraceWriter,
 };
 use dise_mem::Memory;
 
@@ -51,7 +51,37 @@ use crate::session::{
     IMAGE_LOADS,
 };
 use crate::trace::{TRACE_RECORDS, TRACE_REPLAYS};
-use crate::{Application, BackendKind, TransitionStats, WatchState, Watchpoint};
+use crate::{
+    Application, BackendKind, Transition, TransitionStats, WatchFilter, WatchState, Watchpoint,
+};
+
+/// Chunks dispatched by the slice-based observer fan-out, live and
+/// replayed alike (a dirty record dispatches as its own chunk of one).
+pub(crate) static FANOUT_CHUNKS: AtomicU64 = AtomicU64::new(0);
+/// Per-member skip decisions: the member's [`WatchFilter`] proved no
+/// buffered store touched a watched byte (and the chunk carried no
+/// event), so `observe` never ran and only the bulk timing slice was
+/// charged.
+pub(crate) static FANOUT_CHUNKS_SKIPPED: AtomicU64 = AtomicU64::new(0);
+/// Per-member scan decisions: the chunk summary intersected the
+/// member's filter (or carried an event), so the member scanned the
+/// records one by one. `skipped + scanned == members × chunks`, always.
+pub(crate) static FANOUT_CHUNKS_SCANNED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of chunks dispatched by the observer fan-out.
+pub fn fanout_chunks() -> u64 {
+    FANOUT_CHUNKS.load(Ordering::Relaxed)
+}
+
+/// Process-wide count of per-member whole-chunk skips (filter miss).
+pub fn fanout_chunks_skipped() -> u64 {
+    FANOUT_CHUNKS_SKIPPED.load(Ordering::Relaxed)
+}
+
+/// Process-wide count of per-member record-by-record chunk scans.
+pub fn fanout_chunks_scanned() -> u64 {
+    FANOUT_CHUNKS_SCANNED.load(Ordering::Relaxed)
+}
 
 /// What one [`SessionTask::poll`] call reports.
 #[derive(Debug)]
@@ -329,13 +359,214 @@ impl GroupRun {
 }
 
 /// One admitted member of an observer pass: its replayable detector and
-/// private accounting, fed the shared `Exec` stream.
+/// private accounting, fed the shared `Exec` stream. `filter` is the
+/// member's precomputed store-footprint prefilter; the fan-out rebuilds
+/// it (for dynamic filters only) after every forced scan.
 struct LiveObserver {
     member: usize,
     observer: Box<dyn ObserverImpl>,
     watch: WatchState,
-    timings: TimingBatch,
+    filter: WatchFilter,
+    timing: MemberTiming,
     stats: TransitionStats,
+}
+
+/// Where a member's timing models live: in a shared copy-on-write
+/// [`TimingGroup`], or privately once the member's cycle stream has
+/// diverged from its group's.
+///
+/// Timing is a pure function of the record stream and the member's
+/// *spurious-stall* sequence (non-spurious transitions touch statistics,
+/// never cycles). Members admitted with identical `CpuConfig` lists
+/// therefore hold bit-identical timing state until the first spurious
+/// transition — so the fan-out consumes each chunk **once per group**
+/// instead of once per member, and a member forks its private copy of
+/// the group state (exactly as of the preceding chunk) at the moment it
+/// first needs to interleave a stall. `DISE_TIMING_SHARE=0` disables
+/// the sharing; every report is byte-identical either way.
+enum MemberTiming {
+    Shared(usize),
+    Private(TimingBatch),
+}
+
+impl MemberTiming {
+    /// The member is about to interleave a stall with its consumes:
+    /// detach from the shared group (which has *not* consumed the
+    /// current chunk yet) and return the private models.
+    fn fork<'a>(&'a mut self, groups: &[TimingGroup]) -> &'a mut TimingBatch {
+        if let MemberTiming::Shared(g) = *self {
+            *self = MemberTiming::Private(groups[g].timings.clone());
+        }
+        match self {
+            MemberTiming::Private(t) => t,
+            MemberTiming::Shared(_) => unreachable!("just forked"),
+        }
+    }
+}
+
+/// One shared timing state per distinct `CpuConfig` list across the
+/// batch's members.
+struct TimingGroup {
+    timings: TimingBatch,
+    cfgs: Vec<CpuConfig>,
+}
+
+/// Must `e` leave the clean bulk path? A record is dirty when it
+/// carries an event (every member must classify it at exact memory) or
+/// its store touches some member's filter (that member must observe it
+/// at exact memory — and for an indirect watch the filter includes the
+/// pointer cell, so a retargeting store is always dirty and the filters
+/// never go stale inside a clean chunk).
+fn record_is_dirty(live: &[LiveObserver], e: &Exec) -> bool {
+    if e.event.is_some() {
+        return true;
+    }
+    match e.mem {
+        Some(m) if m.is_store => live.iter().any(|l| l.filter.hits_store(m.addr, m.width)),
+        _ => false,
+    }
+}
+
+/// The chunk-at-a-time fan-out shared verbatim by the live pass and the
+/// trace replay (the two loops previously duplicated this logic
+/// record-at-a-time). One scratch chunk and one scratch hit list live
+/// for the whole run — no per-record heap traffic.
+///
+/// The dispatch contract, per chunk and per member:
+///
+/// - the member's [`WatchFilter`] misses the chunk's
+///   [`dise_cpu::ChunkSummary`] and the chunk carries no event → the
+///   member's `observe` is skipped for every record and its timing
+///   models consume the records as one bulk slice;
+/// - otherwise the member scans record by record, with the exact
+///   consume/observe/stall interleaving of the scalar loop.
+///
+/// Byte-identity for every chunk size rests on one invariant: `observe`
+/// only ever runs against memory *exactly* as of its record. Clean
+/// chunks guarantee it vacuously (no watched byte moved, so observation
+/// is memory-independent for every skipped *and* scanned member);
+/// dirty records are dispatched as chunks of one.
+struct FanOut {
+    chunk: ExecChunk,
+    hits: Vec<(u32, Transition)>,
+    groups: Vec<TimingGroup>,
+    /// Per-chunk scratch: which groups still owe this chunk a consume.
+    pending: Vec<bool>,
+}
+
+impl FanOut {
+    fn new(groups: Vec<TimingGroup>) -> FanOut {
+        FanOut {
+            chunk: ExecChunk::with_capacity(chunk_capacity_from_env()),
+            hits: Vec::new(),
+            pending: vec![false; groups.len()],
+            groups,
+        }
+    }
+
+    /// Dispatch the buffered records to every member and reset the
+    /// chunk. No-op on an empty chunk.
+    ///
+    /// Per member: skip (filter misses, no event), or scan. A scanning
+    /// member whose hits carry no spurious stall only *counts* them —
+    /// its cycle stream is still the plain slice, so its timing stays
+    /// with the group. Group consumes run last, after every possible
+    /// fork has copied the group's pre-chunk state.
+    fn flush(&mut self, live: &mut [LiveObserver], mem: &Memory) {
+        if self.chunk.is_empty() {
+            return;
+        }
+        FANOUT_CHUNKS.fetch_add(1, Ordering::Relaxed);
+        let summary = *self.chunk.summary();
+        let records = self.chunk.records();
+        for p in &mut self.pending {
+            *p = false;
+        }
+        for l in live.iter_mut() {
+            let consumed = if summary.any_event() || l.filter.intersects(&summary) {
+                scan_member(l, &self.groups, records, &mut self.hits, mem)
+            } else {
+                FANOUT_CHUNKS_SKIPPED.fetch_add(1, Ordering::Relaxed);
+                false
+            };
+            if !consumed {
+                match &mut l.timing {
+                    MemberTiming::Shared(g) => self.pending[*g] = true,
+                    MemberTiming::Private(t) => t.consume_slice(records),
+                }
+            }
+        }
+        for (g, pending) in self.groups.iter_mut().zip(&self.pending) {
+            if *pending {
+                g.timings.consume_slice(records);
+            }
+        }
+        self.chunk.clear();
+    }
+
+    /// Dispatch one dirty record as its own chunk — after the clean
+    /// prefix has been flushed, so `mem` is exactly as of `e`. Returns
+    /// the execution error the record carries, if any.
+    fn dispatch_dirty(
+        &mut self,
+        e: &Exec,
+        live: &mut [LiveObserver],
+        mem: &Memory,
+    ) -> Option<ExecError> {
+        debug_assert!(self.chunk.is_empty(), "flush the clean prefix before a dirty record");
+        self.chunk.push(*e);
+        self.flush(live, mem);
+        match e.event {
+            Some(Event::Error(err)) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+/// One member's record-by-record chunk scan. When a hit is spurious the
+/// member must interleave a stall with its consumes — it forks off its
+/// timing group (pre-chunk state) and reproduces the scalar loop's
+/// exact ordering: each record consumed before its transition is
+/// counted and stalled. Hits without stalls only touch statistics, so
+/// the member's cycle stream is still the plain slice and its timing
+/// stays shared (the caller consumes it group-wise); the return value
+/// says whether this member's models already consumed the chunk. A
+/// dynamic filter is rebuilt afterwards — the scan may have moved an
+/// indirect watch's target.
+fn scan_member(
+    l: &mut LiveObserver,
+    groups: &[TimingGroup],
+    records: &[Exec],
+    hits: &mut Vec<(u32, Transition)>,
+    mem: &Memory,
+) -> bool {
+    FANOUT_CHUNKS_SCANNED.fetch_add(1, Ordering::Relaxed);
+    hits.clear();
+    l.observer.observe_slice(records, mem, &mut l.watch, &mut l.stats, hits);
+    let consumed = if hits.iter().any(|&(_, t)| t.is_spurious()) {
+        let timings = l.timing.fork(groups);
+        let mut next = 0usize;
+        for &(i, t) in hits.iter() {
+            let i = i as usize;
+            timings.consume_slice(&records[next..=i]);
+            next = i + 1;
+            l.stats.count(t);
+            if t.is_spurious() {
+                timings.debugger_stall();
+            }
+        }
+        timings.consume_slice(&records[next..]);
+        true
+    } else {
+        for &(_, t) in hits.iter() {
+            l.stats.count(t);
+        }
+        false
+    };
+    if l.filter.is_dynamic() {
+        l.filter = l.observer.filter(&l.watch, mem);
+    }
+    consumed
 }
 
 /// The observer-batch continuation: one shared machine and every
@@ -344,6 +575,7 @@ struct LiveObserver {
 struct ObserveRun {
     exec: Executor,
     live: Vec<LiveObserver>,
+    fan: FanOut,
     results: Vec<Result<Vec<SessionReport>, DebugError>>,
     error: Option<ExecError>,
     text_bytes: u64,
@@ -354,27 +586,28 @@ struct ObserveRun {
 
 impl ObserveRun {
     fn drive_budget(&mut self, budget: u64) -> u64 {
+        let ObserveRun { exec, live, fan, error, writer, .. } = self;
         let mut n = 0u64;
-        while !self.exec.is_halted() && n < budget {
-            let e = self.exec.step();
-            n += 1;
-            if let Some(w) = self.writer.as_mut() {
-                w.record(&e);
-            }
-            for l in &mut self.live {
-                l.timings.consume(&e);
-                if let Some(t) = l.observer.observe(&e, self.exec.mem(), &mut l.watch, &mut l.stats)
-                {
-                    l.stats.count(t);
-                    if t.is_spurious() {
-                        l.timings.debugger_stall();
-                    }
+        while n < budget && !exec.is_halted() {
+            let (stepped, dirty) = exec.step_chunk(&mut fan.chunk, budget - n, |e| {
+                if let Some(w) = writer.as_mut() {
+                    w.record(e);
                 }
-            }
-            if let Some(Event::Error(err)) = e.event {
-                self.error = Some(err);
+                record_is_dirty(live, e)
+            });
+            n += stepped;
+            if let Some(e) = dirty {
+                fan.flush(live, exec.mem());
+                if let Some(err) = fan.dispatch_dirty(&e, live, exec.mem()) {
+                    *error = Some(err);
+                }
+            } else if fan.chunk.is_full() {
+                fan.flush(live, exec.mem());
             }
         }
+        // Nothing buffers across polls: a yielded task is exactly as
+        // dispatched as a run-to-completion one.
+        fan.flush(live, exec.mem());
         n
     }
 
@@ -391,22 +624,30 @@ impl ObserveRun {
                 panic!("failed to persist the recorded session trace: {e}");
             }
         }
-        finish_members(self.live, self.results, self.error, self.text_bytes)
+        finish_members(self.live, self.fan.groups, self.results, self.error, self.text_bytes)
     }
 }
 
 /// Scatter the finished members into their result slots — shared by the
 /// live-pass and replay continuations, which must agree bit-for-bit.
+/// Each group's timing models are finished **once**; every member still
+/// on the group reports those same stats — bit-identical to the private
+/// models it never needed (cloning the whole model state instead would
+/// cost thousands of cache-set allocations per member).
 fn finish_members(
     live: Vec<LiveObserver>,
+    groups: Vec<TimingGroup>,
     mut results: Vec<Result<Vec<SessionReport>, DebugError>>,
     error: Option<ExecError>,
     text_bytes: u64,
 ) -> Vec<Result<Vec<SessionReport>, DebugError>> {
+    let group_runs: Vec<Vec<RunStats>> = groups.into_iter().map(|g| g.timings.finish()).collect();
     for l in live {
-        results[l.member] = Ok(l
-            .timings
-            .finish()
+        let runs = match l.timing {
+            MemberTiming::Private(t) => t.finish(),
+            MemberTiming::Shared(g) => group_runs[g].clone(),
+        };
+        results[l.member] = Ok(runs
             .into_iter()
             .map(|run| SessionReport { run, transitions: l.stats, error, text_bytes })
             .collect());
@@ -424,6 +665,7 @@ struct ReplayRun {
     reader: TraceReader,
     mem: Memory,
     live: Vec<LiveObserver>,
+    fan: FanOut,
     results: Vec<Result<Vec<SessionReport>, DebugError>>,
     error: Option<ExecError>,
     text_bytes: u64,
@@ -432,41 +674,43 @@ struct ReplayRun {
 
 impl ReplayRun {
     fn drive_budget(&mut self, budget: u64) -> u64 {
+        let ReplayRun { reader, mem, live, fan, error, exhausted, .. } = self;
         let mut n = 0u64;
-        while !self.exhausted && n < budget {
-            let e = match self.reader.next() {
-                Ok(Some(e)) => e,
-                Ok(None) => {
-                    self.exhausted = true;
-                    break;
+        while n < budget && !*exhausted {
+            let step = reader.next_chunk(&mut fan.chunk, budget - n, |e| {
+                // Mirror the live order: the machine performs a store
+                // before observers see its record. Applying it before
+                // the dirty verdict is safe — a clean record's store
+                // missed every filter, so no member observation can
+                // read the bytes it moved.
+                if let Some(m) = e.mem {
+                    if m.is_store {
+                        mem.write_u(m.addr, m.width, m.new_value);
+                    }
                 }
+                record_is_dirty(live, e)
+            });
+            let (read, dirty) = match step {
+                Ok(r) => r,
                 // `TraceReader::open` validated every CRC eagerly, so a
                 // mid-stream decode failure means hand-damaged bytes
                 // that still satisfied their checksum — reject loudly,
                 // never deliver a silently wrong replay.
                 Err(e) => panic!("trace replay failed mid-stream: {e}"),
             };
-            n += 1;
-            // Mirror the live order: the machine performs a store
-            // before observers see its record.
-            if let Some(m) = e.mem {
-                if m.is_store {
-                    self.mem.write_u(m.addr, m.width, m.new_value);
+            n += read;
+            if let Some(e) = dirty {
+                fan.flush(live, mem);
+                if let Some(err) = fan.dispatch_dirty(&e, live, mem) {
+                    *error = Some(err);
                 }
-            }
-            for l in &mut self.live {
-                l.timings.consume(&e);
-                if let Some(t) = l.observer.observe(&e, &self.mem, &mut l.watch, &mut l.stats) {
-                    l.stats.count(t);
-                    if t.is_spurious() {
-                        l.timings.debugger_stall();
-                    }
-                }
-            }
-            if let Some(Event::Error(err)) = e.event {
-                self.error = Some(err);
+            } else if fan.chunk.is_full() {
+                fan.flush(live, mem);
+            } else if read == 0 {
+                *exhausted = true;
             }
         }
+        fan.flush(live, mem);
         n
     }
 
@@ -475,7 +719,7 @@ impl ReplayRun {
     }
 
     fn finish(self) -> Vec<Result<Vec<SessionReport>, DebugError>> {
-        finish_members(self.live, self.results, self.error, self.text_bytes)
+        finish_members(self.live, self.fan.groups, self.results, self.error, self.text_bytes)
     }
 }
 
@@ -816,28 +1060,48 @@ fn assert_observation_only(members: &[(BackendKind, Vec<Watchpoint>, Vec<CpuConf
 /// image, settling failures into their result slots. The two paths
 /// must admit identically or replayed results could diverge from live
 /// ones in *shape*, not just content.
+#[allow(clippy::type_complexity)]
 fn admit_members(
     members: &[(BackendKind, Vec<Watchpoint>, Vec<CpuConfig>)],
     mem: &Memory,
-) -> (Vec<LiveObserver>, Vec<Result<Vec<SessionReport>, DebugError>>) {
+) -> (Vec<LiveObserver>, Vec<TimingGroup>, Vec<Result<Vec<SessionReport>, DebugError>>) {
+    let share = dise_env::env_flag("DISE_TIMING_SHARE", true);
     let mut results: Vec<Result<Vec<SessionReport>, DebugError>> =
         members.iter().map(|_| Ok(Vec::new())).collect();
     let mut live: Vec<LiveObserver> = Vec::new();
+    let mut groups: Vec<TimingGroup> = Vec::new();
     for (i, (backend, watchpoints, cpus)) in members.iter().enumerate() {
         let admitted = validate_watchpoints(watchpoints)
             .and_then(|()| backend.instantiate_observer(watchpoints));
         match admitted {
-            Ok(observer) => live.push(LiveObserver {
-                member: i,
-                observer,
-                watch: WatchState::new(watchpoints, mem),
-                timings: TimingBatch::new(cpus),
-                stats: TransitionStats::default(),
-            }),
+            Ok(observer) => {
+                let watch = WatchState::new(watchpoints, mem);
+                let filter = observer.filter(&watch, mem);
+                let timing = if share {
+                    let g = groups.iter().position(|g| g.cfgs == *cpus).unwrap_or_else(|| {
+                        groups.push(TimingGroup {
+                            timings: TimingBatch::new(cpus),
+                            cfgs: cpus.clone(),
+                        });
+                        groups.len() - 1
+                    });
+                    MemberTiming::Shared(g)
+                } else {
+                    MemberTiming::Private(TimingBatch::new(cpus))
+                };
+                live.push(LiveObserver {
+                    member: i,
+                    observer,
+                    watch,
+                    filter,
+                    timing,
+                    stats: TransitionStats::default(),
+                });
+            }
             Err(e) => results[i] = Err(e),
         }
     }
-    (live, results)
+    (live, groups, results)
 }
 
 /// Admission for an observer batch: `ObserverBatch::run` up to the
@@ -853,7 +1117,7 @@ fn admit_observe(spec: ObserveSpec) -> Result<Admitted, DebugError> {
     let cfg = spec.members.iter().find_map(|(.., cpus)| cpus.first()).copied().unwrap_or_default();
     let exec = Executor::from_program(&prog, cfg);
     IMAGE_LOADS.fetch_add(1, Ordering::Relaxed);
-    let (live, results) = admit_members(&spec.members, exec.mem());
+    let (live, groups, results) = admit_members(&spec.members, exec.mem());
     if live.is_empty() {
         // No pass runs, so nothing is recorded either: a group that
         // settles at admission stays settled — and cold — forever.
@@ -871,6 +1135,7 @@ fn admit_observe(spec: ObserveSpec) -> Result<Admitted, DebugError> {
     Ok(Admitted::Live(Box::new(ObserveRun {
         exec,
         live,
+        fan: FanOut::new(groups),
         results,
         error: None,
         text_bytes: prog.text_bytes(),
@@ -889,7 +1154,7 @@ fn admit_replay(spec: ReplaySpec) -> Result<ReplayAdmitted, DebugError> {
     let reader = TraceReader::open(&spec.trace, Some(program_fingerprint(&prog)))?;
     let mut mem = Memory::new();
     prog.load(&mut mem);
-    let (live, results) = admit_members(&spec.members, &mem);
+    let (live, groups, results) = admit_members(&spec.members, &mem);
     if live.is_empty() {
         return Ok(ReplayAdmitted::Settled(results));
     }
@@ -898,6 +1163,7 @@ fn admit_replay(spec: ReplaySpec) -> Result<ReplayAdmitted, DebugError> {
         reader,
         mem,
         live,
+        fan: FanOut::new(groups),
         results,
         error: None,
         text_bytes: prog.text_bytes(),

@@ -51,8 +51,9 @@ mod trace;
 
 pub use config::CpuConfig;
 pub use exec::{
-    BlockCacheStats, Branch, BranchKind, Event, Exec, ExecError, Executor, ExecutorCheckpoint,
-    FlushKind, ForkConfigError, MemOp, NUM_REGS,
+    chunk_capacity_from_env, BlockCacheStats, Branch, BranchKind, ChunkSummary, Event, Exec,
+    ExecChunk, ExecError, Executor, ExecutorCheckpoint, FlushKind, ForkConfigError, MemOp,
+    NUM_REGS,
 };
 pub use predictor::{BpredConfig, Predictor};
 pub use timing::{RunStats, Timing, TimingBatch};

@@ -417,6 +417,21 @@ impl TimingBatch {
         }
     }
 
+    /// Account a whole slice of consecutive instructions in every
+    /// model, models-outer / records-inner: each model walks the slice
+    /// while its own state is hot, eliminating the per-record batch
+    /// dispatch. Per-model state is fully isolated, so this is
+    /// cycle-identical to calling [`TimingBatch::consume`] once per
+    /// record — valid only while no per-record side channel (a debugger
+    /// stall) interleaves with the slice.
+    pub fn consume_slice(&mut self, slice: &[Exec]) {
+        for t in &mut self.models {
+            for e in slice {
+                t.consume(e);
+            }
+        }
+    }
+
     /// Charge every model a spurious debugger transition at its own
     /// configured [`CpuConfig::debugger_transition_cost`].
     pub fn debugger_stall(&mut self) {

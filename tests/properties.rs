@@ -468,3 +468,172 @@ proptest! {
         prop_assert!(stats.cycles < stats.instructions * 200 + 2_000);
     }
 }
+
+/// One step of the watched-pointer kernel behind
+/// `chunked_fanout_is_byte_identical_for_every_chunk_size`.
+#[derive(Clone, Debug, PartialEq)]
+enum WatchAction {
+    /// Store `v` into watched-slot `j`.
+    StoreSlot { j: u8, v: u8 },
+    /// Repoint the watched pointer cell at slot `j` — the filter's
+    /// hardest case when it lands mid-chunk.
+    Retarget { j: u8 },
+    /// Store `v` into the unwatched noise region at offset `8k`.
+    Noise { k: u8, v: u8 },
+}
+
+fn any_watch_action() -> impl Strategy<Value = WatchAction> {
+    prop_oneof![
+        (0u8..4, any::<u8>()).prop_map(|(j, v)| WatchAction::StoreSlot { j, v }),
+        (0u8..4).prop_map(|j| WatchAction::Retarget { j }),
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| WatchAction::Noise { k, v }),
+    ]
+}
+
+/// A kernel driven by `actions`: a pointer cell `ptr` aimed at one of
+/// four watched slots, retargeted and stored through arbitrarily, with
+/// unwatched noise stores interleaved.
+fn watched_pointer_asm(actions: &[WatchAction]) -> Asm {
+    let (ptr, slots, noise) = (Reg::gpr(16), Reg::gpr(17), Reg::gpr(18));
+    let mut a = Asm::new();
+    a.label("start");
+    a.load_addr(ptr, "ptr", 0);
+    a.load_addr(slots, "slots", 0);
+    a.load_addr(noise, "noise", 0);
+    // Aim the pointer at slot 0 before the action stream begins.
+    a.inst(Instr::Lda { rd: Reg::gpr(2), base: slots, disp: 0 });
+    a.inst(Instr::Store { width: Width::Q, rs: Reg::gpr(2), base: ptr, disp: 0 });
+    for action in actions {
+        match *action {
+            WatchAction::StoreSlot { j, v } => {
+                a.inst(Instr::li(Reg::gpr(3), v as i16));
+                a.inst(Instr::Store {
+                    width: Width::Q,
+                    rs: Reg::gpr(3),
+                    base: slots,
+                    disp: 8 * (j % 4) as i16,
+                });
+            }
+            WatchAction::Retarget { j } => {
+                a.inst(Instr::Lda { rd: Reg::gpr(2), base: slots, disp: 8 * (j % 4) as i16 });
+                a.inst(Instr::Store { width: Width::Q, rs: Reg::gpr(2), base: ptr, disp: 0 });
+            }
+            WatchAction::Noise { k, v } => {
+                a.inst(Instr::li(Reg::gpr(3), v as i16));
+                a.inst(Instr::Store {
+                    width: Width::Q,
+                    rs: Reg::gpr(3),
+                    base: noise,
+                    disp: 8 * k as i16,
+                });
+            }
+        }
+    }
+    a.inst(Instr::Halt);
+    a.data_label("ptr").quad(0);
+    a.data_label("slots").space(32);
+    a.data_label("noise").space(2048);
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Chunked fan-out byte-identity, on the filter's hardest case:
+    /// random kernels whose indirect watchpoint's pointer cell is
+    /// retargeted mid-chunk. For every chunk size — including across
+    /// arbitrary poll-budget slicings and the trace record/replay path —
+    /// the three-member observer batch must report byte-identically to
+    /// `DISE_CHUNK=1` (the per-record fan-out), and the chunk-skip
+    /// counters must conserve: every (member, chunk) pair is skipped or
+    /// scanned, never both, never neither.
+    #[test]
+    fn chunked_fanout_is_byte_identical_for_every_chunk_size(
+        actions in prop::collection::vec(any_watch_action(), 1..40),
+        cap in 2u64..96,
+        budget in 1u64..64,
+    ) {
+        use dise_repro::debug::{
+            fanout_chunks, fanout_chunks_scanned, fanout_chunks_skipped, Application, BackendKind,
+            SessionTask, Step, WatchExpr, Watchpoint,
+        };
+
+        let app = Application::new(watched_pointer_asm(&actions), Layout::default());
+        let prog = app.program().unwrap();
+        let (ptr, slots) = (prog.symbol("ptr").unwrap(), prog.symbol("slots").unwrap());
+        let cpus = vec![CpuConfig::default(), CpuConfig { commit_width: 2, ..CpuConfig::default() }];
+        let members = vec![
+            (
+                BackendKind::DiseComparators,
+                vec![Watchpoint::new(WatchExpr::Indirect { ptr, width: Width::Q })],
+                cpus.clone(),
+            ),
+            (
+                BackendKind::VirtualMemory,
+                vec![Watchpoint::new(WatchExpr::Scalar { addr: slots + 8, width: Width::Q })],
+                cpus.clone(),
+            ),
+            (
+                BackendKind::hw4(),
+                vec![Watchpoint::new(WatchExpr::Scalar { addr: slots + 16, width: Width::Q })],
+                cpus,
+            ),
+        ];
+        let run = |chunk: u64, budget: u64| {
+            std::env::set_var("DISE_CHUNK", chunk.to_string());
+            let mut task = SessionTask::observer(&app, members.clone());
+            let out = loop {
+                match task.poll(budget) {
+                    Step::Done(out) => break out,
+                    Step::Yielded(_) => {}
+                    Step::Blocked(r) => panic!("ungated task blocked: {r}"),
+                }
+            };
+            out.into_observe().unwrap()
+        };
+
+        let (c0, s0, k0) = (fanout_chunks(), fanout_chunks_scanned(), fanout_chunks_skipped());
+        let reference = run(1, u64::MAX);
+        let (dc, ds, dk) = (
+            fanout_chunks() - c0,
+            fanout_chunks_scanned() - s0,
+            fanout_chunks_skipped() - k0,
+        );
+        prop_assert_eq!(ds + dk, 3 * dc, "every (member, chunk) pair is scanned xor skipped");
+
+        prop_assert_eq!(&run(cap, u64::MAX), &reference, "chunk size {} diverged", cap);
+        prop_assert_eq!(&run(cap, budget), &reference, "budget-sliced chunk {} diverged", cap);
+
+        // Copy-on-write timing groups must be invisible: disabling the
+        // sharing changes nothing but speed.
+        std::env::set_var("DISE_TIMING_SHARE", "0");
+        prop_assert_eq!(&run(cap, u64::MAX), &reference, "private timing diverged");
+        std::env::remove_var("DISE_TIMING_SHARE");
+
+        // The trace path: record at the large chunk size, replay at
+        // both extremes — all byte-identical to the per-record run.
+        let dir = std::env::temp_dir().join(format!("dise-fanout-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        static UNIQUE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let trace = dir.join(format!(
+            "{}.dtrc",
+            UNIQUE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::env::set_var("DISE_CHUNK", cap.to_string());
+        let recorded = SessionTask::observer_recorded(&app, members.clone(), &trace)
+            .run_to_completion()
+            .into_observe()
+            .unwrap();
+        prop_assert_eq!(&recorded, &reference, "recording pass diverged");
+        for replay_chunk in [1, cap] {
+            std::env::set_var("DISE_CHUNK", replay_chunk.to_string());
+            let replayed = SessionTask::observer_replay(&app, members.clone(), &trace)
+                .run_to_completion()
+                .into_observe()
+                .unwrap();
+            prop_assert_eq!(&replayed, &reference, "replay at chunk {} diverged", replay_chunk);
+        }
+        std::env::remove_var("DISE_CHUNK");
+        let _ = std::fs::remove_file(&trace);
+    }
+}
